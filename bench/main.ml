@@ -1,0 +1,48 @@
+(* The benchmark harness: regenerates every table and figure from Section 4
+   of "Secure Intrusion-tolerant Replication on the Internet" (DSN 2002).
+
+     dune exec bench/main.exe                 - everything, reduced message
+                                                counts (finishes in minutes)
+     dune exec bench/main.exe -- --full       - paper-scale message counts
+     dune exec bench/main.exe -- fig4 table1  - a subset
+     dune exec bench/main.exe -- micro        - bechamel crypto microbenches
+
+   Absolute numbers come from a simulator calibrated with the paper's host
+   and network measurements; the claims to check are the *shapes* (see
+   EXPERIMENTS.md). *)
+
+let known = [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "ablations" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  List.iter
+    (fun a ->
+      if not (List.mem a known) then begin
+        Printf.eprintf "unknown experiment %S (known: %s, plus --full)\n" a
+          (String.concat " " known);
+        exit 2
+      end)
+    args;
+  let selected name = args = [] || List.mem name args in
+  let t0 = Unix.gettimeofday () in
+  let section name f =
+    if selected name then begin
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.printf "[%s took %.1fs real time]\n\n%!" name (Unix.gettimeofday () -. t)
+    end
+  in
+  print_endline "SINTRA benchmark harness - reproducing DSN 2002, Section 4";
+  Printf.printf "mode: %s\n\n%!"
+    (if full then "full (paper-scale runs)" else "reduced (use --full for paper-scale)");
+  section "hosts" (fun () -> Experiments.hosts ());
+  section "fig3" (fun () -> Experiments.fig3 ());
+  section "fig4" (fun () -> Experiments.fig4 ~messages:(if full then 999 else 150) ());
+  section "fig5" (fun () -> Experiments.fig5 ~messages:(if full then 999 else 150) ());
+  section "table1" (fun () -> Experiments.table1 ~messages:(if full then 500 else 60) ());
+  section "fig6" (fun () -> Experiments.fig6 ~messages:(if full then 100 else 25) ());
+  section "ablations" (fun () -> Ablations.all ());
+  section "micro" (fun () -> Micro.all ());
+  Printf.printf "total: %.1fs real time\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,172 @@
+(* Bechamel micro-benchmarks of the real cryptography: one group of
+   Test.make cases per table/figure, measuring the CPU-side ingredients of
+   each experiment on the machine running this binary.
+
+   These are honest wall-clock numbers for our pure-OCaml bignum — the
+   analogue of the paper's `exp' column (there: Java BigInteger, 55-427 ms
+   per 1024-bit exponentiation; here: whatever this host does). *)
+
+open Bechamel
+open Toolkit
+
+let drbg = Hashes.Drbg.create ~seed:"bench-micro"
+
+(* --- fixtures --- *)
+
+let modexp_fixture bits =
+  let rb = Hashes.Drbg.random_bytes (Hashes.Drbg.fork drbg (Printf.sprintf "me%d" bits)) in
+  let base = Bignum.Nat.random_bits ~random_bytes:rb bits in
+  let e = Bignum.Nat.random_bits ~random_bytes:rb bits in
+  let m =
+    Bignum.Nat.add (Bignum.Nat.random_bits ~random_bytes:rb bits)
+      (Bignum.Nat.shift_left Bignum.Nat.one (bits - 1))
+  in
+  (base, e, m)
+
+let rsa = lazy (Crypto.Rsa.keygen ~drbg:(Hashes.Drbg.fork drbg "rsa") ~bits:1024 ())
+
+let group =
+  lazy (Crypto.Group.generate ~drbg:(Hashes.Drbg.fork drbg "grp") ~pbits:1024 ~qbits:160)
+
+let coin =
+  lazy
+    (Crypto.Threshold_coin.deal ~drbg:(Hashes.Drbg.fork drbg "coin")
+       ~group:(Lazy.force group) ~n:4 ~k:2 ~t:1)
+
+let tsig =
+  lazy
+    (Crypto.Threshold_sig.deal ~drbg:(Hashes.Drbg.fork drbg "tsig") ~modulus_bits:512
+       ~nparties:4 ~k:3 ~t:1 ())
+
+let enc =
+  lazy
+    (Crypto.Threshold_enc.deal ~drbg:(Hashes.Drbg.fork drbg "enc")
+       ~group:(Lazy.force group) ~n:4 ~k:2 ~t:1)
+
+(* --- test groups --- *)
+
+(* Host tables: the `exp' column = one full modular exponentiation. *)
+let host_table_tests () =
+  List.map
+    (fun bits ->
+      let base, e, m = modexp_fixture bits in
+      Test.make ~name:(Printf.sprintf "modexp-%d" bits)
+        (Staged.stage (fun () -> ignore (Bignum.Nat.powmod base e m))))
+    [ 128; 256; 512; 1024 ]
+
+(* Table 1 / Figures 4-5: the per-message public-key work of the atomic
+   channel - ordinary RSA signatures (INITs) and multi-signature shares. *)
+let table1_tests () =
+  let sk = Lazy.force rsa in
+  let signature = Crypto.Rsa.sign sk ~ctx:"bench" "message" in
+  [
+    Test.make ~name:"rsa1024-sign-crt"
+      (Staged.stage (fun () -> ignore (Crypto.Rsa.sign sk ~ctx:"bench" "message")));
+    Test.make ~name:"rsa1024-verify"
+      (Staged.stage (fun () ->
+         ignore (Crypto.Rsa.verify sk.Crypto.Rsa.pub ~ctx:"bench" ~signature "message")));
+  ]
+
+(* Figures 4-5 run randomized agreement: the threshold coin. *)
+let coin_tests () =
+  let keys = Lazy.force coin in
+  let pub = keys.Crypto.Threshold_coin.public in
+  let d = Hashes.Drbg.fork drbg "coin-run" in
+  let share i =
+    Crypto.Threshold_coin.release ~drbg:d pub keys.Crypto.Threshold_coin.shares.(i)
+      ~name:"bench-coin"
+  in
+  let s0 = share 0 and s1 = share 1 in
+  [
+    Test.make ~name:"coin-release"
+      (Staged.stage (fun () -> ignore (share 0)));
+    Test.make ~name:"coin-verify-share"
+      (Staged.stage (fun () ->
+         ignore (Crypto.Threshold_coin.verify_share pub ~name:"bench-coin" s0)));
+    Test.make ~name:"coin-assemble-k2"
+      (Staged.stage (fun () ->
+         ignore (Crypto.Threshold_coin.assemble pub ~name:"bench-coin" [ s0; s1 ] ~len:16)));
+  ]
+
+(* Figure 6: Shoup threshold signatures (at 512-bit moduli; safe-prime
+   generation for 1024 is minutes of dealer time) vs multi-signatures. *)
+let fig6_tests () =
+  let keys = Lazy.force tsig in
+  let pub = keys.Crypto.Threshold_sig.public in
+  let d = Hashes.Drbg.fork drbg "tsig-run" in
+  let share i =
+    Crypto.Threshold_sig.release ~drbg:d pub keys.Crypto.Threshold_sig.shares.(i)
+      ~ctx:"bench" "message"
+  in
+  let shares = [ share 0; share 1; share 2 ] in
+  let assembled = Crypto.Threshold_sig.assemble pub ~ctx:"bench" "message" shares in
+  [
+    Test.make ~name:"shoup512-release-share"
+      (Staged.stage (fun () -> ignore (share 0)));
+    Test.make ~name:"shoup512-verify-share"
+      (Staged.stage (fun () ->
+         ignore (Crypto.Threshold_sig.verify_share pub ~ctx:"bench" "message" (List.hd shares))));
+    Test.make ~name:"shoup512-assemble-k3"
+      (Staged.stage (fun () ->
+         ignore (Crypto.Threshold_sig.assemble pub ~ctx:"bench" "message" shares)));
+    Test.make ~name:"shoup512-verify-final"
+      (Staged.stage (fun () ->
+         ignore (Crypto.Threshold_sig.verify pub ~ctx:"bench" ~signature:assembled "message")));
+  ]
+
+(* Table 1 secure channel: the TDH2 threshold cryptosystem. *)
+let tdh2_tests () =
+  let keys = Lazy.force enc in
+  let pub = keys.Crypto.Threshold_enc.public in
+  let d = Hashes.Drbg.fork drbg "enc-run" in
+  let ct = Crypto.Threshold_enc.encrypt ~drbg:d pub ~label:"L" "thirty-two bytes of payload....." in
+  let share i =
+    Crypto.Threshold_enc.dec_share ~drbg:d pub keys.Crypto.Threshold_enc.shares.(i) ct
+  in
+  match share 0, share 1 with
+  | Some d0, Some d1 ->
+    [
+      Test.make ~name:"tdh2-encrypt"
+        (Staged.stage (fun () ->
+           ignore (Crypto.Threshold_enc.encrypt ~drbg:d pub ~label:"L" "msg")));
+      Test.make ~name:"tdh2-ct-valid"
+        (Staged.stage (fun () -> ignore (Crypto.Threshold_enc.ciphertext_valid pub ct)));
+      Test.make ~name:"tdh2-dec-share"
+        (Staged.stage (fun () -> ignore (share 0)));
+      Test.make ~name:"tdh2-verify-share"
+        (Staged.stage (fun () -> ignore (Crypto.Threshold_enc.verify_dec_share pub ct d0)));
+      Test.make ~name:"tdh2-combine-k2"
+        (Staged.stage (fun () -> ignore (Crypto.Threshold_enc.combine pub ct [ d0; d1 ])));
+    ]
+  | _ -> []
+
+let run_group ~(name : string) (tests : Test.t list) : unit =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (test_name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Printf.printf "  %-28s %12.3f ms/op\n" test_name (est /. 1e6)
+      | Some [] | None -> Printf.printf "  %-28s (no estimate)\n" test_name)
+    (List.sort compare rows)
+
+let all () =
+  print_endline "=== Micro-benchmarks (real wall-clock on this host, pure-OCaml bignum) ===\n";
+  print_endline "host `exp' column (paper: 55-427 ms in Java on 2002 hardware):";
+  run_group ~name:"modexp" (host_table_tests ());
+  print_endline "\natomic channel signatures (Table 1, Figures 4-5):";
+  run_group ~name:"rsa" (table1_tests ());
+  print_endline "\nthreshold coin (randomized agreement in Figures 4-5):";
+  run_group ~name:"coin" (coin_tests ());
+  print_endline "\nthreshold signatures (Figure 6):";
+  run_group ~name:"tsig" (fig6_tests ());
+  print_endline "\nTDH2 threshold encryption (secure channel, Table 1):";
+  run_group ~name:"tdh2" (tdh2_tests ());
+  print_newline ()

@@ -1,0 +1,294 @@
+(* sintra_sim: a command-line driver for the SINTRA simulator.
+
+     dune exec bin/sintra_sim.exe -- run --channel atomic --topology internet \
+         --senders 0,1,2 --messages 30
+     dune exec bin/sintra_sim.exe -- topologies
+     dune exec bin/sintra_sim.exe -- agree --proposals 1,0,1,0
+     dune exec bin/sintra_sim.exe -- crypto --op coin
+
+   Useful for poking at the system interactively: pick a channel, topology,
+   fault set and workload; get the delivery trace and per-host statistics. *)
+
+open Cmdliner
+open Sintra
+
+(* --- shared arguments --- *)
+
+let topology_of_string = function
+  | "lan" -> Ok Sim.Topology.lan
+  | "internet" -> Ok Sim.Topology.internet
+  | "combined" -> Ok Sim.Topology.combined
+  | s ->
+    (match int_of_string_opt s with
+     | Some n when n >= 4 -> Ok (Sim.Topology.uniform ~count:n ())
+     | _ -> Error (`Msg (Printf.sprintf "unknown topology %S (lan|internet|combined|<n>)" s)))
+
+let topology_conv =
+  Arg.conv
+    ((fun s -> topology_of_string s),
+     fun fmt t -> Format.pp_print_string fmt t.Sim.Topology.label)
+
+let topology_arg =
+  Arg.(value & opt topology_conv Sim.Topology.lan
+       & info [ "topology" ] ~docv:"TOPO" ~doc:"lan, internet, combined, or a node count.")
+
+let seed_arg =
+  Arg.(value & opt string "cli" & info [ "seed" ] ~docv:"SEED" ~doc:"Determinism seed.")
+
+let scheme_arg =
+  let scheme_conv =
+    Arg.enum [ ("multi", Config.Multi); ("shoup", Config.Shoup) ]
+  in
+  Arg.(value & opt scheme_conv Config.Multi
+       & info [ "scheme" ] ~docv:"SCHEME" ~doc:"Threshold signatures: multi or shoup.")
+
+let crashes_arg =
+  Arg.(value & opt (list int) [] & info [ "crash" ] ~docv:"IDS" ~doc:"Parties to crash at t=0.")
+
+let int_list_arg name ~doc ~default =
+  Arg.(value & opt (list int) default & info [ name ] ~docv:"IDS" ~doc)
+
+let faults_t (topo : Sim.Topology.t) : int =
+  (Sim.Topology.n topo - 1) / 3
+
+let make_cluster ~seed ~scheme (topo : Sim.Topology.t) : Cluster.t =
+  let n = Sim.Topology.n topo in
+  let t = faults_t topo in
+  let cfg =
+    Config.make ~tsig_scheme:scheme ~perm_mode:Config.Random_local
+      ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()
+  in
+  Cluster.create ~seed ~topo cfg
+
+(* --- run: drive a channel --- *)
+
+type channel_kind = Atomic | Secure | Reliable | Consistent
+
+let channel_arg =
+  let channel_conv =
+    Arg.enum
+      [ ("atomic", Atomic); ("secure", Secure); ("reliable", Reliable);
+        ("consistent", Consistent) ]
+  in
+  Arg.(value & opt channel_conv Atomic
+       & info [ "channel" ] ~docv:"KIND" ~doc:"atomic, secure, reliable or consistent.")
+
+let run_cmd =
+  let run channel topo seed scheme senders messages crashes verbose =
+    let c = make_cluster ~seed ~scheme topo in
+    let n = Cluster.n c in
+    let senders = List.filter (fun s -> s >= 0 && s < n) senders in
+    let deliveries = ref [] in
+    let record i ~sender msg =
+      if i = 0 then deliveries := (Cluster.now c, sender, msg) :: !deliveries
+    in
+    let senders_fn =
+      match channel with
+      | Atomic ->
+        let chans =
+          Array.init n (fun i ->
+            Atomic_channel.create (Cluster.runtime c i) ~pid:"cli"
+              ~on_deliver:(record i) ())
+        in
+        fun s m -> Atomic_channel.send chans.(s) m
+      | Secure ->
+        let chans =
+          Array.init n (fun i ->
+            Secure_atomic_channel.create (Cluster.runtime c i) ~pid:"cli"
+              ~on_deliver:(record i) ())
+        in
+        fun s m -> Secure_atomic_channel.send chans.(s) m
+      | Reliable ->
+        let chans =
+          Array.init n (fun i ->
+            Reliable_channel.create (Cluster.runtime c i) ~pid:"cli"
+              ~on_deliver:(record i) ())
+        in
+        fun s m -> Reliable_channel.send chans.(s) m
+      | Consistent ->
+        let chans =
+          Array.init n (fun i ->
+            Consistent_channel.create (Cluster.runtime c i) ~pid:"cli"
+              ~on_deliver:(record i) ())
+        in
+        fun s m -> Consistent_channel.send chans.(s) m
+    in
+    List.iter (Cluster.crash c) crashes;
+    List.iter
+      (fun s ->
+        if not (List.mem s crashes) then
+          for k = 0 to messages - 1 do
+            Cluster.inject c s (fun () ->
+              senders_fn s (Printf.sprintf "msg-%d.%d" s k))
+          done)
+      senders;
+    let events = Cluster.run c in
+    let ds = List.rev !deliveries in
+    Printf.printf "topology %s, n=%d t=%d, %d events, %.3f virtual seconds\n"
+      topo.Sim.Topology.label n (faults_t topo) events (Cluster.now c);
+    Printf.printf "%d deliveries observed at party 0%s\n" (List.length ds)
+      (if crashes = [] then "" else
+         Printf.sprintf " (crashed: %s)" (String.concat "," (List.map string_of_int crashes)));
+    if verbose then
+      List.iter
+        (fun (time, sender, msg) -> Printf.printf "  %8.3fs  P%d  %s\n" time sender msg)
+        ds
+    else begin
+      (match ds with
+       | [] -> ()
+       | (t0, _, _) :: _ ->
+         let tn, _, _ = List.nth ds (List.length ds - 1) in
+         let count = List.length ds in
+         Printf.printf "first delivery %.3fs, last %.3fs, avg inter-delivery %.3fs\n"
+           t0 tn
+           (if count > 1 then (tn -. t0) /. float_of_int (count - 1) else 0.0))
+    end
+  in
+  let senders =
+    int_list_arg "senders" ~doc:"Comma-separated sending parties." ~default:[ 0 ]
+  in
+  let messages =
+    Arg.(value & opt int 10 & info [ "messages" ] ~docv:"N" ~doc:"Messages per sender.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the full delivery trace.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Drive a broadcast channel over a simulated test-bed.")
+    Term.(const run $ channel_arg $ topology_arg $ seed_arg $ scheme_arg
+          $ senders $ messages $ crashes_arg $ verbose)
+
+(* --- agree: one multi-valued or binary agreement --- *)
+
+let agree_cmd =
+  let run topo seed scheme proposals binary =
+    let c = make_cluster ~seed ~scheme topo in
+    let n = Cluster.n c in
+    let decided = Array.make n None in
+    if binary then begin
+      let insts =
+        Array.init n (fun i ->
+          Binary_agreement.create (Cluster.runtime c i) ~pid:"cli-aba"
+            ~on_decide:(fun b _ -> decided.(i) <- Some (string_of_bool b)))
+      in
+      List.iteri
+        (fun i v ->
+          if i < n then
+            Cluster.inject c i (fun () -> Binary_agreement.propose insts.(i) (v <> 0)))
+        proposals
+    end
+    else begin
+      let insts =
+        Array.init n (fun i ->
+          Array_agreement.create (Cluster.runtime c i) ~pid:"cli-mvba"
+            ~validator:(fun _ -> true)
+            ~on_decide:(fun v -> decided.(i) <- Some v))
+      in
+      List.iteri
+        (fun i v ->
+          if i < n then
+            Cluster.inject c i (fun () ->
+              Array_agreement.propose insts.(i) (Printf.sprintf "value-%d" v)))
+        proposals
+    end;
+    let events = Cluster.run c in
+    Printf.printf "%d events, %.3f virtual seconds\n" events (Cluster.now c);
+    Array.iteri
+      (fun i d ->
+        Printf.printf "party %d decided: %s\n" i
+          (match d with Some v -> v | None -> "(nothing)"))
+      decided
+  in
+  let proposals =
+    int_list_arg "proposals" ~doc:"Per-party proposals (ints; binary uses 0/non-0)."
+      ~default:[ 1; 0; 1; 0 ]
+  in
+  let binary =
+    Arg.(value & flag & info [ "binary" ] ~doc:"Run binary agreement instead of multi-valued.")
+  in
+  Cmd.v (Cmd.info "agree" ~doc:"Run one Byzantine agreement instance.")
+    Term.(const run $ topology_arg $ seed_arg $ scheme_arg $ proposals $ binary)
+
+(* --- topologies: list the built-in test-beds --- *)
+
+let topologies_cmd =
+  let run () =
+    List.iter
+      (fun (t : Sim.Topology.t) ->
+        Printf.printf "%s (n=%d):\n" t.Sim.Topology.label (Sim.Topology.n t);
+        Array.iter
+          (fun h ->
+            Printf.printf "  %-18s exp(1024-bit) = %5.0f ms\n"
+              h.Sim.Topology.name h.Sim.Topology.exp_ms)
+          t.Sim.Topology.hosts)
+      [ Sim.Topology.lan; Sim.Topology.internet; Sim.Topology.combined ]
+  in
+  Cmd.v (Cmd.info "topologies" ~doc:"List the built-in test-beds (Section 4).")
+    Term.(const run $ const ())
+
+(* --- crypto: exercise one threshold primitive --- *)
+
+let crypto_cmd =
+  let run seed op =
+    let drbg = Hashes.Drbg.create ~seed in
+    let group = Crypto.Group.generate ~drbg ~pbits:512 ~qbits:160 in
+    match op with
+    | "coin" ->
+      let keys = Crypto.Threshold_coin.deal ~drbg ~group ~n:4 ~k:2 ~t:1 in
+      let pub = keys.Crypto.Threshold_coin.public in
+      for round = 1 to 5 do
+        let name = Printf.sprintf "round-%d" round in
+        let shares =
+          List.map
+            (fun i ->
+              Crypto.Threshold_coin.release ~drbg pub
+                keys.Crypto.Threshold_coin.shares.(i) ~name)
+            [ 0; 2 ]
+        in
+        Printf.printf "coin %-8s = %b\n" name
+          (Crypto.Threshold_coin.assemble_bit pub ~name shares)
+      done
+    | "sign" ->
+      let keys =
+        Crypto.Threshold_sig.deal ~drbg ~modulus_bits:512 ~nparties:4 ~k:3 ~t:1 ()
+      in
+      let pub = keys.Crypto.Threshold_sig.public in
+      let msg = "the quick brown fox" in
+      let shares =
+        List.map
+          (fun i ->
+            Crypto.Threshold_sig.release ~drbg pub
+              keys.Crypto.Threshold_sig.shares.(i) ~ctx:"cli" msg)
+          [ 0; 1; 3 ]
+      in
+      let signature = Crypto.Threshold_sig.assemble pub ~ctx:"cli" msg shares in
+      Printf.printf "assembled %d-byte RSA signature from shares {1,2,4}; verifies: %b\n"
+        (String.length signature)
+        (Crypto.Threshold_sig.verify pub ~ctx:"cli" ~signature msg)
+    | "encrypt" ->
+      let keys = Crypto.Threshold_enc.deal ~drbg ~group ~n:4 ~k:2 ~t:1 in
+      let pub = keys.Crypto.Threshold_enc.public in
+      let ct = Crypto.Threshold_enc.encrypt ~drbg pub ~label:"cli" "hello threshold world" in
+      let shares =
+        List.filter_map
+          (fun i ->
+            Crypto.Threshold_enc.dec_share ~drbg pub
+              keys.Crypto.Threshold_enc.shares.(i) ct)
+          [ 1; 2 ]
+      in
+      (match Crypto.Threshold_enc.combine pub ct shares with
+       | Some m -> Printf.printf "decrypted with shares {2,3}: %S\n" m
+       | None -> print_endline "decryption failed")
+    | other -> Printf.eprintf "unknown op %S (coin|sign|encrypt)\n" other
+  in
+  let op =
+    Arg.(value & opt string "coin" & info [ "op" ] ~docv:"OP" ~doc:"coin, sign or encrypt.")
+  in
+  Cmd.v (Cmd.info "crypto" ~doc:"Exercise one threshold-cryptography primitive.")
+    Term.(const run $ seed_arg $ op)
+
+let () =
+  let doc = "SINTRA: secure intrusion-tolerant replication (DSN 2002), simulated" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sintra_sim" ~doc)
+          [ run_cmd; agree_cmd; topologies_cmd; crypto_cmd ]))

@@ -1,0 +1,69 @@
+(** Signed arbitrary-precision integers on top of {!Nat}, plus the number
+    theory needed by threshold cryptography: extended GCD, modular inverse,
+    signed modular exponentiation and the Jacobi symbol. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_nat : Nat.t -> t
+
+val to_nat : t -> Nat.t
+(** @raise Invalid_argument if negative. *)
+
+val of_int : int -> t
+val to_int_opt : t -> int option
+
+val is_zero : t -> bool
+val is_neg : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod_trunc : t -> t -> t * t
+(** Truncated division: quotient rounds toward zero, remainder carries the
+    dividend's sign (like OCaml's [(/)] and [mod]). *)
+
+val erem : t -> t -> t
+(** Euclidean remainder: [erem a m] is in [[0, |m|)].
+    @raise Division_by_zero if [m] is zero. *)
+
+val ediv : t -> t -> t
+(** Euclidean quotient matching {!erem}: [a = m * ediv a m + erem a m]. *)
+
+val shift_left : t -> int -> t
+
+val egcd : t -> t -> t * t * t
+(** [egcd a b = (g, x, y)] with [a*x + b*y = g = gcd(|a|,|b|)], [g >= 0]. *)
+
+val gcd : t -> t -> t
+
+val invmod : t -> t -> t
+(** [invmod a m] is the inverse of [a] modulo [m], in [[0, m)].
+    @raise Not_found if [gcd(a,m) <> 1]. *)
+
+val powmod : t -> t -> t -> t
+(** [powmod b e m] for [e >= 0].
+    @raise Invalid_argument on negative exponent. *)
+
+val powmod_signed : t -> t -> t -> t
+(** Like {!powmod} but accepts a negative exponent when [b] is invertible
+    mod [m] (needed when combining Shoup threshold-signature shares, whose
+    Lagrange exponents are signed). *)
+
+val jacobi : t -> t -> int
+(** Jacobi symbol [(a/n)] for odd positive [n]: -1, 0 or +1. *)
+
+val of_string : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

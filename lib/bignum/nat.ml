@@ -1,0 +1,479 @@
+(* Arbitrary-precision natural numbers.
+
+   Representation: little-endian array of limbs in base 2^31, normalized so
+   that the most significant limb is non-zero; zero is the empty array.
+   Base 2^31 is chosen so that a limb product plus two limb-sized carries
+   fits in OCaml's 63-bit native [int] without overflow. *)
+
+let limb_bits = 31
+let limb_base = 1 lsl limb_bits
+let limb_mask = limb_base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int (x : int) : t =
+  if x < 0 then invalid_arg "Nat.of_int: negative";
+  normalize
+    [| x land limb_mask; (x lsr limb_bits) land limb_mask; x lsr (2 * limb_bits) |]
+
+let to_int_opt (a : t) : int option =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl limb_bits))
+  | 3 when a.(2) < 1 lsl (62 - 2 * limb_bits) ->
+    Some (a.(0) lor (a.(1) lsl limb_bits) lor (a.(2) lsl (2 * limb_bits)))
+  | _ -> None
+
+let one = of_int 1
+let two = of_int 2
+
+let num_limbs = Array.length
+
+let compare (a : t) (b : t) : int =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i = if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+(* Number of significant bits; 0 for zero. *)
+let numbits (a : t) : int =
+  let l = Array.length a in
+  if l = 0 then 0
+  else
+    let top = a.(l - 1) in
+    let rec width w = if top lsr w = 0 then w else width (w + 1) in
+    ((l - 1) * limb_bits) + width 1
+
+let testbit (a : t) (i : int) : bool =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r.(l) <- !carry;
+  normalize r
+
+(* [sub a b] requires a >= b. *)
+let sub (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < lb then invalid_arg "Nat.sub: underflow";
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + limb_base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  if !borrow <> 0 then invalid_arg "Nat.sub: underflow";
+  normalize r
+
+let mul_limb (a : t) (m : int) : t =
+  if m = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let p = (a.(i) * m) + !carry in
+      r.(i) <- p land limb_mask;
+      carry := p lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let schoolbook_mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let cur = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- cur land limb_mask;
+          carry := cur lsr limb_bits
+        done;
+        (* Propagate the final carry; it can ripple at most a few limbs. *)
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let cur = r.(!k) + !carry in
+          r.(!k) <- cur land limb_mask;
+          carry := cur lsr limb_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+(* Split [a] into (low [k] limbs, rest) for Karatsuba. *)
+let split_at (a : t) (k : int) : t * t =
+  let la = Array.length a in
+  if la <= k then (a, zero)
+  else (normalize (Array.sub a 0 k), normalize (Array.sub a k (la - k)))
+
+let shift_limbs (a : t) (k : int) : t =
+  if is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + k) 0 in
+    Array.blit a 0 r k la;
+    r
+  end
+
+let karatsuba_threshold = 32
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < karatsuba_threshold || lb < karatsuba_threshold then schoolbook_mul a b
+  else begin
+    let k = (max la lb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let sqr a = mul a a
+
+let shift_left (a : t) (bits : int) : t =
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    if off = 0 then Array.blit a 0 r limbs la
+    else
+      for i = 0 to la - 1 do
+        let v = a.(i) lsl off in
+        r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+        r.(i + limbs + 1) <- v lsr limb_bits
+      done;
+    normalize r
+  end
+
+let shift_right (a : t) (bits : int) : t =
+  if is_zero a || bits = 0 then a
+  else begin
+    let limbs = bits / limb_bits and off = bits mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let l = la - limbs in
+      let r = Array.make l 0 in
+      if off = 0 then Array.blit a limbs r 0 l
+      else
+        for i = 0 to l - 1 do
+          let hi = if i + limbs + 1 < la then a.(i + limbs + 1) else 0 in
+          r.(i) <- (a.(i + limbs) lsr off) lor ((hi lsl (limb_bits - off)) land limb_mask)
+        done;
+      normalize r
+    end
+  end
+
+(* Division: Knuth Algorithm D on normalized operands.
+   Returns (quotient, remainder). *)
+let divmod (a : t) (b : t) : t * t =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    (* Single-limb divisor: simple long division. *)
+    let d = b.(0) in
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let rem = ref 0 in
+    for i = la - 1 downto 0 do
+      let cur = (!rem lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      rem := cur mod d
+    done;
+    (normalize q, of_int !rem)
+  end
+  else begin
+    (* Normalize so the divisor's top limb has its high bit set. *)
+    let shift = limb_bits - (numbits b - (Array.length b - 1) * limb_bits) in
+    let u = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    let m = Array.length u - n in
+    let m = if m < 0 then 0 else m in
+    (* u gets an extra high limb. *)
+    let u = Array.append u (Array.make (m + n + 1 - Array.length u) 0) in
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) in
+    let vnext = if n >= 2 then v.(n - 2) else 0 in
+    for j = m downto 0 do
+      (* Estimate the quotient limb from the top two limbs of u. *)
+      let top2 = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (top2 / vtop) in
+      let rhat = ref (top2 mod vtop) in
+      if !qhat >= limb_base then begin qhat := limb_base - 1; rhat := top2 - !qhat * vtop end;
+      let continue = ref true in
+      while !continue do
+        (* qhat*vnext must not exceed rhat*base + u[j+n-2]; qhat < 2^31 and
+           vnext < 2^31 so the product fits in 62 bits. *)
+        if !rhat < limb_base
+           && !qhat * vnext > (!rhat lsl limb_bits) lor (if n >= 2 then u.(j + n - 2) else 0)
+        then begin decr qhat; rhat := !rhat + vtop end
+        else continue := false
+      done;
+      (* Multiply and subtract: u[j .. j+n] -= qhat * v. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = !qhat * v.(i) + !carry in
+        carry := p lsr limb_bits;
+        let d = u.(i + j) - (p land limb_mask) - !borrow in
+        if d < 0 then begin u.(i + j) <- d + limb_base; borrow := 1 end
+        else begin u.(i + j) <- d; borrow := 0 end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* Estimate was one too large: add back. *)
+        u.(j + n) <- d + limb_base;
+        decr qhat;
+        let carry = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(i + j) + v.(i) + !carry in
+          u.(i + j) <- s land limb_mask;
+          carry := s lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !carry) land limb_mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+(* Barrett reduction: for a fixed modulus m of k limbs, precompute
+   mu = floor(base^(2k) / m); then for x < base^(2k),
+     q = floor( floor(x / base^(k-1)) * mu / base^(k+1) )
+   satisfies 0 <= x - q*m < 3m, so at most two subtractions complete the
+   reduction — no per-operation division.  This is the workhorse under
+   every modular exponentiation. *)
+module Barrett = struct
+  type ctx = {
+    m : t;
+    k : int;          (* limbs of m *)
+    mu : t;           (* floor(base^(2k) / m) *)
+  }
+
+  let create (m : t) : ctx =
+    if is_zero m then raise Division_by_zero;
+    let k = num_limbs m in
+    let mu = div (shift_limbs one (2 * k)) m in
+    { m; k; mu }
+
+  (* Drop the low [k] limbs (floor division by base^k). *)
+  let drop_limbs (a : t) (k : int) : t =
+    let la = Array.length a in
+    if la <= k then zero else normalize (Array.sub a k (la - k))
+
+  let reduce (ctx : ctx) (x : t) : t =
+    if compare x ctx.m < 0 then x
+    else if num_limbs x > 2 * ctx.k then rem x ctx.m   (* out of range: fall back *)
+    else begin
+      let q1 = drop_limbs x (ctx.k - 1) in
+      let q2 = mul q1 ctx.mu in
+      let q3 = drop_limbs q2 (ctx.k + 1) in
+      let r = sub x (mul q3 ctx.m) in
+      let r = if compare r ctx.m >= 0 then sub r ctx.m else r in
+      let r = if compare r ctx.m >= 0 then sub r ctx.m else r in
+      r
+    end
+end
+
+(* Modular exponentiation by 4-bit fixed windows over Barrett reduction. *)
+let powmod (base : t) (e : t) (m : t) : t =
+  if is_zero m then raise Division_by_zero;
+  if equal m one then zero
+  else if is_zero e then one
+  else begin
+    let ctx = Barrett.create m in
+    let redc x = Barrett.reduce ctx x in
+    let base = rem base m in
+    let ebits = numbits e in
+    let window = if ebits <= 64 then 1 else 4 in
+    if window = 1 then begin
+      let r = ref one in
+      for i = ebits - 1 downto 0 do
+        r := redc (sqr !r);
+        if testbit e i then r := redc (mul !r base)
+      done;
+      !r
+    end
+    else begin
+      (* Precompute base^0 .. base^15 mod m. *)
+      let tbl = Array.make 16 one in
+      for i = 1 to 15 do tbl.(i) <- redc (mul tbl.(i - 1) base) done;
+      let nwin = (ebits + window - 1) / window in
+      let r = ref one in
+      for w = nwin - 1 downto 0 do
+        for _ = 1 to window do r := redc (sqr !r) done;
+        let d = ref 0 in
+        for b = window - 1 downto 0 do
+          let bit = if testbit e ((w * window) + b) then 1 else 0 in
+          d := (!d lsl 1) lor bit
+        done;
+        if !d <> 0 then r := redc (mul !r tbl.(!d))
+      done;
+      !r
+    end
+  end
+
+(* Byte-string codecs, big-endian. *)
+let of_bytes_be (s : string) : t =
+  let n = String.length s in
+  let r = ref zero in
+  let i = ref 0 in
+  while !i < n do
+    (* Consume up to 3 bytes at a time (24 bits < limb). *)
+    let take = min 3 (n - !i) in
+    let v = ref 0 in
+    for j = 0 to take - 1 do
+      v := (!v lsl 8) lor Char.code s.[!i + j]
+    done;
+    r := add (shift_left !r (8 * take)) (of_int !v);
+    i := !i + take
+  done;
+  !r
+
+let to_bytes_be ?len (a : t) : string =
+  let nbytes = (numbits a + 7) / 8 in
+  let nbytes = max nbytes 1 in
+  let out_len = match len with
+    | None -> nbytes
+    | Some l ->
+      if l < nbytes then invalid_arg "Nat.to_bytes_be: value too large for len";
+      l
+  in
+  let b = Bytes.make out_len '\000' in
+  let rec go a pos =
+    if not (is_zero a) then begin
+      let low = (match to_int_opt (rem a (of_int 256)) with Some v -> v | None -> assert false) in
+      Bytes.set b pos (Char.chr low);
+      go (shift_right a 8) (pos - 1)
+    end
+  in
+  go a (out_len - 1);
+  Bytes.to_string b
+
+let of_hex (s : string) : t =
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> r := add (shift_left !r 4) (of_int (Char.code c - Char.code '0'))
+      | 'a' .. 'f' -> r := add (shift_left !r 4) (of_int (Char.code c - Char.code 'a' + 10))
+      | 'A' .. 'F' -> r := add (shift_left !r 4) (of_int (Char.code c - Char.code 'A' + 10))
+      | ' ' | '\n' | '\t' | '_' -> ()
+      | _ -> invalid_arg "Nat.of_hex")
+    s;
+  !r
+
+let to_hex (a : t) : string =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let nb = numbits a in
+    let ndigits = (nb + 3) / 4 in
+    for i = ndigits - 1 downto 0 do
+      let d =
+        ((if testbit a ((4 * i) + 3) then 8 else 0)
+        lor (if testbit a ((4 * i) + 2) then 4 else 0)
+        lor (if testbit a ((4 * i) + 1) then 2 else 0)
+        lor if testbit a (4 * i) then 1 else 0)
+      in
+      Buffer.add_char buf "0123456789abcdef".[d]
+    done;
+    Buffer.contents buf
+  end
+
+let billion = of_int 1_000_000_000
+
+let to_string (a : t) : string =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let rec go a =
+      if not (is_zero a) then begin
+        let q, r = divmod a billion in
+        let r = match to_int_opt r with Some v -> v | None -> assert false in
+        chunks := r :: !chunks;
+        go q
+      end
+    in
+    go a;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string (s : string) : t =
+  if s = "" then invalid_arg "Nat.of_string";
+  let r = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> r := add (mul_limb !r 10) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg "Nat.of_string")
+    s;
+  !r
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+(* Uniform random natural below [bound], given a source of random bytes. *)
+let random_below ~(random_bytes : int -> string) (bound : t) : t =
+  if is_zero bound then invalid_arg "Nat.random_below: zero bound";
+  let bits = numbits bound in
+  let nbytes = (bits + 7) / 8 in
+  let excess = (8 * nbytes) - bits in
+  let rec try_draw () =
+    let s = random_bytes nbytes in
+    let v = shift_right (of_bytes_be s) excess in
+    if compare v bound < 0 then v else try_draw ()
+  in
+  try_draw ()
+
+let random_bits ~(random_bytes : int -> string) (bits : int) : t =
+  if bits <= 0 then zero
+  else begin
+    let nbytes = (bits + 7) / 8 in
+    let excess = (8 * nbytes) - bits in
+    shift_right (of_bytes_be (random_bytes nbytes)) excess
+  end

@@ -1,0 +1,98 @@
+(** Arbitrary-precision natural numbers (unsigned).
+
+    This is the arithmetic substrate for all of SINTRA's public-key
+    cryptography (the sealed build environment has no [zarith]).  Values are
+    immutable.  Unless noted, operations cost the usual schoolbook bounds;
+    multiplication switches to Karatsuba above a fixed limb threshold. *)
+
+type t
+(** A natural number. *)
+
+val zero : t
+val one : t
+val two : t
+
+val is_zero : t -> bool
+
+val of_int : int -> t
+(** [of_int x] converts a non-negative OCaml int.
+    @raise Invalid_argument on negative input. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt a] is [Some x] iff [a] fits in an OCaml [int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val numbits : t -> int
+(** Number of significant bits; [numbits zero = 0]. *)
+
+val num_limbs : t -> int
+(** Internal limb count (for cost accounting). *)
+
+val testbit : t -> int -> bool
+(** [testbit a i] is bit [i] (LSB = bit 0). *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** [sub a b] requires [a >= b].
+    @raise Invalid_argument on underflow. *)
+
+val mul : t -> t -> t
+val mul_limb : t -> int -> t
+val sqr : t -> t
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)] by Knuth's Algorithm D.
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+(** Barrett reduction for a fixed modulus: one precomputed reciprocal turns
+    every reduction into two multiplications and at most two subtractions
+    (HAC 14.42).  Used internally by {!powmod}; exposed for callers with
+    long-lived moduli. *)
+module Barrett : sig
+  type ctx
+
+  val create : t -> ctx
+  (** @raise Division_by_zero on a zero modulus. *)
+
+  val reduce : ctx -> t -> t
+  (** [reduce ctx x] is [x mod m]; fastest when [x < m]{^ 2}. *)
+end
+
+val powmod : t -> t -> t -> t
+(** [powmod b e m] is [b]{^ [e]} mod [m], by 4-bit fixed windows over
+    Barrett reduction. *)
+
+val of_bytes_be : string -> t
+(** Big-endian bytes to natural. *)
+
+val to_bytes_be : ?len:int -> t -> string
+(** Big-endian encoding, zero-padded to [len] when given.
+    @raise Invalid_argument if the value does not fit in [len] bytes. *)
+
+val of_hex : string -> t
+val to_hex : t -> string
+
+val of_string : string -> t
+(** Parse a decimal string (underscores allowed). *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val pp : Format.formatter -> t -> unit
+
+val random_below : random_bytes:(int -> string) -> t -> t
+(** [random_below ~random_bytes bound] draws uniformly from [[0, bound)] by
+    rejection sampling on the supplied byte source. *)
+
+val random_bits : random_bytes:(int -> string) -> int -> t
+(** [random_bits ~random_bytes n] draws a uniform [n]-bit value (top bit not
+    forced). *)

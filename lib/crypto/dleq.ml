@@ -1,0 +1,52 @@
+(* Non-interactive Chaum-Pedersen proofs of discrete-log equality, made
+   non-interactive with the Fiat-Shamir transform.
+
+   A proof for ((g1, h1), (g2, h2)) convinces a verifier that
+   log_{g1} h1 = log_{g2} h2 without revealing the exponent.  These proofs
+   justify threshold-coin shares and threshold-decryption shares, making both
+   schemes robust: a corrupted party cannot inject a bogus share. *)
+
+open Bignum
+
+type t = {
+  challenge : Group.exponent;  (* c = H(g1,h1,g2,h2,a1,a2,ctx) *)
+  response : Group.exponent;   (* z = r + c*x mod q *)
+}
+
+let transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2 =
+  [ "dleq"; ctx;
+    Group.elt_to_bytes grp g1; Group.elt_to_bytes grp h1;
+    Group.elt_to_bytes grp g2; Group.elt_to_bytes grp h2;
+    Group.elt_to_bytes grp a1; Group.elt_to_bytes grp a2 ]
+
+(* [prove grp ~drbg ~ctx ~g1 ~h1 ~g2 ~h2 ~x] with h1 = g1^x, h2 = g2^x. *)
+let prove grp ~(drbg : Hashes.Drbg.t) ~(ctx : string) ~g1 ~h1 ~g2 ~h2 ~(x : Group.exponent) : t =
+  let r = Group.random_exponent grp ~drbg in
+  let a1 = Group.pow grp g1 r and a2 = Group.pow grp g2 r in
+  let challenge = Group.hash_to_exponent grp (transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2) in
+  let response = Nat.rem (Nat.add r (Nat.mul challenge x)) grp.Group.q in
+  { challenge; response }
+
+let verify grp ~(ctx : string) ~g1 ~h1 ~g2 ~h2 (proof : t) : bool =
+  Group.is_member grp h1 && Group.is_member grp h2
+  && begin
+    (* Recompute the commitments: a_i = g_i^z * h_i^(-c). *)
+    let recompute g h =
+      Group.div grp (Group.pow grp g proof.response) (Group.pow grp h proof.challenge)
+    in
+    let a1 = recompute g1 h1 and a2 = recompute g2 h2 in
+    let c = Group.hash_to_exponent grp (transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2) in
+    Nat.equal c proof.challenge
+  end
+
+let to_bytes grp (t : t) : string =
+  Group.exponent_to_bytes grp t.challenge ^ Group.exponent_to_bytes grp t.response
+
+let of_bytes grp (s : string) : t option =
+  let qbytes = (Nat.numbits grp.Group.q + 7) / 8 in
+  if String.length s <> 2 * qbytes then None
+  else
+    Some {
+      challenge = Group.exponent_of_bytes (String.sub s 0 qbytes);
+      response = Group.exponent_of_bytes (String.sub s qbytes qbytes);
+    }

@@ -1,0 +1,26 @@
+(** Non-interactive Chaum-Pedersen proofs of discrete-logarithm equality
+    (Fiat-Shamir transformed).
+
+    A proof for [(g1, h1, g2, h2)] shows [log_g1 h1 = log_g2 h2] without
+    revealing the exponent.  These proofs make the threshold coin and the
+    TDH2 threshold cryptosystem {e robust}: a corrupted party cannot inject
+    a malformed share. *)
+
+type t = {
+  challenge : Group.exponent;
+  response : Group.exponent;
+}
+
+val prove :
+  Group.t -> drbg:Hashes.Drbg.t -> ctx:string ->
+  g1:Group.elt -> h1:Group.elt -> g2:Group.elt -> h2:Group.elt ->
+  x:Group.exponent -> t
+(** Prove knowledge of [x] with [h1 = g1^x] and [h2 = g2^x], bound to the
+    domain-separation string [ctx]. *)
+
+val verify :
+  Group.t -> ctx:string ->
+  g1:Group.elt -> h1:Group.elt -> g2:Group.elt -> h2:Group.elt -> t -> bool
+
+val to_bytes : Group.t -> t -> string
+val of_bytes : Group.t -> string -> t option

@@ -1,0 +1,62 @@
+(** Schnorr groups: the order-[q] subgroup of [Z_p*] for primes [q | p-1].
+
+    The discrete-log setting of SINTRA's threshold coin (Cachin-Kursawe-
+    Shoup) and threshold cryptosystem (Shoup-Gennaro TDH2).  The paper uses
+    a 1024-bit [p] whose [p-1] has a 160-bit prime factor [q]; [generate]
+    produces such parameters for any sizes. *)
+
+type t = {
+  p : Bignum.Nat.t;         (** field prime *)
+  q : Bignum.Nat.t;         (** subgroup order (prime) *)
+  g : Bignum.Nat.t;         (** generator of the order-[q] subgroup *)
+  cofactor : Bignum.Nat.t;  (** [(p-1)/q] *)
+}
+
+type elt = Bignum.Nat.t
+(** A subgroup element, in [[1, p)]. *)
+
+type exponent = Bignum.Nat.t
+(** An exponent, in [[0, q)]. *)
+
+val make : p:Bignum.Nat.t -> q:Bignum.Nat.t -> g:Bignum.Nat.t -> t
+(** Validate and package externally supplied parameters.
+    @raise Invalid_argument if [q] does not divide [p-1] or [g] does not
+    have order [q]. *)
+
+val generate : drbg:Hashes.Drbg.t -> pbits:int -> qbits:int -> t
+(** Deterministically generate fresh parameters from the DRBG. *)
+
+val one : t -> elt
+val mul : t -> elt -> elt -> elt
+val div : t -> elt -> elt -> elt
+val inv : t -> elt -> elt
+val pow : t -> elt -> exponent -> elt
+
+val pow_g : t -> exponent -> elt
+(** [pow_g grp e] is [g^e]. *)
+
+val pow_signed : t -> elt -> Bignum.Bigint.t -> elt
+(** Power with a signed exponent (Lagrange interpolation in the exponent). *)
+
+val elt_equal : elt -> elt -> bool
+
+val is_member : t -> elt -> bool
+(** Full subgroup membership test ([a^q = 1], [0 < a < p]); applied to every
+    incoming group element before use. *)
+
+val random_exponent : t -> drbg:Hashes.Drbg.t -> exponent
+
+val hash_to_group : t -> string -> elt
+(** Hash an arbitrary string onto the subgroup (counter-mode expansion, then
+    cofactor exponentiation) — the random oracle [H'] that names coins. *)
+
+val hash_to_exponent : t -> string list -> exponent
+(** Fiat-Shamir challenge derivation into [[0, q)]. *)
+
+val elt_to_bytes : t -> elt -> string
+(** Fixed-width big-endian encoding ([ceil(|p|/8)] bytes). *)
+
+val elt_of_bytes : string -> elt
+
+val exponent_to_bytes : t -> exponent -> string
+val exponent_of_bytes : string -> exponent

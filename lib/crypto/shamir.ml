@@ -1,0 +1,78 @@
+(* Shamir polynomial secret sharing over Z_m.
+
+   Used with a prime modulus q for the discrete-log schemes and with the
+   secret composite modulus m = p'q' for Shoup RSA threshold signatures (the
+   interpolation there happens "in the exponent" with integer Lagrange
+   coefficients scaled by Delta = n!; see {!Threshold_sig}). *)
+
+open Bignum
+
+type share = { index : int; value : Nat.t }  (* index in [1, n] *)
+
+(* [share_secret ~drbg ~modulus ~secret ~n ~k] draws a uniform polynomial f of
+   degree k-1 over Z_modulus with f(0) = secret, and returns [f(1) .. f(n)]. *)
+let share_secret ~(drbg : Hashes.Drbg.t) ~(modulus : Nat.t) ~(secret : Nat.t) ~n ~k
+    : share array =
+  if k < 1 || n < k then invalid_arg "Shamir.share_secret: need 1 <= k <= n";
+  let random_bytes = Hashes.Drbg.random_bytes drbg in
+  let coeffs = Array.init k (fun i ->
+    if i = 0 then Nat.rem secret modulus
+    else Nat.random_below ~random_bytes modulus)
+  in
+  let eval (x : int) : Nat.t =
+    (* Horner evaluation at the small point x. *)
+    let acc = ref Nat.zero in
+    for i = k - 1 downto 0 do
+      acc := Nat.rem (Nat.add (Nat.mul_limb !acc x) coeffs.(i)) modulus
+    done;
+    !acc
+  in
+  Array.init n (fun i -> { index = i + 1; value = eval (i + 1) })
+
+(* Lagrange coefficient lambda_{S,j}(at) over Z_q for the point set S:
+   the weight of share j when interpolating f(at). *)
+let lagrange_coeff ~(modulus : Nat.t) ~(points : int list) ~(j : int) ~(at : int) : Nat.t =
+  let q = Bigint.of_nat modulus in
+  let num = ref Bigint.one and den = ref Bigint.one in
+  List.iter
+    (fun l ->
+      if l <> j then begin
+        num := Bigint.mul !num (Bigint.of_int (at - l));
+        den := Bigint.mul !den (Bigint.of_int (j - l))
+      end)
+    points;
+  let den_inv = Bigint.invmod !den q in
+  Bigint.to_nat (Bigint.erem (Bigint.mul !num den_inv) q)
+
+(* Reconstruct f(at) (typically at = 0, the secret) from >= k shares. *)
+let interpolate ~(modulus : Nat.t) ~(shares : share list) ~(at : int) : Nat.t =
+  let points = List.map (fun s -> s.index) shares in
+  let acc = ref Nat.zero in
+  List.iter
+    (fun s ->
+      let lam = lagrange_coeff ~modulus ~points ~j:s.index ~at in
+      acc := Nat.rem (Nat.add !acc (Nat.mul lam (Nat.rem s.value modulus))) modulus)
+    shares;
+  !acc
+
+(* Integer Lagrange numerator scaled by Delta = n!, for interpolation in a
+   group of unknown order (Shoup's threshold RSA):
+     lambda'_{S,j}(at) = Delta * prod_{l in S, l<>j} (at - l) / (j - l)
+   which is always an integer. *)
+let delta (n : int) : Nat.t =
+  let acc = ref Nat.one in
+  for i = 2 to n do acc := Nat.mul_limb !acc i done;
+  !acc
+
+let integer_lagrange_coeff ~(n : int) ~(points : int list) ~(j : int) ~(at : int) : Bigint.t =
+  let num = ref (Bigint.of_nat (delta n)) and den = ref Bigint.one in
+  List.iter
+    (fun l ->
+      if l <> j then begin
+        num := Bigint.mul !num (Bigint.of_int (at - l));
+        den := Bigint.mul !den (Bigint.of_int (j - l))
+      end)
+    points;
+  let q, r = Bigint.divmod_trunc !num !den in
+  if not (Bigint.is_zero r) then invalid_arg "Shamir.integer_lagrange_coeff: not integral";
+  q

@@ -1,0 +1,33 @@
+(** Shamir polynomial secret sharing over [Z_m].
+
+    Used with a prime modulus for the discrete-log schemes, and — via the
+    integer Lagrange coefficients scaled by [Delta = n!] — for interpolation
+    "in the exponent" over groups of unknown order, as required by Shoup's
+    RSA threshold signatures. *)
+
+type share = { index : int;  (** evaluation point, 1-based *)
+               value : Bignum.Nat.t }
+
+val share_secret :
+  drbg:Hashes.Drbg.t -> modulus:Bignum.Nat.t -> secret:Bignum.Nat.t ->
+  n:int -> k:int -> share array
+(** Draw a uniform degree-(k-1) polynomial [f] with [f(0) = secret] and
+    return [f(1) .. f(n)].
+    @raise Invalid_argument unless [1 <= k <= n]. *)
+
+val lagrange_coeff :
+  modulus:Bignum.Nat.t -> points:int list -> j:int -> at:int -> Bignum.Nat.t
+(** The weight of share [j] when interpolating [f(at)] from the shares at
+    [points], mod [modulus]. *)
+
+val interpolate :
+  modulus:Bignum.Nat.t -> shares:share list -> at:int -> Bignum.Nat.t
+(** Reconstruct [f(at)] (use [at = 0] for the secret) from [>= k] shares. *)
+
+val delta : int -> Bignum.Nat.t
+(** [delta n = n!]. *)
+
+val integer_lagrange_coeff :
+  n:int -> points:int list -> j:int -> at:int -> Bignum.Bigint.t
+(** The [Delta]-scaled Lagrange numerator
+    [n! * prod_{l <> j} (at - l)/(j - l)], always an integer; signed. *)

@@ -1,0 +1,210 @@
+(* The Shoup-Gennaro TDH2 threshold cryptosystem (EUROCRYPT '98), secure
+   against adaptive chosen-ciphertext attack in the random-oracle model.
+
+   Dealer: Schnorr group (p, q, g), an independent second generator gbar,
+   secret key x in Z_q shared with a degree-(k-1) polynomial, public key
+   h = g^x and per-party verification keys h_i = g^{x_i}.
+
+   Encryption of message msg with label L (hybrid, the "MARS" role played by
+   a SHA-256 counter-mode stream cipher):
+     r, s <- Z_q
+     c    = msg XOR keystream(H(h^r))
+     u = g^r, w = g^s, ubar = gbar^r, wbar = gbar^s
+     e = H2(c, L, u, w, ubar, wbar);  f = s + r*e mod q
+   ciphertext = (c, L, u, ubar, e, f).  The (e, f) pair is a NIZK proof that
+   log_g u = log_gbar ubar, which is what makes the scheme CCA-secure: a
+   ciphertext cannot be mauled without breaking the proof.
+
+   Decryption share from party i (after checking ciphertext validity):
+     u_i = u^{x_i} with a DLEQ proof against h_i.
+   Any k valid shares interpolate h^r in the exponent and recover msg. *)
+
+open Bignum
+
+type public = {
+  group : Group.t;
+  gbar : Group.elt;
+  n : int;
+  k : int;
+  t : int;
+  h : Group.elt;                 (* g^x *)
+  hks : Group.elt array;         (* h_i = g^{x_i} *)
+}
+
+type secret_share = {
+  index : int;
+  key : Group.exponent;          (* x_i *)
+}
+
+type keys = { public : public; shares : secret_share array }
+
+type ciphertext = {
+  c : string;                    (* bulk-encrypted payload *)
+  label : string;
+  u : Group.elt;
+  ubar : Group.elt;
+  e : Group.exponent;
+  f : Group.exponent;
+}
+
+type dec_share = {
+  origin : int;
+  u_i : Group.elt;
+  proof : Dleq.t;
+}
+
+let deal ~(drbg : Hashes.Drbg.t) ~(group : Group.t) ~n ~k ~t : keys =
+  if not (k > t && k <= n - t) then invalid_arg "Threshold_enc.deal: need t < k <= n - t";
+  let gbar =
+    Group.hash_to_group group ("tdh2-gbar|" ^ Nat.to_hex group.Group.p)
+  in
+  let x = Group.random_exponent group ~drbg in
+  let shamir = Shamir.share_secret ~drbg ~modulus:group.Group.q ~secret:x ~n ~k in
+  {
+    public = {
+      group; gbar; n; k; t;
+      h = Group.pow_g group x;
+      hks = Array.map (fun s -> Group.pow_g group s.Shamir.value) shamir;
+    };
+    shares = Array.map (fun s -> { index = s.Shamir.index; key = s.Shamir.value }) shamir;
+  }
+
+(* SHA-256 counter-mode keystream XOR. *)
+let stream_xor ~(key : string) (data : string) : string =
+  let n = String.length data in
+  let out = Bytes.create n in
+  let block = ref "" in
+  for i = 0 to n - 1 do
+    if i mod 32 = 0 then
+      block := Hashes.Sha256.digest_list [ "tdh2-stream|"; string_of_int (i / 32); "|"; key ];
+    Bytes.set out i (Char.chr (Char.code data.[i] lxor Char.code (!block).[i mod 32]))
+  done;
+  Bytes.to_string out
+
+let session_key (pub : public) (hr : Group.elt) : string =
+  Hashes.Sha256.digest_list [ "tdh2-key|"; Group.elt_to_bytes pub.group hr ]
+
+let hash2 (pub : public) ~c ~label ~u ~w ~ubar ~wbar : Group.exponent =
+  let grp = pub.group in
+  Group.hash_to_exponent grp
+    [ "tdh2-e"; c; label;
+      Group.elt_to_bytes grp u; Group.elt_to_bytes grp w;
+      Group.elt_to_bytes grp ubar; Group.elt_to_bytes grp wbar ]
+
+let encrypt ~(drbg : Hashes.Drbg.t) (pub : public) ~(label : string) (msg : string) : ciphertext =
+  let grp = pub.group in
+  let r = Group.random_exponent grp ~drbg in
+  let s = Group.random_exponent grp ~drbg in
+  let hr = Group.pow grp pub.h r in
+  let c = stream_xor ~key:(session_key pub hr) msg in
+  let u = Group.pow_g grp r in
+  let w = Group.pow_g grp s in
+  let ubar = Group.pow grp pub.gbar r in
+  let wbar = Group.pow grp pub.gbar s in
+  let e = hash2 pub ~c ~label ~u ~w ~ubar ~wbar in
+  let f = Nat.rem (Nat.add s (Nat.mul r e)) grp.Group.q in
+  { c; label; u; ubar; e; f }
+
+(* Public ciphertext validity: recompute w = g^f * u^{-e} and
+   wbar = gbar^f * ubar^{-e} and check the challenge. *)
+let ciphertext_valid (pub : public) (ct : ciphertext) : bool =
+  let grp = pub.group in
+  Group.is_member grp ct.u && Group.is_member grp ct.ubar
+  && begin
+    let w = Group.div grp (Group.pow_g grp ct.f) (Group.pow grp ct.u ct.e) in
+    let wbar =
+      Group.div grp (Group.pow grp pub.gbar ct.f) (Group.pow grp ct.ubar ct.e)
+    in
+    let e = hash2 pub ~c:ct.c ~label:ct.label ~u:ct.u ~w ~ubar:ct.ubar ~wbar in
+    Nat.equal e ct.e
+  end
+
+let dec_share ~(drbg : Hashes.Drbg.t) (pub : public) (sk : secret_share) (ct : ciphertext)
+    : dec_share option =
+  if not (ciphertext_valid pub ct) then None
+  else begin
+    let grp = pub.group in
+    let u_i = Group.pow grp ct.u sk.key in
+    let proof =
+      Dleq.prove grp ~drbg ~ctx:("tdh2-share|" ^ string_of_int sk.index)
+        ~g1:grp.Group.g ~h1:pub.hks.(sk.index - 1) ~g2:ct.u ~h2:u_i ~x:sk.key
+    in
+    Some { origin = sk.index; u_i; proof }
+  end
+
+let verify_dec_share (pub : public) (ct : ciphertext) (s : dec_share) : bool =
+  s.origin >= 1 && s.origin <= pub.n
+  && Dleq.verify pub.group ~ctx:("tdh2-share|" ^ string_of_int s.origin)
+       ~g1:pub.group.Group.g ~h1:pub.hks.(s.origin - 1) ~g2:ct.u ~h2:s.u_i s.proof
+
+let combine (pub : public) (ct : ciphertext) (shares : dec_share list) : string option =
+  if not (ciphertext_valid pub ct) then None
+  else begin
+    let seen = Hashtbl.create 8 in
+    let shares =
+      List.filter
+        (fun s ->
+          if Hashtbl.mem seen s.origin || Hashtbl.length seen >= pub.k then false
+          else begin Hashtbl.add seen s.origin (); true end)
+        shares
+    in
+    if List.length shares < pub.k then None
+    else begin
+      let grp = pub.group in
+      let points = List.map (fun s -> s.origin) shares in
+      let hr =
+        List.fold_left
+          (fun acc s ->
+            let lam = Shamir.lagrange_coeff ~modulus:grp.Group.q ~points ~j:s.origin ~at:0 in
+            Group.mul grp acc (Group.pow grp s.u_i lam))
+          (Group.one grp) shares
+      in
+      Some (stream_xor ~key:(session_key pub hr) ct.c)
+    end
+  end
+
+(* Serialize a ciphertext so it can travel on the atomic broadcast channel. *)
+let ciphertext_to_bytes (pub : public) (ct : ciphertext) : string =
+  let grp = pub.group in
+  let parts =
+    [ ct.c; ct.label;
+      Group.elt_to_bytes grp ct.u; Group.elt_to_bytes grp ct.ubar;
+      Group.exponent_to_bytes grp ct.e; Group.exponent_to_bytes grp ct.f ]
+  in
+  String.concat ""
+    (List.map (fun p -> Printf.sprintf "%08d%s" (String.length p) p) parts)
+
+let ciphertext_of_bytes (s : string) : ciphertext option =
+  let len = String.length s in
+  let read pos =
+    if pos + 8 > len then None
+    else
+      match int_of_string_opt (String.sub s pos 8) with
+      | Some l when pos + 8 + l <= len -> Some (String.sub s (pos + 8) l, pos + 8 + l)
+      | _ -> None
+  in
+  match read 0 with
+  | None -> None
+  | Some (c, p1) ->
+    (match read p1 with
+     | None -> None
+     | Some (label, p2) ->
+       (match read p2 with
+        | None -> None
+        | Some (ub, p3) ->
+          (match read p3 with
+           | None -> None
+           | Some (ubarb, p4) ->
+             (match read p4 with
+              | None -> None
+              | Some (eb, p5) ->
+                (match read p5 with
+                 | Some (fb, p6) when p6 = len ->
+                   Some {
+                     c; label;
+                     u = Group.elt_of_bytes ub;
+                     ubar = Group.elt_of_bytes ubarb;
+                     e = Group.exponent_of_bytes eb;
+                     f = Group.exponent_of_bytes fb;
+                   }
+                 | _ -> None)))))

@@ -1,0 +1,67 @@
+(** The Shoup-Gennaro TDH2 threshold cryptosystem (EUROCRYPT '98), secure
+    against adaptive chosen-ciphertext attack in the random-oracle model.
+
+    The engine of secure {e causal} atomic broadcast (Section 2.6): clients
+    encrypt under the single group public key; servers release
+    non-interactively verifiable decryption shares only {e after} the
+    ciphertext's position in the total order is fixed; any [t+1] shares
+    recover the plaintext.  CCA security is what prevents a Byzantine
+    server from mauling an honest ciphertext into a related one and
+    front-running it. *)
+
+type public = {
+  group : Group.t;
+  gbar : Group.elt;              (** independent second generator *)
+  n : int;
+  k : int;
+  t : int;
+  h : Group.elt;                 (** public key [g^x] *)
+  hks : Group.elt array;         (** [h_i = g^(x_i)] *)
+}
+
+type secret_share = {
+  index : int;
+  key : Group.exponent;
+}
+
+type keys = { public : public; shares : secret_share array }
+
+type ciphertext = {
+  c : string;                    (** bulk-encrypted payload *)
+  label : string;                (** bound cleartext label *)
+  u : Group.elt;                 (** [g^r] *)
+  ubar : Group.elt;              (** [gbar^r] *)
+  e : Group.exponent;            (** NIZK challenge *)
+  f : Group.exponent;            (** NIZK response *)
+}
+
+type dec_share = {
+  origin : int;
+  u_i : Group.elt;               (** [u^(x_i)] *)
+  proof : Dleq.t;
+}
+
+val deal : drbg:Hashes.Drbg.t -> group:Group.t -> n:int -> k:int -> t:int -> keys
+
+val encrypt : drbg:Hashes.Drbg.t -> public -> label:string -> string -> ciphertext
+(** Hybrid encryption: a SHA-256 counter-mode stream cipher keyed by
+    [H(h^r)] (standing in for the paper's MARS), plus the TDH2 validity
+    proof. *)
+
+val ciphertext_valid : public -> ciphertext -> bool
+(** Publicly checkable well-formedness; fails for any mauled ciphertext. *)
+
+val dec_share : drbg:Hashes.Drbg.t -> public -> secret_share -> ciphertext -> dec_share option
+(** A decryption share with its DLEQ correctness proof; [None] if the
+    ciphertext is invalid (honest servers refuse to touch it). *)
+
+val verify_dec_share : public -> ciphertext -> dec_share -> bool
+
+val combine : public -> ciphertext -> dec_share list -> string option
+(** Recover the plaintext from [k] distinct verified shares. *)
+
+val stream_xor : key:string -> string -> string
+(** The bulk cipher (exposed for testing). *)
+
+val ciphertext_to_bytes : public -> ciphertext -> string
+val ciphertext_of_bytes : string -> ciphertext option

@@ -1,0 +1,185 @@
+(* Shoup's practical RSA threshold signatures (EUROCRYPT 2000).
+
+   Dealer: a safe-prime RSA modulus n = pq with p = 2p'+1, q = 2q'+1 and
+   secret group order m = p'q'; public exponent e (prime, coprime to m);
+   d = e^{-1} mod m shared with a degree-(k-1) polynomial over Z_m.
+   Verification keys v (a generator of the cyclic group QR_n) and
+   v_i = v^{s_i}.
+
+   To sign a message hash x in Z_n*, party i releases
+       x_i = x^{2*Delta*s_i} mod n,   Delta = nparties!
+   together with a non-interactive proof (over the unknown-order group, so
+   the response is an integer, not reduced) that
+       log_{x^{4 Delta}} (x_i^2)  =  log_v (v_i).
+   Any k valid shares combine by integer-Lagrange interpolation in the
+   exponent to w = x^{4 Delta^2 d}; since gcd(4 Delta^2, e) = 1, an extended
+   GCD step recovers y = x^d — a *standard* RSA signature verifiable with
+   (n, e) alone, exactly as the paper requires. *)
+
+open Bignum
+
+type public = {
+  n_mod : Nat.t;                (* RSA modulus *)
+  e : Nat.t;                    (* public exponent, prime *)
+  nparties : int;
+  k : int;
+  t : int;
+  v : Nat.t;                    (* verification base, generator of QR_n *)
+  vks : Nat.t array;            (* v_i = v^{s_i}, index i-1 *)
+}
+
+type secret_share = {
+  index : int;                  (* 1-based *)
+  s_i : Nat.t;                  (* polynomial share of d, mod m *)
+}
+
+type share = {
+  origin : int;
+  x_i : Nat.t;                  (* x^{2 Delta s_i} *)
+  proof_c : Nat.t;              (* Fiat-Shamir challenge *)
+  proof_z : Nat.t;              (* integer response z = s_i*c + r *)
+}
+
+type keys = { public : public; shares : secret_share array }
+
+let challenge_bits = 256
+
+let deal ?(e = Nat.of_int 65537) ~(drbg : Hashes.Drbg.t) ~(modulus_bits : int) ~nparties ~k ~t ()
+    : keys =
+  if not (k > t && k <= nparties - t) then
+    invalid_arg "Threshold_sig.deal: need t < k <= n - t";
+  let random_bytes = Hashes.Drbg.random_bytes drbg in
+  let half = modulus_bits / 2 in
+  let p = Prime.gen_safe_prime ~random_bytes half in
+  let rec gen_q () =
+    let q = Prime.gen_safe_prime ~random_bytes half in
+    if Nat.equal p q then gen_q () else q
+  in
+  let q = gen_q () in
+  let n_mod = Nat.mul p q in
+  let p' = Nat.shift_right (Nat.sub p Nat.one) 1 in
+  let q' = Nat.shift_right (Nat.sub q Nat.one) 1 in
+  let m = Nat.mul p' q' in
+  let d = Bigint.to_nat (Bigint.invmod (Bigint.of_nat e) (Bigint.of_nat m)) in
+  let shamir = Shamir.share_secret ~drbg ~modulus:m ~secret:d ~n:nparties ~k in
+  (* v: square of a random unit is a QR; with overwhelming probability a
+     generator of the cyclic group QR_n (order p'q'). *)
+  let v =
+    let r = Nat.add Nat.two (Nat.random_below ~random_bytes (Nat.sub n_mod (Nat.of_int 4))) in
+    Nat.rem (Nat.sqr r) n_mod
+  in
+  let vks = Array.map (fun s -> Nat.powmod v s.Shamir.value n_mod) shamir in
+  {
+    public = { n_mod; e; nparties; k; t; v; vks };
+    shares = Array.map (fun s -> { index = s.Shamir.index; s_i = s.Shamir.value }) shamir;
+  }
+
+let delta (pub : public) : Nat.t = Shamir.delta pub.nparties
+
+(* The value being signed: a full-domain hash of the message into Z_n,
+   domain-separated by the protocol context. *)
+let message_rep (pub : public) ~(ctx : string) (msg : string) : Nat.t =
+  Rsa.fdh { Rsa.n = pub.n_mod; e = pub.e } ~ctx msg
+
+let hash_challenge (parts : Nat.t list) : Nat.t =
+  let joined =
+    String.concat "\x00" (List.map Nat.to_bytes_be parts)
+  in
+  let b0 = Hashes.Sha256.digest_list [ "tsig-chal|0|"; joined ] in
+  let b1 = Hashes.Sha256.digest_list [ "tsig-chal|1|"; joined ] in
+  Nat.shift_right (Nat.of_bytes_be (b0 ^ b1)) (512 - challenge_bits)
+
+let release ~(drbg : Hashes.Drbg.t) (pub : public) (sk : secret_share) ~(ctx : string)
+    (msg : string) : share =
+  let x = message_rep pub ~ctx msg in
+  let dlt = delta pub in
+  let two_delta = Nat.shift_left dlt 1 in
+  let x_i = Nat.powmod x (Nat.mul two_delta sk.s_i) pub.n_mod in
+  (* Proof of correctness over the unknown-order group QR_n. *)
+  let xtilde = Nat.powmod x (Nat.shift_left dlt 2) pub.n_mod in
+  let x_i_sq = Nat.rem (Nat.sqr x_i) pub.n_mod in
+  (* r is drawn from [0, 2^(nbits + 2*challenge_bits)) so that z = s_i*c + r
+     statistically hides s_i * c. *)
+  let rbits = Nat.numbits pub.n_mod + 2 * challenge_bits in
+  let r = Nat.random_bits ~random_bytes:(Hashes.Drbg.random_bytes drbg) rbits in
+  let v' = Nat.powmod pub.v r pub.n_mod in
+  let x' = Nat.powmod xtilde r pub.n_mod in
+  let c = hash_challenge [ pub.v; xtilde; pub.vks.(sk.index - 1); x_i_sq; v'; x' ] in
+  let z = Nat.add (Nat.mul sk.s_i c) r in
+  { origin = sk.index; x_i; proof_c = c; proof_z = z }
+
+let verify_share (pub : public) ~(ctx : string) (msg : string) (s : share) : bool =
+  s.origin >= 1 && s.origin <= pub.nparties
+  && Nat.compare s.x_i pub.n_mod < 0
+  && not (Nat.is_zero s.x_i)
+  && begin
+    let x = message_rep pub ~ctx msg in
+    let dlt = delta pub in
+    let xtilde = Nat.powmod x (Nat.shift_left dlt 2) pub.n_mod in
+    let x_i_sq = Nat.rem (Nat.sqr s.x_i) pub.n_mod in
+    let v_i = pub.vks.(s.origin - 1) in
+    (* Recompute commitments: v^z * v_i^{-c} and xtilde^z * (x_i^2)^{-c}. *)
+    let nb = Bigint.of_nat pub.n_mod in
+    let exp_combo base inv_base =
+      let fwd = Nat.powmod base s.proof_z pub.n_mod in
+      let bwd =
+        Bigint.to_nat
+          (Bigint.powmod_signed (Bigint.of_nat inv_base)
+             (Bigint.neg (Bigint.of_nat s.proof_c)) nb)
+      in
+      Nat.rem (Nat.mul fwd bwd) pub.n_mod
+    in
+    let v' = exp_combo pub.v v_i in
+    let x' = exp_combo xtilde x_i_sq in
+    let c = hash_challenge [ pub.v; xtilde; v_i; x_i_sq; v'; x' ] in
+    Nat.equal c s.proof_c
+  end
+
+(* Combine k verified shares into a standard RSA signature on the FDH of
+   [msg]: a string verifiable by {!verify}. *)
+let assemble (pub : public) ~(ctx : string) (msg : string) (shares : share list) : string =
+  let seen = Hashtbl.create 8 in
+  let shares =
+    List.filter
+      (fun s ->
+        if Hashtbl.mem seen s.origin || Hashtbl.length seen >= pub.k then false
+        else begin Hashtbl.add seen s.origin (); true end)
+      shares
+  in
+  if List.length shares < pub.k then invalid_arg "Threshold_sig.assemble: not enough distinct shares";
+  let x = message_rep pub ~ctx msg in
+  let points = List.map (fun s -> s.origin) shares in
+  let nb = Bigint.of_nat pub.n_mod in
+  let w =
+    List.fold_left
+      (fun acc s ->
+        let lam =
+          Shamir.integer_lagrange_coeff ~n:pub.nparties ~points ~j:s.origin ~at:0
+        in
+        let contrib =
+          Bigint.powmod_signed (Bigint.of_nat s.x_i)
+            (Bigint.shift_left lam 1) nb
+        in
+        Bigint.erem (Bigint.mul acc contrib) nb)
+      Bigint.one shares
+  in
+  (* w = x^{e' d} with e' = 4*Delta^2; recover y = x^d via egcd(e', e) = 1. *)
+  let dlt = Bigint.of_nat (delta pub) in
+  let e' = Bigint.shift_left (Bigint.mul dlt dlt) 2 in
+  let g, a, b = Bigint.egcd e' (Bigint.of_nat pub.e) in
+  if not (Bigint.equal g Bigint.one) then invalid_arg "Threshold_sig.assemble: gcd(e', e) <> 1";
+  let y =
+    Bigint.erem
+      (Bigint.mul (Bigint.powmod_signed w a nb)
+         (Bigint.powmod_signed (Bigint.of_nat x) b nb))
+      nb
+  in
+  let nbytes = (Nat.numbits pub.n_mod + 7) / 8 in
+  Nat.to_bytes_be ~len:nbytes (Bigint.to_nat y)
+
+(* Verify an assembled signature: plain RSA verification, usable by anyone
+   holding only (n, e). *)
+let verify (pub : public) ~(ctx : string) ~(signature : string) (msg : string) : bool =
+  Rsa.verify { Rsa.n = pub.n_mod; e = pub.e } ~ctx ~signature msg
+
+let signature_bytes (pub : public) : int = (Nat.numbits pub.n_mod + 7) / 8

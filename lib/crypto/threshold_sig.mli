@@ -1,0 +1,56 @@
+(** Shoup's practical RSA threshold signatures (EUROCRYPT 2000).
+
+    Dual-threshold [(n, k, t)] signatures over a safe-prime RSA modulus: any
+    [k] verified signature shares combine — by integer Lagrange
+    interpolation in the exponent, scaled by [Delta = n!] — into a
+    {e standard} RSA signature verifiable with the public key [(n, e)]
+    alone.  Share correctness is proved with a non-interactive
+    equality-of-logs proof over the unknown-order group [QR_n].  SINTRA uses
+    these (or the interchangeable multi-signatures) inside consistent
+    broadcast (k = ceil((n+t+1)/2)) and Byzantine agreement (k = n-t). *)
+
+type public = {
+  n_mod : Bignum.Nat.t;         (** RSA modulus [pq], safe primes *)
+  e : Bignum.Nat.t;             (** public exponent, prime *)
+  nparties : int;
+  k : int;
+  t : int;
+  v : Bignum.Nat.t;             (** verification base, generates [QR_n] *)
+  vks : Bignum.Nat.t array;     (** [v_i = v^(s_i)], index [i-1] *)
+}
+
+type secret_share = {
+  index : int;                  (** 1-based *)
+  s_i : Bignum.Nat.t;           (** polynomial share of [d = e^-1 mod p'q'] *)
+}
+
+type share = {
+  origin : int;
+  x_i : Bignum.Nat.t;           (** [x^(2*Delta*s_i) mod n] *)
+  proof_c : Bignum.Nat.t;       (** Fiat-Shamir challenge *)
+  proof_z : Bignum.Nat.t;       (** integer response [s_i*c + r] *)
+}
+
+type keys = { public : public; shares : secret_share array }
+
+val deal :
+  ?e:Bignum.Nat.t -> drbg:Hashes.Drbg.t -> modulus_bits:int ->
+  nparties:int -> k:int -> t:int -> unit -> keys
+(** The trusted dealer: safe-prime modulus, sharing of [d], verification
+    keys.  @raise Invalid_argument unless [t < k <= nparties - t]. *)
+
+val message_rep : public -> ctx:string -> string -> Bignum.Nat.t
+(** The full-domain hash actually signed. *)
+
+val release : drbg:Hashes.Drbg.t -> public -> secret_share -> ctx:string -> string -> share
+val verify_share : public -> ctx:string -> string -> share -> bool
+
+val assemble : public -> ctx:string -> string -> share list -> string
+(** Combine [k] distinct verified shares into the standard RSA signature
+    (the same bytes whichever subset is used).
+    @raise Invalid_argument with fewer than [k] distinct origins. *)
+
+val verify : public -> ctx:string -> signature:string -> string -> bool
+(** Plain RSA verification — usable by anyone holding only [(n, e)]. *)
+
+val signature_bytes : public -> int

@@ -1,0 +1,30 @@
+(* HMAC (RFC 2104) over SHA-1 or SHA-256. *)
+
+type algo = SHA1 | SHA256
+
+let block_size = 64
+
+let hash algo s =
+  match algo with
+  | SHA1 -> Sha1.digest s
+  | SHA256 -> Sha256.digest s
+
+let mac ~(algo : algo) ~(key : string) (msg : string) : string =
+  let key = if String.length key > block_size then hash algo key else key in
+  let pad c =
+    String.init block_size (fun i ->
+      let k = if i < String.length key then Char.code key.[i] else 0 in
+      Char.chr (k lxor c))
+  in
+  let ipad = pad 0x36 and opad = pad 0x5c in
+  hash algo (opad ^ hash algo (ipad ^ msg))
+
+let verify ~(algo : algo) ~(key : string) ~(tag : string) (msg : string) : bool =
+  (* Constant-time comparison. *)
+  let expected = mac ~algo ~key msg in
+  if String.length expected <> String.length tag then false
+  else begin
+    let diff = ref 0 in
+    String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i])) expected;
+    !diff = 0
+  end

@@ -1,0 +1,11 @@
+(** HMAC (RFC 2104) over SHA-1 or SHA-256.  SINTRA authenticates every
+    point-to-point link with HMAC under a per-pair symmetric key from the
+    dealer (the paper uses HMAC-SHA1 with 128-bit keys). *)
+
+type algo = SHA1 | SHA256
+
+val mac : algo:algo -> key:string -> string -> string
+(** [mac ~algo ~key msg] is the authentication tag (20 or 32 bytes). *)
+
+val verify : algo:algo -> key:string -> tag:string -> string -> bool
+(** Constant-time tag check. *)

@@ -1,0 +1,44 @@
+(** The virtual-CPU cost model.
+
+    Each simulated host is calibrated by a single number — the milliseconds
+    it takes for one full 1024-bit modular exponentiation, the [exp] column
+    of the paper's host tables.  All public-key operation costs scale from
+    it: a modular multiplication at modulus size [b] costs [(b/1024)^2] and
+    an [e]-bit exponent costs [~1.5e] multiplications, matching the paper's
+    observation that exponentiation is cubic in the key size (Section 4.2). *)
+
+type meter = {
+  mutable charged_ms : float;   (** accumulated in the current step *)
+  mutable total_ms : float;     (** accumulated over the whole run *)
+  exp_ms : float;               (** host calibration *)
+}
+
+val create_meter : exp_ms:float -> meter
+
+val charge : meter -> float -> unit
+(** Charge [ms] of virtual CPU to the current step. *)
+
+val take : meter -> float
+(** Drain the per-step accumulator; returns seconds. *)
+
+val modexp_ms : exp_ms:float -> mod_bits:int -> exp_bits:int -> float
+(** The scaling rule, exposed for tests. *)
+
+val exp_full : meter -> bits:int -> unit
+(** One full exponentiation at [bits]-bit modulus and exponent. *)
+
+val exp : meter -> mod_bits:int -> exp_bits:int -> unit
+
+val rsa_sign : meter -> bits:int -> unit
+(** CRT signing: a quarter of a full exponentiation. *)
+
+val rsa_verify : meter -> bits:int -> unit
+(** e = 65537: 17 multiplications. *)
+
+val symmetric : meter -> bytes:int -> unit
+val hash : meter -> bytes:int -> unit
+
+val per_message : meter -> bytes:int -> unit
+(** Per-message protocol overhead (deserialization, dispatch, threading),
+    scaled by host speed; calibrated against the paper's crypto-free
+    reliable-channel measurements. *)

@@ -1,0 +1,64 @@
+(* The discrete-event simulation core: a virtual clock and an event heap.
+
+   All asynchrony in the reproduction comes from here.  Determinism: events
+   at equal times fire in scheduling order, and all jitter is drawn from the
+   engine's seeded DRBG, so a run is a pure function of its seed. *)
+
+type t = {
+  mutable now : float;                      (* virtual seconds *)
+  events : (unit -> unit) Heap.t;
+  drbg : Hashes.Drbg.t;
+  mutable executed : int;
+  mutable stopped : bool;
+}
+
+let create ?(seed = "sintra-sim") () : t =
+  {
+    now = 0.0;
+    events = Heap.create ();
+    drbg = Hashes.Drbg.create ~seed;
+    executed = 0;
+    stopped = false;
+  }
+
+let now (t : t) = t.now
+
+let drbg (t : t) = t.drbg
+
+(* Schedule [f] to run [delay] virtual seconds from now (clamped to now). *)
+let schedule (t : t) ~(delay : float) (f : unit -> unit) : unit =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  Heap.push t.events ~time:(t.now +. delay) f
+
+let schedule_at (t : t) ~(time : float) (f : unit -> unit) : unit =
+  let time = if time < t.now then t.now else time in
+  Heap.push t.events ~time f
+
+let stop (t : t) = t.stopped <- true
+
+(* Run until the event queue drains, [until] virtual seconds pass, or
+   [max_events] fire.  Returns the number of events executed. *)
+let run ?(until = infinity) ?(max_events = max_int) (t : t) : int =
+  t.stopped <- false;
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if t.stopped || !count >= max_events then continue := false
+    else
+      match Heap.peek_time t.events with
+      | None -> continue := false
+      | Some tm when tm > until ->
+        t.now <- until;
+        continue := false
+      | Some _ ->
+        (match Heap.pop t.events with
+         | None -> continue := false
+         | Some (tm, f) ->
+           t.now <- tm;
+           incr count;
+           t.executed <- t.executed + 1;
+           f ())
+  done;
+  !count
+
+let pending (t : t) = Heap.length t.events

@@ -1,0 +1,27 @@
+(** The discrete-event simulation core: a virtual clock and an event heap.
+
+    All asynchrony in the reproduction comes from here; all randomness from
+    the engine's seeded DRBG — a run is a pure function of its seed. *)
+
+type t
+
+val create : ?seed:string -> unit -> t
+
+val now : t -> float
+(** Current virtual time, in seconds. *)
+
+val drbg : t -> Hashes.Drbg.t
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the thunk [delay] virtual seconds from now (negative clamps to 0). *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+val stop : t -> unit
+(** Make a running {!run} return after the current event. *)
+
+val run : ?until:float -> ?max_events:int -> t -> int
+(** Execute events in time order until the queue drains, [until] virtual
+    seconds pass, or [max_events] fire.  Returns the number executed. *)
+
+val pending : t -> int

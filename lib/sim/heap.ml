@@ -1,0 +1,74 @@
+(* A minimal binary min-heap keyed by (time, sequence number); the sequence
+   number makes event ordering total and therefore the simulation
+   deterministic. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let nd = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 nd 0 h.size;
+    h.data <- nd
+  end
+
+let push (h : 'a t) ~(time : float) (value : 'a) : unit =
+  let e = { time; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 16 e;
+  grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let i = ref (h.size - 1) in
+  while !i > 0 && entry_lt h.data.(!i) h.data.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = h.data.(parent) in
+    h.data.(parent) <- h.data.(!i);
+    h.data.(!i) <- tmp;
+    i := parent
+  done
+
+let pop (h : 'a t) : (float * 'a) option =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && entry_lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && entry_lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time (h : 'a t) : float option =
+  if h.size = 0 then None else Some h.data.(0).time

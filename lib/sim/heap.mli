@@ -1,0 +1,17 @@
+(** A binary min-heap keyed by (time, insertion sequence).
+
+    The sequence number totally orders same-time events, which is what makes
+    the whole simulation a pure function of its seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest entry; ties broken by insertion order. *)
+
+val peek_time : 'a t -> float option

@@ -1,0 +1,283 @@
+(* The simulated network: n nodes with authenticated, reliable, FIFO
+   point-to-point links over the discrete-event engine.
+
+   Fidelity to the paper's model:
+   - links carry opaque byte strings (real serialized protocol messages),
+     authenticated by HMAC-SHA1 under a per-pair key from the dealer;
+   - each node is a sequential processor: handling a message charges virtual
+     CPU time to the node's meter (calibrated by its `exp_ms'), and messages
+     sent from within a handler depart only when the computation finishes —
+     this is what makes slow hosts lag exactly as in Figures 4 and 5;
+   - an adversary hook may drop, delay or replace messages in flight
+     (replacement is detected by the MAC unless the adversary controls the
+     sender), which models the asynchronous scheduler's power. *)
+
+type action =
+  | Deliver
+  | Drop
+  | Delay of float               (* extra seconds *)
+  | Replace of string            (* tamper with the payload in flight *)
+
+type node = {
+  id : int;
+  meter : Cost.meter;
+  mutable busy_until : float;
+  inbox : (int * string) Queue.t;
+  outbox : (int * string) Queue.t;   (* sends buffered during a handler *)
+  mutable handler : (src:int -> string -> unit) option;
+  mutable wake_scheduled : bool;
+  mutable crashed : bool;
+  mutable in_handler : bool;
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable received_msgs : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  nodes : node array;
+  mac_keys : string array array;       (* symmetric, per unordered pair *)
+  latency_drbg : Hashes.Drbg.t;
+  mutable intercept : (src:int -> dst:int -> string -> action) option;
+  mutable mac_failures : int;
+  mutable last_arrival : float array array;  (* FIFO ordering per (src,dst) *)
+  (* Lossy-datagram mode: when [lossy = Some p] the links are unreliable,
+     reordering datagram channels losing each frame with probability [p],
+     and reliability/FIFO/authentication come from a sliding-window
+     {!Swlink} endpoint per directed pair - the paper's planned replacement
+     for TCP, running under the whole protocol stack. *)
+  lossy : float option;
+  mutable links : Swlink.endpoint option array array;
+}
+
+let make ?lossy ~(engine : Engine.t) ~(topo : Topology.t)
+    ~(mac_keys : string array array) () : t =
+  let n = Topology.n topo in
+  let nodes =
+    Array.init n (fun id ->
+      {
+        id;
+        meter = Cost.create_meter ~exp_ms:topo.Topology.hosts.(id).Topology.exp_ms;
+        busy_until = 0.0;
+        inbox = Queue.create ();
+        outbox = Queue.create ();
+        handler = None;
+        wake_scheduled = false;
+        crashed = false;
+        in_handler = false;
+        sent_msgs = 0;
+        sent_bytes = 0;
+        received_msgs = 0;
+      })
+  in
+  {
+    engine;
+    topo;
+    nodes;
+    mac_keys;
+    latency_drbg = Hashes.Drbg.fork (Engine.drbg engine) "net-latency";
+    intercept = None;
+    mac_failures = 0;
+    last_arrival = Array.init n (fun _ -> Array.make n 0.0);
+    lossy;
+    links = [||];
+  }
+
+let mac_tag (t : t) ~(src : int) ~(dst : int) (payload : string) : string =
+  let key = t.mac_keys.(min src dst).(max src dst) in
+  Hashes.Hmac.mac ~algo:Hashes.Hmac.SHA1 ~key
+    (Printf.sprintf "%d>%d|%s" src dst payload)
+
+(* Process at most one inbox message of node [nd], then reschedule. *)
+let rec process_one (t : t) (nd : node) () : unit =
+  nd.wake_scheduled <- false;
+  if not nd.crashed && not (Queue.is_empty nd.inbox) then begin
+    let now = Engine.now t.engine in
+    if nd.busy_until > now then wake t nd nd.busy_until
+    else begin
+      let src, payload = Queue.pop nd.inbox in
+      nd.received_msgs <- nd.received_msgs + 1;
+      (match nd.handler with
+       | None -> ()
+       | Some h ->
+         nd.in_handler <- true;
+         h ~src payload;
+         nd.in_handler <- false);
+      let cost = Cost.take nd.meter in
+      nd.busy_until <- now +. cost;
+      flush_outbox t nd;
+      if not (Queue.is_empty nd.inbox) then wake t nd nd.busy_until
+    end
+  end
+
+and wake (t : t) (nd : node) (at : float) : unit =
+  if not nd.wake_scheduled then begin
+    nd.wake_scheduled <- true;
+    Engine.schedule_at t.engine ~time:at (process_one t nd)
+  end
+
+(* Lossy-datagram mode: hand the payload to the sliding-window link at
+   departure time; frames below travel as unreliable datagrams. *)
+and transmit_lossy (t : t) ~(src : int) ~(dst : int) ~(depart : float) (payload : string)
+    : unit =
+  match t.links.(src).(dst) with
+  | None -> ()
+  | Some ep -> Engine.schedule_at t.engine ~time:depart (fun () -> Swlink.send ep payload)
+
+(* Put [payload] on the wire from [src] to [dst], departing at [depart]. *)
+and transmit (t : t) ~(src : int) ~(dst : int) ~(depart : float) (payload : string) : unit =
+  if t.lossy <> None && src <> dst then transmit_lossy t ~src ~dst ~depart payload
+  else transmit_reliable t ~src ~dst ~depart payload
+
+and transmit_reliable (t : t) ~(src : int) ~(dst : int) ~(depart : float)
+    (payload : string) : unit =
+  let decide = match t.intercept with
+    | None -> Deliver
+    | Some f -> f ~src ~dst payload
+  in
+  let deliver ~extra_delay payload =
+    let tag = mac_tag t ~src ~dst payload in
+    let size = String.length payload + String.length tag + 28 in
+    let latency = t.topo.Topology.one_way src dst size t.latency_drbg in
+    let arrival = depart +. latency +. extra_delay in
+    (* FIFO per directed pair, like the TCP streams in the prototype. *)
+    let arrival = Stdlib.max arrival (t.last_arrival.(src).(dst) +. 1e-9) in
+    t.last_arrival.(src).(dst) <- arrival;
+    let nd = t.nodes.(dst) in
+    Engine.schedule_at t.engine ~time:arrival (fun () ->
+      if not nd.crashed then begin
+        (* Verify the link MAC on arrival. *)
+        if Hashes.Hmac.verify ~algo:Hashes.Hmac.SHA1
+             ~key:t.mac_keys.(min src dst).(max src dst)
+             ~tag (Printf.sprintf "%d>%d|%s" src dst payload)
+        then begin
+          Queue.push (src, payload) nd.inbox;
+          wake t nd (Stdlib.max arrival nd.busy_until)
+        end
+        else t.mac_failures <- t.mac_failures + 1
+      end)
+  in
+  match decide with
+  | Deliver -> deliver ~extra_delay:0.0 payload
+  | Drop -> ()
+  | Delay d -> deliver ~extra_delay:d payload
+  | Replace p ->
+    (* The tag is computed over the original payload, so honest receivers
+       detect tampering; used to test robustness of link authentication. *)
+    let tag = mac_tag t ~src ~dst payload in
+    let size = String.length p + String.length tag + 28 in
+    let latency = t.topo.Topology.one_way src dst size t.latency_drbg in
+    let arrival = depart +. latency in
+    let nd = t.nodes.(dst) in
+    Engine.schedule_at t.engine ~time:arrival (fun () ->
+      if not nd.crashed then begin
+        if Hashes.Hmac.verify ~algo:Hashes.Hmac.SHA1
+             ~key:t.mac_keys.(min src dst).(max src dst)
+             ~tag (Printf.sprintf "%d>%d|%s" src dst p)
+        then Queue.push (src, p) nd.inbox
+        else t.mac_failures <- t.mac_failures + 1
+      end)
+
+and flush_outbox (t : t) (nd : node) : unit =
+  while not (Queue.is_empty nd.outbox) do
+    let dst, payload = Queue.pop nd.outbox in
+    transmit t ~src:nd.id ~dst ~depart:nd.busy_until payload
+  done
+
+(* Build the sliding-window endpoints for lossy mode.  The datagram channel
+   below them loses each frame with probability [p] and is free to reorder
+   (latency jitter, no FIFO clamp); everything above sees a reliable FIFO
+   authenticated link again. *)
+let init_links (t : t) (p : float) : unit =
+  let n = Array.length t.nodes in
+  let chaos = Hashes.Drbg.fork (Engine.drbg t.engine) "net-loss" in
+  let datagram ~src ~dst frame =
+    if not t.nodes.(src).crashed && Hashes.Drbg.float chaos 1.0 >= p then begin
+      let size = String.length frame + 28 in
+      let latency = t.topo.Topology.one_way src dst size t.latency_drbg in
+      Engine.schedule t.engine ~delay:latency (fun () ->
+        if not t.nodes.(dst).crashed then
+          match t.links.(dst).(src) with
+          | Some ep -> Swlink.on_datagram ep frame
+          | None -> ())
+    end
+  in
+  t.links <-
+    Array.init n (fun i ->
+      Array.init n (fun j ->
+        if i = j then None
+        else
+          Some
+            (Swlink.create ~engine:t.engine
+               ~mac_key:(t.mac_keys.(min i j).(max i j))
+               ~rto:0.4
+               ~out:(fun frame -> datagram ~src:i ~dst:j frame)
+               ~deliver:(fun payload ->
+                 let nd = t.nodes.(i) in
+                 if not nd.crashed then begin
+                   Queue.push (j, payload) nd.inbox;
+                   wake t nd (Stdlib.max (Engine.now t.engine) nd.busy_until)
+                 end)
+               ())))
+
+let n (t : t) = Array.length t.nodes
+let node (t : t) (i : int) = t.nodes.(i)
+let meter (t : t) (i : int) = t.nodes.(i).meter
+
+let set_handler (t : t) (i : int) (h : src:int -> string -> unit) : unit =
+  t.nodes.(i).handler <- Some h
+
+let set_intercept (t : t) (f : src:int -> dst:int -> string -> action) : unit =
+  t.intercept <- Some f
+
+let clear_intercept (t : t) = t.intercept <- None
+
+let crash (t : t) (i : int) = t.nodes.(i).crashed <- true
+
+
+(* Public constructors: reliable FIFO links (the default, like the
+   prototype's TCP), or unreliable datagrams losing each frame with
+   probability [loss], recovered by the sliding-window protocol. *)
+let create ~(engine : Engine.t) ~(topo : Topology.t)
+    ~(mac_keys : string array array) : t =
+  make ~engine ~topo ~mac_keys ()
+
+let create_lossy ~(loss : float) ~(engine : Engine.t) ~(topo : Topology.t)
+    ~(mac_keys : string array array) : t =
+  let t = make ~lossy:loss ~engine ~topo ~mac_keys () in
+  init_links t loss;
+  t
+
+(* Send [payload] from [src] to [dst].  Inside a handler the message is
+   buffered and departs when the handler's charged computation completes;
+   outside (e.g. from a test driver), it departs immediately. *)
+let send (t : t) ~(src : int) ~(dst : int) (payload : string) : unit =
+  let nd = t.nodes.(src) in
+  if not nd.crashed then begin
+    nd.sent_msgs <- nd.sent_msgs + 1;
+    nd.sent_bytes <- nd.sent_bytes + String.length payload;
+    if nd.in_handler then Queue.push (dst, payload) nd.outbox
+    else transmit t ~src ~dst ~depart:(Stdlib.max (Engine.now t.engine) nd.busy_until) payload
+  end
+
+(* Run a computation on node [i] "now": charge its meter and flush sends,
+   as if an external request arrived.  Used by the harness for client
+   requests (the paper's send events). *)
+let inject (t : t) (i : int) (f : unit -> unit) : unit =
+  let nd = t.nodes.(i) in
+  if not nd.crashed then begin
+    let now = Engine.now t.engine in
+    let start = Stdlib.max now nd.busy_until in
+    Engine.schedule_at t.engine ~time:start (fun () ->
+      if not nd.crashed then begin
+        nd.in_handler <- true;
+        f ();
+        nd.in_handler <- false;
+        let cost = Cost.take nd.meter in
+        nd.busy_until <- Engine.now t.engine +. cost;
+        flush_outbox t nd
+      end)
+  end
+
+let mac_failures (t : t) = t.mac_failures

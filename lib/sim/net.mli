@@ -1,0 +1,62 @@
+(** The simulated network: authenticated, reliable, FIFO point-to-point
+    links over the event engine, with per-node sequential virtual CPUs.
+
+    - Links carry opaque bytes (real serialized protocol messages),
+      authenticated with HMAC-SHA1 under per-pair keys, like the paper's
+      TCP links;
+    - each node is a sequential processor: handling a message charges
+      virtual CPU to the node's meter, and messages sent from inside a
+      handler depart when the computation finishes — this is what makes
+      slow hosts lag exactly as in Figures 4 and 5;
+    - an adversary hook can drop, delay or replace messages in flight
+      (replacement is caught by the MAC unless the adversary controls the
+      sender), modelling the asynchronous scheduler's power. *)
+
+type action =
+  | Deliver
+  | Drop
+  | Delay of float               (** extra seconds *)
+  | Replace of string            (** tamper with the payload in flight *)
+
+type node
+
+type t
+
+val create :
+  engine:Engine.t -> topo:Topology.t -> mac_keys:string array array -> t
+(** Reliable FIFO authenticated links, like the prototype's TCP.
+    [mac_keys.(i).(j)] must be defined for all pairs (symmetric layout). *)
+
+val create_lossy :
+  loss:float -> engine:Engine.t -> topo:Topology.t ->
+  mac_keys:string array array -> t
+(** Unreliable, reordering datagram links losing each frame with
+    probability [loss]; reliability, FIFO order and authentication are
+    restored by a per-pair {!Swlink} sliding-window endpoint — the paper's
+    planned TCP replacement, carrying the whole protocol stack. *)
+
+val n : t -> int
+val node : t -> int -> node
+val meter : t -> int -> Cost.meter
+
+val set_handler : t -> int -> (src:int -> string -> unit) -> unit
+(** Install node [i]'s message handler (one per node). *)
+
+val set_intercept : t -> (src:int -> dst:int -> string -> action) -> unit
+(** Install the network adversary. *)
+
+val clear_intercept : t -> unit
+
+val crash : t -> int -> unit
+(** Silence a node permanently: it neither sends nor processes. *)
+
+val send : t -> src:int -> dst:int -> string -> unit
+(** Transmit bytes.  Inside a handler the message departs when the charged
+    computation completes; outside, immediately. *)
+
+val inject : t -> int -> (unit -> unit) -> unit
+(** Run an application action on node [i]'s virtual CPU (a client request):
+    charges the meter and flushes sends like a handler step. *)
+
+val mac_failures : t -> int
+(** Count of messages dropped by link-authentication failure. *)

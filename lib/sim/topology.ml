@@ -1,0 +1,130 @@
+(* The paper's test-beds, as simulation topologies.
+
+   A host is characterized by its name and the measured cost of one 1024-bit
+   modular exponentiation in milliseconds (the `exp' column of the host
+   tables in Section 4); the network by a one-way latency function.  These
+   are the only two physical quantities the experiments depend on. *)
+
+type host = {
+  name : string;
+  exp_ms : float;     (* 1024-bit modular exponentiation, milliseconds *)
+}
+
+type t = {
+  label : string;
+  hosts : host array;
+  (* [one_way i j size_bytes drbg] is the virtual latency in seconds of a
+     [size_bytes]-byte message from host [i] to host [j]. *)
+  one_way : int -> int -> int -> Hashes.Drbg.t -> float;
+}
+
+let n (t : t) = Array.length t.hosts
+
+(* ±[frac] multiplicative jitter. *)
+let jitter (drbg : Hashes.Drbg.t) (frac : float) : float =
+  1.0 +. (Hashes.Drbg.float drbg (2.0 *. frac)) -. frac
+
+(* The LAN setup: four hosts on 100 Mbit/s switched Ethernet at the Zurich
+   lab (Section 4, first table). *)
+let lan_hosts = [|
+  { name = "P0/Linux"; exp_ms = 93.0 };
+  { name = "P1/Linux"; exp_ms = 70.0 };
+  { name = "P2/AIX"; exp_ms = 105.0 };
+  { name = "P3/Win2k"; exp_ms = 132.0 };
+|]
+
+let lan_one_way _i _j size drbg =
+  (* Switch latency ~0.2 ms plus 100 Mbit/s serialization. *)
+  let base = 0.0002 and bw = 100e6 /. 8.0 in
+  (base +. (float_of_int size /. bw)) *. jitter drbg 0.15
+
+let lan : t = { label = "LAN"; hosts = lan_hosts; one_way = lan_one_way }
+
+(* The Internet setup: Zurich, Tokyo, New York, California (Section 4,
+   second table), with the average round-trip times of Figure 3.  The figure
+   gives the six pairwise RTTs {164, 230, 373, 285, 242, 93} ms; we assign
+   them geographically (Tokyo hardest to reach, as the paper observes;
+   Zurich-NY the shortest transatlantic hop). *)
+let internet_hosts = [|
+  { name = "P0/Zurich"; exp_ms = 93.0 };
+  { name = "P1/Tokyo"; exp_ms = 55.0 };
+  { name = "P2/NewYork"; exp_ms = 101.0 };
+  { name = "P3/California"; exp_ms = 427.0 };
+|]
+
+(* rtt.(i).(j) in milliseconds, symmetric.  The six RTTs of Figure 3 —
+   {93, 164, 230, 242, 285, 373} — assigned so that New York is the
+   best-connected site (the paper: "New York comes through first ... closer
+   to enough fast servers") and Tokyo the worst (sum 900 ms; "the most
+   difficult to reach"). *)
+let internet_rtt = [|
+  (*          Zur    Tok    NY     Cal  *)
+  (* Zur *) [| 0.0;  285.0; 164.0; 230.0 |];
+  (* Tok *) [| 285.0; 0.0;  373.0; 242.0 |];
+  (* NY  *) [| 164.0; 373.0; 0.0;  93.0  |];
+  (* Cal *) [| 230.0; 242.0; 93.0;  0.0  |];
+|]
+
+(* WAN latency: half the RTT with 10%+ variation (the paper reports its
+   measured variation as "often 10% or more"), a heavy tail (a few percent
+   of messages hit congestion/retransmission and take 1.5-3.5x as long —
+   what makes a remote server's proposal occasionally miss the first
+   candidate slot in Figure 5), plus a T1-class bandwidth term that only
+   matters for large messages. *)
+let wan_one_way_of_rtt rtt i j size drbg =
+  if i = j then 1e-6
+  else begin
+    let base = rtt.(i).(j) /. 2.0 /. 1000.0 in
+    let bw = 1.5e6 /. 8.0 in
+    let tail =
+      if Hashes.Drbg.float drbg 1.0 < 0.06 then 1.5 +. Hashes.Drbg.float drbg 2.0
+      else 1.0
+    in
+    (* The 70 ms constant is application-level overhead above ping RTT/2
+       (TCP, gateways on the 2002 IBM intranet), calibrated against the
+       paper's Table 1 reliable-channel column — the one measurement with
+       no public-key operations in it. *)
+    0.070 +. (base *. jitter drbg 0.12 *. tail) +. (float_of_int size /. bw)
+  end
+
+let internet : t = {
+  label = "Internet";
+  hosts = internet_hosts;
+  one_way = wan_one_way_of_rtt internet_rtt;
+}
+
+(* The combined setup: all seven machines (P0/Zurich belongs to both), i.e.
+   n = 7, t = 2.  Hosts 0-3 are the LAN machines in Zurich; 4-6 are Tokyo,
+   New York, California. *)
+let combined_hosts = [|
+  { name = "P0/Linux/Zur"; exp_ms = 93.0 };
+  { name = "P1/Linux/Zur"; exp_ms = 70.0 };
+  { name = "P2/AIX/Zur"; exp_ms = 105.0 };
+  { name = "P3/Win2k/Zur"; exp_ms = 132.0 };
+  { name = "P4/Tokyo"; exp_ms = 55.0 };
+  { name = "P5/NewYork"; exp_ms = 101.0 };
+  { name = "P6/California"; exp_ms = 427.0 };
+|]
+
+(* Map combined index to a WAN site: Zurich for 0-3, else the site itself. *)
+let combined_site = [| 0; 0; 0; 0; 1; 2; 3 |]
+
+let combined_one_way i j size drbg =
+  let si = combined_site.(i) and sj = combined_site.(j) in
+  if si = sj then lan_one_way i j size drbg
+  else wan_one_way_of_rtt internet_rtt si sj size drbg
+
+let combined : t = {
+  label = "LAN+Internet";
+  hosts = combined_hosts;
+  one_way = combined_one_way;
+}
+
+(* A uniform topology for tests: n identical hosts, fixed base latency. *)
+let uniform ?(exp_ms = 10.0) ?(latency = 0.01) ?(jitter_frac = 0.2) ~count () : t =
+  {
+    label = Printf.sprintf "uniform-%d" count;
+    hosts = Array.init count (fun i -> { name = Printf.sprintf "N%d" i; exp_ms });
+    one_way =
+      (fun _i _j _size drbg -> latency *. jitter drbg jitter_frac);
+  }

@@ -1,0 +1,39 @@
+(** The paper's test-beds as simulation topologies.
+
+    A host is characterized by its 1024-bit-exponentiation cost ([exp_ms],
+    the [exp] column of Section 4's host tables); the network by a one-way
+    latency function.  These are the only physical quantities the
+    experiments depend on. *)
+
+type host = {
+  name : string;
+  exp_ms : float;
+}
+
+type t = {
+  label : string;
+  hosts : host array;
+  one_way : int -> int -> int -> Hashes.Drbg.t -> float;
+  (** [one_way i j size drbg]: virtual seconds for a [size]-byte message
+      from host [i] to host [j]. *)
+}
+
+val n : t -> int
+
+val lan : t
+(** The four-machine 100 Mbit/s switched-Ethernet setup at the Zurich lab
+    (n=4, t=1). *)
+
+val internet : t
+(** Zurich, Tokyo, New York, California over the 2002 IBM intranet (n=4,
+    t=1), with the RTT matrix of Figure 3. *)
+
+val internet_rtt : float array array
+(** The pairwise RTTs (ms), symmetric; exposed for the Figure 3 printout. *)
+
+val combined : t
+(** All seven machines (n=7, t=2); hosts 0-3 are the Zurich LAN. *)
+
+val uniform :
+  ?exp_ms:float -> ?latency:float -> ?jitter_frac:float -> count:int -> unit -> t
+(** A homogeneous topology for unit tests. *)

@@ -1,0 +1,50 @@
+(** The atomic broadcast channel (Section 2.5): state-machine replication.
+
+    Chandra-Toueg-style rounds: each party signs its next undelivered
+    payload with the round number (or adopts and re-signs the first INIT it
+    receives), proposes a batch of [batch_size] messages signed by distinct
+    parties to the round's multi-valued agreement, and delivers the decided
+    batch in a fixed order.
+
+    {b Agreement & total order}: all honest parties deliver the same
+    sequence.  {b Fairness}: a payload known to [f >= t+1] parties is
+    delivered within a bounded number of rounds ([batch = n - f + 1]).
+    {b Integrity} (the paper's practical weakening): payloads are
+    identified by (original sender, per-sender sequence number) and each
+    such pair is delivered at most once.
+
+    {b Termination}: [close] broadcasts a termination request as a regular
+    payload; the channel closes after the round in which requests from
+    [t+1] distinct parties have been delivered — so it terminates iff at
+    least one honest party asked. *)
+
+type t
+
+val create :
+  Runtime.t -> pid:string ->
+  on_deliver:(sender:int -> string -> unit) ->
+  ?on_close:(unit -> unit) -> unit -> t
+
+val send : t -> string -> unit
+(** Queue a payload for broadcast (the paper's send event); any number of
+    sends per party.  @raise Invalid_argument after the channel closed. *)
+
+val close : t -> unit
+(** Request termination (the paper's close event); idempotent. *)
+
+val is_closed : t -> bool
+
+val deliveries : t -> int
+(** Payloads delivered locally so far. *)
+
+val current_round : t -> int
+
+val set_gate : t -> (unit -> bool) -> unit
+(** Backpressure: while the gate returns false this party neither INITs nor
+    proposes for its current round — models a consumer that has not drained
+    the outputs (the paper: an undrained channel "will stall").  Call
+    {!kick} when the gate opens. *)
+
+val kick : t -> unit
+
+val abort : t -> unit

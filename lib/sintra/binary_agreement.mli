@@ -1,0 +1,35 @@
+(** Randomized binary Byzantine agreement: the Cachin-Kursawe-Shoup
+    protocol (PODC 2000), Section 2.3 of the paper.
+
+    Rounds of justified pre-votes and main-votes, with the threshold coin
+    breaking symmetry; terminates in an expected constant number of rounds.
+    {b Agreement}: honest parties decide the same bit.  {b Validity}: the
+    decision was proposed by an honest party.  Every vote carries
+    non-interactively verifiable justification (threshold signatures over
+    vote statements, or the previous round's coin shares), so corrupted
+    parties cannot vote outside the protocol.
+
+    [?bias] replaces the round-1 coin by a fixed value: the protocol then
+    always decides the preferred value when it detects an honest party
+    proposed it.  [?validator] adds external validity: an honest party only
+    decides a value it holds validation data for, and the data accompanies
+    the decision (deferred until it arrives, if necessary). *)
+
+type t
+
+val create :
+  ?bias:bool ->
+  ?validator:(bool -> string -> bool) ->
+  Runtime.t -> pid:string ->
+  on_decide:(bool -> string option -> unit) -> t
+(** [on_decide value proof] fires exactly once; [proof] is the external
+    validation data when a validator is installed. *)
+
+val propose : ?proof:string -> t -> bool -> unit
+(** Start this party's participation.  Each party proposes exactly once.
+    @raise Invalid_argument on a second proposal, or (with a validator) if
+    the proof does not validate the value. *)
+
+val decided : t -> bool option
+
+val abort : t -> unit

@@ -1,0 +1,36 @@
+(** Aggregated broadcast channels (Section 2.7): a virtual channel running
+    [n] broadcast instances in parallel — one per sender — allocating a new
+    instance whenever one delivers.  No ordering across senders; per-sender
+    FIFO by construction.  Exchanges no messages of its own.
+
+    Termination: a closing party sends a termination request as its last
+    message; on delivering [t+1] requests the channel aborts the live
+    instances and terminates. *)
+
+module type BROADCAST = sig
+  type t
+
+  val create :
+    Runtime.t -> pid:string -> sender:int -> on_deliver:(string -> unit) -> t
+
+  val send : t -> string -> unit
+  val abort : t -> unit
+end
+
+module Make (B : BROADCAST) : sig
+  type t
+
+  val create :
+    Runtime.t -> pid:string ->
+    on_deliver:(sender:int -> string -> unit) ->
+    ?on_close:(unit -> unit) -> unit -> t
+
+  val send : t -> string -> unit
+  (** Queue a payload on this party's current instance.
+      @raise Invalid_argument once closing or closed. *)
+
+  val close : t -> unit
+  val is_closed : t -> bool
+  val deliveries : t -> int
+  val abort : t -> unit
+end

@@ -1,0 +1,31 @@
+(** Virtual-CPU charging for cryptographic operations.
+
+    Protocols run real cryptography at the configured {e actual} key sizes
+    but charge the simulated clock according to the {e model} key sizes;
+    the per-scheme operation counts (exponentiations by exponent width) are
+    spelled out in the implementation. *)
+
+type t = {
+  meter : Sim.Cost.meter;
+  cfg : Config.t;
+}
+
+val rsa_sign : t -> unit
+val rsa_verify : t -> unit
+
+val tsig_release : t -> unit
+val tsig_verify_share : t -> unit
+val tsig_assemble : t -> k:int -> unit
+val tsig_verify : t -> k:int -> unit
+
+val coin_release : t -> unit
+val coin_verify_share : t -> unit
+val coin_assemble : t -> k:int -> unit
+
+val enc_encrypt : t -> bytes:int -> unit
+val enc_ct_valid : t -> unit
+val enc_dec_share : t -> unit
+val enc_verify_share : t -> unit
+val enc_combine : t -> k:int -> bytes:int -> unit
+
+val hash : t -> bytes:int -> unit

@@ -1,0 +1,55 @@
+(* The test-bed harness: build a full SINTRA group — engine, network,
+   dealer, one runtime per party — from a topology, a configuration and a
+   seed.  Used by the tests, the examples and the benchmark drivers. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  cfg : Config.t;
+  dealer : Dealer.t;
+  runtimes : Runtime.t array;
+}
+
+let create ?(seed = "sintra") ?loss ~(topo : Sim.Topology.t) (cfg : Config.t) : t =
+  if Sim.Topology.n topo <> cfg.Config.n then
+    invalid_arg "Cluster.create: topology size differs from configured n";
+  let dealer = Dealer.deal ~seed cfg in
+  let engine = Sim.Engine.create ~seed:("engine|" ^ seed) () in
+  let mac_keys = Dealer.net_mac_keys dealer in
+  let net =
+    match loss with
+    | None -> Sim.Net.create ~engine ~topo ~mac_keys
+    | Some loss -> Sim.Net.create_lossy ~loss ~engine ~topo ~mac_keys
+  in
+  let runtimes =
+    Array.init cfg.Config.n (fun i ->
+      Runtime.create ~engine ~net ~cfg ~keys:dealer.Dealer.parties.(i))
+  in
+  { engine; net; cfg; dealer; runtimes }
+
+let runtime (c : t) (i : int) : Runtime.t = c.runtimes.(i)
+let n (c : t) = c.cfg.Config.n
+
+(* Run the simulation to quiescence (or a virtual-time/event bound).
+   Returns the number of events executed. *)
+let run ?until ?max_events (c : t) : int =
+  Sim.Engine.run ?until ?max_events c.engine
+
+let now (c : t) : float = Sim.Engine.now c.engine
+
+(* Schedule an application action on party [i]'s virtual CPU at the current
+   virtual time (e.g. a client request causing a channel send). *)
+let inject (c : t) (i : int) (f : unit -> unit) : unit =
+  Sim.Net.inject c.net i f
+
+let at (c : t) ~(time : float) (f : unit -> unit) : unit =
+  Sim.Engine.schedule_at c.engine ~time f
+
+(* Fault injection. *)
+let crash (c : t) (i : int) : unit = Sim.Net.crash c.net i
+
+let set_intercept (c : t) f = Sim.Net.set_intercept c.net f
+let clear_intercept (c : t) = Sim.Net.clear_intercept c.net
+
+let honest_indices (c : t) ~(corrupted : int list) : int list =
+  List.filter (fun i -> not (List.mem i corrupted)) (List.init c.cfg.Config.n (fun i -> i))

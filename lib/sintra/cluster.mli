@@ -1,0 +1,37 @@
+(** The test-bed harness: a full SINTRA group — engine, network, dealer,
+    one runtime per party — built from a topology, a configuration and a
+    seed.  Used by the tests, the examples and the benchmark drivers. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  net : Sim.Net.t;
+  cfg : Config.t;
+  dealer : Dealer.t;
+  runtimes : Runtime.t array;
+}
+
+val create : ?seed:string -> ?loss:float -> topo:Sim.Topology.t -> Config.t -> t
+(** [loss] switches the network to unreliable datagrams with the given
+    per-frame loss probability, recovered by sliding-window links
+    ({!Sim.Net.create_lossy}).
+    @raise Invalid_argument if the topology size differs from [cfg.n]. *)
+
+val runtime : t -> int -> Runtime.t
+val n : t -> int
+
+val run : ?until:float -> ?max_events:int -> t -> int
+(** Run the simulation to quiescence (or a bound); returns events executed. *)
+
+val now : t -> float
+
+val inject : t -> int -> (unit -> unit) -> unit
+(** Schedule an application action on party [i]'s virtual CPU now (e.g. a
+    client request causing a channel send). *)
+
+val at : t -> time:float -> (unit -> unit) -> unit
+
+val crash : t -> int -> unit
+val set_intercept : t -> (src:int -> dst:int -> string -> Sim.Net.action) -> unit
+val clear_intercept : t -> unit
+
+val honest_indices : t -> corrupted:int list -> int list

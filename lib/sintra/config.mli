@@ -1,0 +1,62 @@
+(** Static group configuration.
+
+    SINTRA's group model is static: [n] servers of which at most [t < n/3]
+    may be corrupted, all keys dealt up front by a trusted dealer.  The
+    [actual] key sizes are what the OCaml cryptography really computes with
+    (tests keep them small); the [model] sizes drive the virtual-time cost
+    model, so experiments can model the paper's 1024-bit keys — or sweep
+    them, as in Figure 6 — independently of the real key size. *)
+
+type tsig_scheme =
+  | Shoup        (** proper RSA threshold signatures (Shoup, EUROCRYPT 2000) *)
+  | Multi        (** a vector of ordinary RSA signatures (Section 2.1) *)
+
+type perm_mode =
+  | Fixed           (** multi-valued agreement candidate order 1..n *)
+  | Random_local    (** pseudo-random order derived from the protocol id *)
+
+type t = {
+  n : int;
+  t : int;
+  batch_size : int;          (** atomic broadcast batch, paper: [t+1] *)
+  tsig_scheme : tsig_scheme;
+  perm_mode : perm_mode;
+  rsa_bits : int;            (** actual: signing keys / multi-signatures *)
+  tsig_bits : int;           (** actual: Shoup threshold-signature modulus *)
+  dl_pbits : int;            (** actual: discrete-log field prime *)
+  dl_qbits : int;            (** actual: discrete-log subgroup order *)
+  model_rsa_bits : int;
+  model_dl_pbits : int;
+  model_dl_qbits : int;
+}
+
+val validate : t -> unit
+(** @raise Invalid_argument if [n <= 3t] or the batch size is infeasible. *)
+
+val echo_quorum : t -> int
+(** [ceil((n+t+1)/2)] — echo/share quorum of the broadcast primitives. *)
+
+val vote_quorum : t -> int
+(** [n - t] — the vote quorum of the agreement protocols. *)
+
+val ready_quorum : t -> int
+(** [2t + 1] — the delivery quorum of reliable broadcast. *)
+
+val coin_threshold : t -> int
+(** [t + 1] — shares needed to assemble the common coin. *)
+
+val dec_threshold : t -> int
+(** [t + 1] — decryption shares needed by the secure channel. *)
+
+val make :
+  ?batch_size:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
+  ?rsa_bits:int -> ?tsig_bits:int -> ?dl_pbits:int -> ?dl_qbits:int ->
+  ?model_rsa_bits:int -> ?model_dl_pbits:int -> ?model_dl_qbits:int ->
+  n:int -> t:int -> unit -> t
+(** Defaults: batch [t+1], multi-signatures, fixed candidate order, modest
+    real key sizes, modeled 1024-bit RSA and 1024/160-bit discrete logs. *)
+
+val test :
+  ?n:int -> ?t:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
+  ?batch_size:int -> unit -> t
+(** A fast configuration for unit tests (tiny real keys; default n=4, t=1). *)

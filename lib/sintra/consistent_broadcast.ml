@@ -1,0 +1,199 @@
+(* Consistent broadcast: Reiter's "echo broadcast" with threshold signatures
+   (Section 2.2).
+
+   The sender sends the payload to all parties; each replies to the sender
+   with a threshold-signature share binding the payload to this protocol
+   instance; from ceil((n+t+1)/2) valid shares the sender assembles the
+   threshold signature and sends it with the payload to everyone, and a
+   party delivers on receiving a valid (payload, signature) pair.
+
+   Only consistency is guaranteed — parties that deliver, deliver the same
+   payload, but some parties may deliver nothing.  Communication is linear
+   in n (vs. quadratic for reliable broadcast), paid for with public-key
+   operations: exactly the trade-off Table 1 measures.
+
+   This implementation is *verifiable* (the paper's
+   VerifiableConsistentBroadcast, Section 3.2): the (payload, signature)
+   pair is the "closing message" that lets any third party deliver and
+   terminate the instance without further communication; the multi-valued
+   agreement protocol relies on this. *)
+
+type t = {
+  rt : Runtime.t;
+  pid : string;
+  sender : int;
+  on_deliver : string -> unit;
+  mutable echoed : bool;                  (* this party already sent a share *)
+  mutable shares : Tsig.share list;       (* sender only *)
+  mutable share_origins : (int, unit) Hashtbl.t;
+  mutable sent_payload : string option;   (* sender only *)
+  mutable final_sent : bool;
+  mutable delivered : bool;
+  mutable closing : (string * string) option;  (* payload, signature *)
+  mutable aborted : bool;
+}
+
+let tag_send = 0
+let tag_echo = 1
+let tag_final = 2
+
+(* The string actually signed: binds instance and payload. *)
+let statement ~(pid : string) (payload : string) : string =
+  "cbc-ready|" ^ pid ^ "|" ^ payload
+
+let handle (t : t) ~src body =
+  if not t.aborted then begin
+    let cfg = t.rt.Runtime.cfg in
+    let charge = t.rt.Runtime.charge in
+    match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
+    | None -> ()
+    | Some (tag, d) ->
+      if tag = tag_send && src = t.sender && not t.echoed then begin
+        match (try Some (Wire.Dec.bytes d) with Wire.Decode _ -> None) with
+        | None -> ()
+        | Some payload ->
+          t.echoed <- true;
+          Charge.tsig_release charge;
+          let share =
+            Tsig.release ~drbg:t.rt.Runtime.drbg t.rt.Runtime.keys.Dealer.bc_tsig
+              ~ctx:t.pid (statement ~pid:t.pid payload)
+          in
+          let body =
+            Wire.encode (fun b ->
+              Wire.Enc.u8 b tag_echo;
+              Tsig.enc_share b share)
+          in
+          Runtime.send t.rt ~dst:t.sender ~pid:t.pid body
+      end
+      else if tag = tag_echo && t.rt.Runtime.me = t.sender && not t.final_sent then begin
+        match t.sent_payload with
+        | None -> ()  (* we have not sent yet; shares cannot be valid *)
+        | Some payload ->
+          (match (try Some (Tsig.dec_share d) with Wire.Decode _ -> None) with
+           | None -> ()
+           | Some share ->
+             let origin = Tsig.share_origin share in
+             if origin = src + 1 && not (Hashtbl.mem t.share_origins origin) then begin
+               Charge.tsig_verify_share charge;
+               let pub = Tsig.public_of_secret t.rt.Runtime.keys.Dealer.bc_tsig in
+               if Tsig.verify_share pub ~ctx:t.pid (statement ~pid:t.pid payload) share
+               then begin
+                 Hashtbl.replace t.share_origins origin ();
+                 t.shares <- share :: t.shares;
+                 if Hashtbl.length t.share_origins >= Config.echo_quorum cfg then begin
+                   t.final_sent <- true;
+                   Charge.tsig_assemble charge ~k:(Config.echo_quorum cfg);
+                   let signature =
+                     Tsig.assemble pub ~ctx:t.pid (statement ~pid:t.pid payload) t.shares
+                   in
+                   let body =
+                     Wire.encode (fun b ->
+                       Wire.Enc.u8 b tag_final;
+                       Wire.Enc.bytes b payload;
+                       Wire.Enc.bytes b signature)
+                   in
+                   Runtime.broadcast t.rt ~pid:t.pid body
+                 end
+               end
+             end)
+      end
+      else if tag = tag_final && not t.delivered then begin
+        match
+          (try
+             let payload = Wire.Dec.bytes d in
+             let signature = Wire.Dec.bytes d in
+             Some (payload, signature)
+           with Wire.Decode _ -> None)
+        with
+        | None -> ()
+        | Some (payload, signature) ->
+          let pub = Tsig.public_of_secret t.rt.Runtime.keys.Dealer.bc_tsig in
+          Charge.tsig_verify charge ~k:(Tsig.k pub);
+          if Tsig.verify pub ~ctx:t.pid ~signature (statement ~pid:t.pid payload)
+          then begin
+            t.delivered <- true;
+            t.closing <- Some (payload, signature);
+            t.on_deliver payload
+          end
+      end
+  end
+
+let create (rt : Runtime.t) ~(pid : string) ~(sender : int)
+    ~(on_deliver : string -> unit) : t =
+  let t = {
+    rt; pid; sender; on_deliver;
+    echoed = false;
+    shares = [];
+    share_origins = Hashtbl.create 8;
+    sent_payload = None;
+    final_sent = false;
+    delivered = false;
+    closing = None;
+    aborted = false;
+  }
+  in
+  Runtime.register rt ~pid (fun ~src body -> handle t ~src body);
+  t
+
+let send (t : t) (payload : string) : unit =
+  if t.rt.Runtime.me <> t.sender then invalid_arg "Consistent_broadcast.send: not the sender";
+  if t.sent_payload <> None then invalid_arg "Consistent_broadcast.send: already sent";
+  t.sent_payload <- Some payload;
+  let body =
+    Wire.encode (fun b ->
+      Wire.Enc.u8 b tag_send;
+      Wire.Enc.bytes b payload)
+  in
+  Runtime.broadcast t.rt ~pid:t.pid body
+
+let delivered (t : t) = t.delivered
+
+(* --- the verifiable interface (closing messages) --- *)
+
+(* Encode the closing message of a terminated instance. *)
+let get_closing (t : t) : string option =
+  match t.closing with
+  | None -> None
+  | Some (payload, signature) ->
+    Some (Wire.encode (fun b ->
+      Wire.Enc.bytes b payload;
+      Wire.Enc.bytes b signature))
+
+let parse_closing (v : string) : (string * string) option =
+  Wire.decode v (fun d ->
+    let payload = Wire.Dec.bytes d in
+    let signature = Wire.Dec.bytes d in
+    (payload, signature))
+
+let payload_of_closing (v : string) : string option =
+  Option.map fst (parse_closing v)
+
+(* Validity of a closing message for instance [pid], checkable by anyone who
+   knows the group's public keys. *)
+let closing_valid (rt : Runtime.t) ~(pid : string) (v : string) : bool =
+  match parse_closing v with
+  | None -> false
+  | Some (payload, signature) ->
+    let pub = Tsig.public_of_secret rt.Runtime.keys.Dealer.bc_tsig in
+    Charge.tsig_verify rt.Runtime.charge ~k:(Tsig.k pub);
+    Tsig.verify pub ~ctx:pid ~signature (statement ~pid payload)
+
+(* Deliver from a closing message, terminating the instance locally without
+   waiting for network messages. *)
+let deliver_closing (t : t) (v : string) : bool =
+  if t.delivered then true
+  else
+    match parse_closing v with
+    | None -> false
+    | Some (payload, signature) ->
+      if closing_valid t.rt ~pid:t.pid v then begin
+        t.delivered <- true;
+        t.closing <- Some (payload, signature);
+        t.on_deliver payload;
+        true
+      end
+      else false
+
+let abort (t : t) : unit =
+  t.aborted <- true;
+  Runtime.unregister t.rt ~pid:t.pid

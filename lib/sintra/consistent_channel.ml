@@ -1,0 +1,13 @@
+(* The consistent channel: the aggregated-channel construction over
+   consistent (echo) broadcast.  Linear communication per message, paid for
+   with threshold-signature computation; corresponds to the WAN multicast of
+   Malkhi-Merritt-Rodeh when combined with an external stability mechanism
+   (Section 2.7). *)
+
+include Broadcast_channel.Make (struct
+  type t = Consistent_broadcast.t
+
+  let create = Consistent_broadcast.create
+  let send = Consistent_broadcast.send
+  let abort = Consistent_broadcast.abort
+end)

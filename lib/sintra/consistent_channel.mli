@@ -1,0 +1,20 @@
+(** The consistent channel: the aggregated-channel construction over
+    consistent (echo) broadcast (Section 2.7).
+
+    Guarantees only {b consistency} per message; linear communication per
+    message, paid for with threshold-signature computation.  Combined with
+    an external stability mechanism this corresponds to the
+    Malkhi-Merritt-Rodeh WAN multicast (Section 5). *)
+
+type t
+
+val create :
+  Runtime.t -> pid:string ->
+  on_deliver:(sender:int -> string -> unit) ->
+  ?on_close:(unit -> unit) -> unit -> t
+
+val send : t -> string -> unit
+val close : t -> unit
+val is_closed : t -> bool
+val deliveries : t -> int
+val abort : t -> unit

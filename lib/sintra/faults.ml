@@ -1,0 +1,52 @@
+(* Reusable fault-injection scenarios over the network adversary hook.
+
+   The asynchronous model gives the adversary full control of message
+   scheduling; these helpers package the standard attacks so tests and
+   experiments can say what they mean:
+
+     Faults.partition cluster ~groups:[[0;1];[2;3]] ~heal_at:5.0
+
+   Only one intercept can be active at a time (they compose by replacing,
+   matching Sim.Net's single-hook design). *)
+
+type spec = src:int -> dst:int -> string -> Sim.Net.action
+
+let install (c : Cluster.t) (spec : spec) : unit = Cluster.set_intercept c spec
+let clear (c : Cluster.t) : unit = Cluster.clear_intercept c
+
+(* Silence one party entirely in both directions (a network-level crash). *)
+let silence (party : int) : spec =
+ fun ~src ~dst _ -> if src = party || dst = party then Sim.Net.Drop else Sim.Net.Deliver
+
+(* Delay all traffic into [party] by [delay] seconds (an eclipsed node). *)
+let eclipse (party : int) ~(delay : float) : spec =
+ fun ~src:_ ~dst _ -> if dst = party then Sim.Net.Delay delay else Sim.Net.Deliver
+
+(* Drop every [nth] message globally (a flaky scheduler). *)
+let drop_every (nth : int) : spec =
+  let counter = ref 0 in
+  fun ~src:_ ~dst:_ _ ->
+    incr counter;
+    if !counter mod nth = 0 then Sim.Net.Drop else Sim.Net.Deliver
+
+(* Split the group into components: traffic inside a component flows,
+   traffic across components is held back until [heal_at] (virtual time),
+   after which everything is delivered.  With n <= 3t parties on each side
+   no component can decide alone, so protocols stall and must resume after
+   healing - the classic partition-tolerance check. *)
+let partition (c : Cluster.t) ~(groups : int list list) ~(heal_at : float) : spec =
+  let component = Hashtbl.create 8 in
+  List.iteri
+    (fun idx members -> List.iter (fun m -> Hashtbl.replace component m idx) members)
+    groups;
+  fun ~src ~dst _ ->
+    let now = Cluster.now c in
+    if now >= heal_at then Sim.Net.Deliver
+    else
+      match Hashtbl.find_opt component src, Hashtbl.find_opt component dst with
+      | Some a, Some b when a <> b ->
+        (* Hold the message until just after healing; links stay reliable,
+           so nothing is lost - only delayed, as the asynchronous model
+           allows. *)
+        Sim.Net.Delay (heal_at -. now +. 0.001)
+      | _ -> Sim.Net.Deliver

@@ -1,0 +1,25 @@
+(** Reusable fault-injection scenarios over the network adversary hook.
+
+    The asynchronous model gives the adversary full control of message
+    scheduling; these helpers package the standard attacks for tests and
+    experiments.  Only one spec is active at a time. *)
+
+type spec = src:int -> dst:int -> string -> Sim.Net.action
+
+val install : Cluster.t -> spec -> unit
+val clear : Cluster.t -> unit
+
+val silence : int -> spec
+(** Drop all traffic to and from one party (a network-level crash). *)
+
+val eclipse : int -> delay:float -> spec
+(** Delay all traffic {e into} one party (an eclipsed node). *)
+
+val drop_every : int -> spec
+(** Drop every nth message globally. *)
+
+val partition : Cluster.t -> groups:int list list -> heal_at:float -> spec
+(** Split the group into components whose cross-traffic is held back until
+    [heal_at] virtual seconds, then released — nothing is lost, only
+    delayed, as the asynchronous model allows.  Protocols must stall during
+    the partition (no component has n-t members) and resume after. *)

@@ -1,0 +1,12 @@
+(* The reliable channel: the aggregated-channel construction over reliable
+   (Bracha) broadcast.  Guarantees agreement on every delivered message but
+   no ordering; the cheapest of SINTRA's channels in most settings
+   (Table 1) because it uses no public-key operations at all. *)
+
+include Broadcast_channel.Make (struct
+  type t = Reliable_broadcast.t
+
+  let create = Reliable_broadcast.create
+  let send = Reliable_broadcast.send
+  let abort = Reliable_broadcast.abort
+end)

@@ -1,0 +1,19 @@
+(** The reliable channel: the aggregated-channel construction over Bracha
+    reliable broadcast (Section 2.7).
+
+    Guarantees {b agreement} on every delivered message but no cross-sender
+    ordering; the cheapest of SINTRA's channels in most settings (Table 1)
+    because it uses no public-key operations at all. *)
+
+type t
+
+val create :
+  Runtime.t -> pid:string ->
+  on_deliver:(sender:int -> string -> unit) ->
+  ?on_close:(unit -> unit) -> unit -> t
+
+val send : t -> string -> unit
+val close : t -> unit
+val is_closed : t -> bool
+val deliveries : t -> int
+val abort : t -> unit

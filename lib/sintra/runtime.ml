@@ -1,0 +1,104 @@
+(* The per-party protocol runtime: multiplexes the single authenticated
+   network endpoint among protocol instances, which register by protocol
+   identifier (the paper's [pid]).
+
+   Messages for a pid with no registered handler yet are buffered ("orphan"
+   messages) and replayed on registration — protocol instances are created
+   lazily and asynchronously at different parties, so early messages from
+   faster parties must not be lost.  The buffer is bounded per pid so a
+   corrupted party cannot exhaust memory. *)
+
+type t = {
+  me : int;
+  cfg : Config.t;
+  keys : Dealer.party_keys;
+  net : Sim.Net.t;
+  engine : Sim.Engine.t;
+  drbg : Hashes.Drbg.t;
+  charge : Charge.t;
+  handlers : (string, src:int -> string -> unit) Hashtbl.t;
+  orphans : (string, (int * string) Queue.t) Hashtbl.t;
+  mutable dropped_orphans : int;
+}
+
+let orphan_cap_per_pid = 4096
+
+let envelope ~(pid : string) (body : string) : string =
+  Wire.encode (fun b ->
+    Wire.Enc.bytes b pid;
+    Wire.Enc.bytes b body)
+
+let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
+    ~(keys : Dealer.party_keys) : t =
+  let me = keys.Dealer.index in
+  let rt = {
+    me;
+    cfg;
+    keys;
+    net;
+    engine;
+    drbg = Hashes.Drbg.fork (Sim.Engine.drbg engine) (Printf.sprintf "party-%d" me);
+    charge = { Charge.meter = Sim.Net.meter net me; cfg };
+    handlers = Hashtbl.create 64;
+    orphans = Hashtbl.create 64;
+    dropped_orphans = 0;
+  }
+  in
+  Sim.Net.set_handler net me (fun ~src payload ->
+    Sim.Cost.per_message rt.charge.Charge.meter ~bytes:(String.length payload);
+    match Wire.decode payload (fun d ->
+      let pid = Wire.Dec.bytes d in
+      let body = Wire.Dec.bytes d in
+      (pid, body))
+    with
+    | None -> ()   (* malformed envelope: drop, as a real server would *)
+    | Some (pid, body) ->
+      (match Hashtbl.find_opt rt.handlers pid with
+       | Some h -> h ~src body
+       | None ->
+         let q =
+           match Hashtbl.find_opt rt.orphans pid with
+           | Some q -> q
+           | None ->
+             let q = Queue.create () in
+             Hashtbl.add rt.orphans pid q;
+             q
+         in
+         if Queue.length q < orphan_cap_per_pid then Queue.push (src, body) q
+         else rt.dropped_orphans <- rt.dropped_orphans + 1));
+  rt
+
+let register (rt : t) ~(pid : string) (h : src:int -> string -> unit) : unit =
+  if Hashtbl.mem rt.handlers pid then
+    invalid_arg (Printf.sprintf "Runtime.register: duplicate pid %S" pid);
+  Hashtbl.replace rt.handlers pid h;
+  (* Replay buffered messages for this pid, preserving arrival order.  The
+     replay runs asynchronously on the party's virtual CPU so that (a) the
+     instance being constructed is complete before callbacks fire and
+     (b) the handling cost is charged like any other message. *)
+  match Hashtbl.find_opt rt.orphans pid with
+  | None -> ()
+  | Some q ->
+    Hashtbl.remove rt.orphans pid;
+    Sim.Net.inject rt.net rt.me (fun () ->
+      Queue.iter
+        (fun (src, body) ->
+          match Hashtbl.find_opt rt.handlers pid with
+          | Some h' when h' == h -> h ~src body
+          | Some _ | None -> ())
+        q)
+
+let unregister (rt : t) ~(pid : string) : unit = Hashtbl.remove rt.handlers pid
+
+let send (rt : t) ~(dst : int) ~(pid : string) (body : string) : unit =
+  Sim.Net.send rt.net ~src:rt.me ~dst (envelope ~pid body)
+
+(* Send to every party, including ourselves (self-delivery goes through the
+   network with negligible latency, keeping the protocol code uniform). *)
+let broadcast (rt : t) ~(pid : string) (body : string) : unit =
+  let payload = envelope ~pid body in
+  for dst = 0 to rt.cfg.Config.n - 1 do
+    Sim.Net.send rt.net ~src:rt.me ~dst payload
+  done
+
+let now (rt : t) : float = Sim.Engine.now rt.engine

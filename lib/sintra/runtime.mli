@@ -1,0 +1,39 @@
+(** The per-party protocol runtime: multiplexes the single authenticated
+    network endpoint among protocol instances, which register by protocol
+    identifier (the paper's [pid]).
+
+    Messages for an unregistered pid are buffered (bounded per pid) and
+    replayed asynchronously on registration: instances are created lazily at
+    different times at different parties, and early messages from faster
+    parties must not be lost. *)
+
+type t = {
+  me : int;
+  cfg : Config.t;
+  keys : Dealer.party_keys;
+  net : Sim.Net.t;
+  engine : Sim.Engine.t;
+  drbg : Hashes.Drbg.t;
+  charge : Charge.t;
+  handlers : (string, src:int -> string -> unit) Hashtbl.t;
+  orphans : (string, (int * string) Queue.t) Hashtbl.t;
+  mutable dropped_orphans : int;
+}
+
+val create :
+  engine:Sim.Engine.t -> net:Sim.Net.t -> cfg:Config.t ->
+  keys:Dealer.party_keys -> t
+
+val register : t -> pid:string -> (src:int -> string -> unit) -> unit
+(** @raise Invalid_argument on a duplicate pid. *)
+
+val unregister : t -> pid:string -> unit
+
+val send : t -> dst:int -> pid:string -> string -> unit
+(** Send a protocol message body to one party. *)
+
+val broadcast : t -> pid:string -> string -> unit
+(** Send to every party including ourselves (self-delivery goes through the
+    network, keeping protocol code uniform). *)
+
+val now : t -> float

@@ -1,0 +1,256 @@
+(* Secure causal atomic broadcast (Section 2.6): an atomic broadcast channel
+   whose payloads are encrypted under the group's TDH2 threshold key, so a
+   payload remains confidential until its position in the delivery sequence
+   is fixed — which is what enforces causal order against a Byzantine
+   adversary (Reiter-Birman).
+
+   send: encrypt under the channel public key, broadcast the ciphertext
+   atomically.  On every atomic delivery, each party releases a decryption
+   share (one extra round of interaction); t+1 valid shares recover the
+   cleartext, and cleartexts are delivered strictly in atomic order. *)
+
+type slot = {
+  sl_index : int;
+  sl_sender : int;
+  sl_ct : Crypto.Threshold_enc.ciphertext;
+  shares : (int, Crypto.Threshold_enc.dec_share) Hashtbl.t;
+  mutable plaintext : string option;
+  mutable emitted : bool;
+}
+
+type t = {
+  rt : Runtime.t;
+  pid : string;
+  on_deliver : sender:int -> string -> unit;
+  on_ciphertext : (sender:int -> string -> unit) option;
+  mutable atomic : Atomic_channel.t option;
+  slots : (int, slot) Hashtbl.t;          (* atomic delivery index -> slot *)
+  dead : (int, unit) Hashtbl.t;           (* slots holding invalid ciphertexts *)
+  pending_shares : (int, (int * string) Queue.t) Hashtbl.t;
+                                          (* shares arriving before the slot opens *)
+  mutable next_index : int;               (* next atomic delivery index *)
+  mutable next_emit : int;                (* next slot to deliver in order *)
+}
+
+let dec_pid (t : t) : string = t.pid ^ "/dec"
+
+let label (pid : string) : string = "sac|" ^ pid
+
+(* Encrypt a message for the channel; usable by non-members who know only
+   the channel's public key (the paper's static encrypt). *)
+let encrypt ~(drbg : Hashes.Drbg.t) ~(enc_pub : Crypto.Threshold_enc.public)
+    ~(pid : string) (message : string) : string =
+  let ct = Crypto.Threshold_enc.encrypt ~drbg enc_pub ~label:(label pid) message in
+  Crypto.Threshold_enc.ciphertext_to_bytes enc_pub ct
+
+let rec emit_ready (t : t) : unit =
+  if Hashtbl.mem t.dead t.next_emit then begin
+    (* An invalid ciphertext occupied this position at every honest party;
+       skip it consistently. *)
+    t.next_emit <- t.next_emit + 1;
+    emit_ready t
+  end
+  else
+    match Hashtbl.find_opt t.slots t.next_emit with
+    | None -> ()
+    | Some slot ->
+      (match slot.plaintext with
+       | None -> ()
+       | Some m ->
+         if not slot.emitted then begin
+           slot.emitted <- true;
+           t.next_emit <- t.next_emit + 1;
+           t.on_deliver ~sender:slot.sl_sender m;
+           emit_ready t
+         end)
+
+(* Advance in-order delivery, then reopen the atomic channel's gate if all
+   delivered ciphertexts have been decrypted (the decryption round is on the
+   critical path, as in the prototype's blocking consumer loop). *)
+let drain (t : t) : unit =
+  emit_ready t;
+  if t.next_emit >= t.next_index then
+    match t.atomic with
+    | Some a -> Atomic_channel.kick a
+    | None -> ()
+
+let try_combine (t : t) (slot : slot) : unit =
+  if slot.plaintext = None
+     && Hashtbl.length slot.shares >= Config.dec_threshold t.rt.Runtime.cfg
+  then begin
+    let pub = t.rt.Runtime.keys.Dealer.enc_pub in
+    let shares = Hashtbl.fold (fun _ s acc -> s :: acc) slot.shares [] in
+    Charge.enc_combine t.rt.Runtime.charge ~k:(Config.dec_threshold t.rt.Runtime.cfg)
+      ~bytes:(String.length slot.sl_ct.Crypto.Threshold_enc.c);
+    match Crypto.Threshold_enc.combine pub slot.sl_ct shares with
+    | None -> ()
+    | Some m ->
+      slot.plaintext <- Some m;
+      drain t
+  end
+
+(* Apply one decryption share to an open slot. *)
+let apply_share (t : t) ~(src : int) (slot : slot)
+    (share : Crypto.Threshold_enc.dec_share) : unit =
+  if share.Crypto.Threshold_enc.origin = src + 1
+     && not (Hashtbl.mem slot.shares src)
+     && slot.plaintext = None
+  then begin
+    Charge.enc_verify_share t.rt.Runtime.charge;
+    if Crypto.Threshold_enc.verify_dec_share t.rt.Runtime.keys.Dealer.enc_pub
+         slot.sl_ct share
+    then begin
+      Hashtbl.add slot.shares src share;
+      try_combine t slot
+    end
+  end
+
+let parse_share (body : string) : (int * Crypto.Threshold_enc.dec_share) option =
+  Wire.decode body (fun d ->
+    let index = Wire.Dec.int d in
+    let origin = Wire.Dec.int d in
+    let u_i = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+    let challenge = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+    let response = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+    (index,
+     { Crypto.Threshold_enc.origin; u_i;
+       proof = { Crypto.Dleq.challenge; response } }))
+
+(* A ciphertext was atomically delivered: open a slot and release our
+   decryption share. *)
+let on_atomic_deliver (t : t) ~(sender : int) (ct_bytes : string) : unit =
+  let index = t.next_index in
+  t.next_index <- index + 1;
+  let invalid () =
+    Hashtbl.replace t.dead index ();
+    drain t
+  in
+  match Crypto.Threshold_enc.ciphertext_of_bytes ct_bytes with
+  | None -> invalid ()   (* a corrupted sender broadcast garbage *)
+  | Some ct ->
+    if ct.Crypto.Threshold_enc.label <> label t.pid then invalid ()
+    else begin
+      (match t.on_ciphertext with
+       | Some f -> f ~sender ct_bytes
+       | None -> ());
+      let slot = {
+        sl_index = index; sl_sender = sender; sl_ct = ct;
+        shares = Hashtbl.create 8;
+        plaintext = None;
+        emitted = false;
+      }
+      in
+      Hashtbl.replace t.slots index slot;
+      Charge.enc_dec_share t.rt.Runtime.charge;
+      match
+        Crypto.Threshold_enc.dec_share ~drbg:t.rt.Runtime.drbg
+          t.rt.Runtime.keys.Dealer.enc_pub t.rt.Runtime.keys.Dealer.enc_share ct
+      with
+      | None ->
+        (* The ciphertext fails its own validity proof: nobody can decrypt
+           it, so all honest parties skip the slot. *)
+        Hashtbl.remove t.slots index;
+        invalid ()
+      | Some share ->
+        Hashtbl.replace slot.shares t.rt.Runtime.me share;
+        let body =
+          Wire.encode (fun b ->
+            Wire.Enc.int b index;
+            Wire.Enc.int b share.Crypto.Threshold_enc.origin;
+            Wire.Enc.bytes b (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.u_i);
+            Wire.Enc.bytes b
+              (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.proof.Crypto.Dleq.challenge);
+            Wire.Enc.bytes b
+              (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.proof.Crypto.Dleq.response))
+        in
+        Runtime.broadcast t.rt ~pid:(dec_pid t) body;
+        (* Shares from faster parties may have arrived before we opened the
+           slot. *)
+        (match Hashtbl.find_opt t.pending_shares index with
+         | None -> ()
+         | Some q ->
+           Hashtbl.remove t.pending_shares index;
+           Queue.iter
+             (fun (src, body) ->
+               match parse_share body with
+               | Some (_, sh) -> apply_share t ~src slot sh
+               | None -> ())
+             q);
+        try_combine t slot
+    end
+
+let pending_cap = 4096
+
+let handle_dec (t : t) ~src body =
+  match parse_share body with
+  | None -> ()
+  | Some (index, share) ->
+    if index >= 0 then begin
+      match Hashtbl.find_opt t.slots index with
+      | Some slot -> apply_share t ~src slot share
+      | None ->
+        if index >= t.next_index && not (Hashtbl.mem t.dead index) then begin
+          (* Slot not opened yet at this party: buffer the share. *)
+          let q =
+            match Hashtbl.find_opt t.pending_shares index with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.add t.pending_shares index q;
+              q
+          in
+          if Queue.length q < pending_cap then Queue.push (src, body) q
+        end
+    end
+
+let create (rt : Runtime.t) ~(pid : string)
+    ~(on_deliver : sender:int -> string -> unit)
+    ?(on_ciphertext : (sender:int -> string -> unit) option)
+    ?(on_close = fun () -> ()) () : t =
+  let t = {
+    rt; pid; on_deliver; on_ciphertext;
+    atomic = None;
+    slots = Hashtbl.create 64;
+    dead = Hashtbl.create 4;
+    pending_shares = Hashtbl.create 16;
+    next_index = 0;
+    next_emit = 0;
+  }
+  in
+  Runtime.register rt ~pid:(dec_pid t) (fun ~src body -> handle_dec t ~src body);
+  t.atomic <-
+    Some (Atomic_channel.create rt ~pid:(pid ^ "/abc")
+            ~on_deliver:(fun ~sender ct -> on_atomic_deliver t ~sender ct)
+            ~on_close ());
+  (* The decryption round gates the next atomic round: the channel's output
+     is consumed (and hence the next round started) only once every ordered
+     ciphertext so far has been decrypted. *)
+  (match t.atomic with
+   | Some a -> Atomic_channel.set_gate a (fun () -> t.next_emit >= t.next_index)
+   | None -> ());
+  t
+
+let atomic (t : t) : Atomic_channel.t =
+  match t.atomic with Some a -> a | None -> assert false
+
+(* Send a cleartext message: encrypted here, ordered atomically, decrypted
+   after ordering. *)
+let send (t : t) (message : string) : unit =
+  Charge.enc_encrypt t.rt.Runtime.charge ~bytes:(String.length message);
+  let ct =
+    encrypt ~drbg:t.rt.Runtime.drbg ~enc_pub:t.rt.Runtime.keys.Dealer.enc_pub
+      ~pid:t.pid message
+  in
+  Atomic_channel.send (atomic t) ct
+
+(* Broadcast an externally produced ciphertext (the paper's sendCiphertext,
+   for messages encrypted by non-members). *)
+let send_ciphertext (t : t) (ct_bytes : string) : unit =
+  Atomic_channel.send (atomic t) ct_bytes
+
+let close (t : t) : unit = Atomic_channel.close (atomic t)
+let is_closed (t : t) = Atomic_channel.is_closed (atomic t)
+
+let abort (t : t) : unit =
+  Atomic_channel.abort (atomic t);
+  Runtime.unregister t.rt ~pid:(dec_pid t)

@@ -1,0 +1,40 @@
+(* Validated (binary) Byzantine agreement: binary agreement with external
+   validity and optional bias (end of Section 2.3).
+
+   The proposal carries a "proof" that a [validator] predicate accepts; the
+   protocol guarantees every honest party decides a value for which
+   validation data exists, and returns that data with the decision.  A
+   biased instance always decides the preferred value when it detects that
+   an honest party proposed it. *)
+
+type t = {
+  aba : Binary_agreement.t;
+  mutable decision : (bool * string) option;
+}
+
+let create ?bias (rt : Runtime.t) ~(pid : string)
+    ~(validator : bool -> string -> bool)
+    ~(on_decide : bool -> proof:string -> unit) : t =
+  let cell = ref None in
+  let aba =
+    Binary_agreement.create ?bias rt ~pid ~validator
+      ~on_decide:(fun value proof ->
+        let proof = Option.value proof ~default:"" in
+        (match !cell with
+         | Some t -> t.decision <- Some (value, proof)
+         | None -> ());
+        on_decide value ~proof)
+  in
+  let t = { aba; decision = None } in
+  cell := Some t;
+  t
+
+let propose (t : t) (value : bool) ~(proof : string) : unit =
+  Binary_agreement.propose ~proof t.aba value
+
+let decided (t : t) : bool option = Option.map fst t.decision
+
+(* The validation data for the decided value (the paper's getProof). *)
+let get_proof (t : t) : string option = Option.map snd t.decision
+
+let abort (t : t) : unit = Binary_agreement.abort t.aba

@@ -1,0 +1,24 @@
+(** Validated (binary) Byzantine agreement: external validity and optional
+    bias over {!Binary_agreement} (end of Section 2.3).
+
+    The proposal carries a proof accepted by [validator]; every honest
+    party decides a value for which validation data exists and obtains that
+    data with the decision (the paper's getProof). *)
+
+type t
+
+val create :
+  ?bias:bool ->
+  Runtime.t -> pid:string ->
+  validator:(bool -> string -> bool) ->
+  on_decide:(bool -> proof:string -> unit) -> t
+
+val propose : t -> bool -> proof:string -> unit
+(** @raise Invalid_argument on re-proposal or failing validation. *)
+
+val decided : t -> bool option
+
+val get_proof : t -> string option
+(** Validation data for the decided value (after decision). *)
+
+val abort : t -> unit

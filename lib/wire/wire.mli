@@ -1,0 +1,57 @@
+(** The binary codec every SINTRA protocol message crosses the simulated
+    network in — so wire sizes (latency/bandwidth accounting) and MAC'd
+    bytes are real.
+
+    Unsigned LEB128 varints; length-prefixed byte strings; u8-tagged sums.
+    Decoders are total against adversarial bytes: any malformed input
+    raises {!Decode}, which the [decode]/[decode_prefix] wrappers turn into
+    [None]. *)
+
+exception Decode of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Decode} with a formatted message (for protocol-level decoders
+    built on {!Dec}). *)
+
+module Enc : sig
+  type t
+
+  val create : unit -> t
+
+  val u8 : t -> int -> unit
+  (** @raise Invalid_argument outside [0, 255]. *)
+
+  val int : t -> int -> unit
+  (** Unsigned LEB128. @raise Invalid_argument on negatives. *)
+
+  val bool : t -> bool -> unit
+  val bytes : t -> string -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+  val to_string : t -> string
+end
+
+module Dec : sig
+  type t
+
+  val of_string : string -> t
+
+  val u8 : t -> int
+  val int : t -> int
+  val bool : t -> bool
+  val bytes : t -> string
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+  (** All raise {!Decode} on malformed or truncated input. *)
+
+  val finished : t -> bool
+  val expect_end : t -> unit
+end
+
+val encode : (Enc.t -> unit) -> string
+
+val decode : string -> (Dec.t -> 'a) -> 'a option
+(** Strict: trailing bytes are an error. *)
+
+val decode_prefix : string -> (Dec.t -> 'a) -> 'a option
+(** Tolerates trailing bytes — for reading a tag and dispatching. *)

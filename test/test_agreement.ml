@@ -1,0 +1,300 @@
+(* Tests for binary, validated and multi-valued Byzantine agreement. *)
+
+open Sintra
+
+let run_aba ?(seed = "aba") ?(n = 4) ?(crash = []) (proposals : bool list) :
+    bool option array * Cluster.t =
+  let c = Util.cluster ~seed ~n () in
+  let decided = Array.make n None in
+  let insts =
+    Array.init n (fun i ->
+      Binary_agreement.create (Cluster.runtime c i) ~pid:"aba"
+        ~on_decide:(fun b _ -> decided.(i) <- Some b))
+  in
+  List.iter (Cluster.crash c) crash;
+  List.iteri
+    (fun i v ->
+      if not (List.mem i crash) then
+        Cluster.inject c i (fun () -> Binary_agreement.propose insts.(i) v))
+    proposals;
+  ignore (Cluster.run c);
+  (decided, c)
+
+let check_agreement_validity ?(crash = []) (proposals : bool list)
+    (decided : bool option array) =
+  let honest = List.filteri (fun i _ -> not (List.mem i crash)) (Array.to_list decided) in
+  List.iteri
+    (fun i d -> if d = None then Alcotest.failf "honest party %d did not decide" i)
+    honest;
+  Util.check_all_equal "agreement" honest;
+  match honest with
+  | Some v :: _ ->
+    let honest_proposals = List.filteri (fun i _ -> not (List.mem i crash)) proposals in
+    if not (List.mem v honest_proposals) then
+      Alcotest.failf "decided %b which no honest party proposed" v
+  | _ -> ()
+
+let suite = [
+  Alcotest.test_case "unanimous 1 decides 1" `Quick (fun () ->
+    let d, _ = run_aba ~seed:"u1" [ true; true; true; true ] in
+    Array.iter (fun x -> Alcotest.(check (option bool)) "one" (Some true) x) d);
+
+  Alcotest.test_case "unanimous 0 decides 0" `Quick (fun () ->
+    let d, _ = run_aba ~seed:"u0" [ false; false; false; false ] in
+    Array.iter (fun x -> Alcotest.(check (option bool)) "zero" (Some false) x) d);
+
+  Alcotest.test_case "mixed proposals agree" `Quick (fun () ->
+    List.iteri
+      (fun k props ->
+        let d, _ = run_aba ~seed:(Printf.sprintf "mix%d" k) props in
+        check_agreement_validity props d)
+      [ [ true; false; true; false ];
+        [ true; false; false; false ];
+        [ false; true; true; true ] ]);
+
+  Alcotest.test_case "agreement across many randomized runs" `Slow (fun () ->
+    let d = Hashes.Drbg.create ~seed:"aba-fuzz" in
+    for k = 0 to 9 do
+      let props = List.init 4 (fun _ -> Hashes.Drbg.bool d) in
+      let dec, _ = run_aba ~seed:(Printf.sprintf "fuzz%d" k) props in
+      check_agreement_validity props dec
+    done);
+
+  Alcotest.test_case "tolerates one crashed party" `Quick (fun () ->
+    let props = [ true; false; true; false ] in
+    let d, _ = run_aba ~seed:"crash" ~crash:[ 3 ] props in
+    check_agreement_validity ~crash:[ 3 ] props d);
+
+  Alcotest.test_case "n=7 t=2 with two crashes" `Slow (fun () ->
+    let props = [ true; false; true; false; true; false; true ] in
+    let c = Util.cluster ~seed:"aba7" ~n:7 ~t:2 () in
+    let decided = Array.make 7 None in
+    let insts =
+      Array.init 7 (fun i ->
+        Binary_agreement.create (Cluster.runtime c i) ~pid:"aba"
+          ~on_decide:(fun b _ -> decided.(i) <- Some b))
+    in
+    Cluster.crash c 5;
+    Cluster.crash c 6;
+    List.iteri
+      (fun i v ->
+        if i < 5 then Cluster.inject c i (fun () -> Binary_agreement.propose insts.(i) v))
+      props;
+    ignore (Cluster.run c);
+    check_agreement_validity ~crash:[ 5; 6 ] props decided);
+
+  Alcotest.test_case "double proposal rejected" `Quick (fun () ->
+    let c = Util.cluster ~seed:"dbl" () in
+    let inst =
+      Binary_agreement.create (Cluster.runtime c 0) ~pid:"aba"
+        ~on_decide:(fun _ _ -> ())
+    in
+    Binary_agreement.propose inst true;
+    Alcotest.check_raises "double"
+      (Invalid_argument "Binary_agreement.propose: already proposed")
+      (fun () -> Binary_agreement.propose inst false));
+
+  Alcotest.test_case "bias breaks a 2-2 split its way" `Quick (fun () ->
+    (* With two proposals each way, neither bit can gather n-t unanimous
+       pre-votes, so round 1 ends in abstain everywhere and the biased
+       "coin" decides.  This is deterministic: the protocol must decide the
+       bias value. *)
+    List.iter
+      (fun bias ->
+        let c = Util.cluster ~seed:"bias" () in
+        let decided = Array.make 4 None in
+        let insts =
+          Array.init 4 (fun i ->
+            Binary_agreement.create ~bias (Cluster.runtime c i) ~pid:"aba"
+              ~on_decide:(fun b _ -> decided.(i) <- Some b))
+        in
+        List.iteri
+          (fun i v -> Cluster.inject c i (fun () -> Binary_agreement.propose insts.(i) v))
+          [ true; true; false; false ];
+        ignore (Cluster.run c);
+        Array.iter
+          (fun x -> Alcotest.(check (option bool)) "bias value" (Some bias) x)
+          decided)
+      [ true; false ]);
+
+  Alcotest.test_case "validated agreement returns usable proof" `Quick (fun () ->
+    let validator b proof = proof = "proof:" ^ string_of_bool b in
+    let c = Util.cluster ~seed:"vba" () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Validated_agreement.create (Cluster.runtime c i) ~pid:"vba" ~validator
+          ~on_decide:(fun b ~proof -> decided.(i) <- Some (b, proof)))
+    in
+    List.iteri
+      (fun i v ->
+        Cluster.inject c i (fun () ->
+          Validated_agreement.propose insts.(i) v ~proof:("proof:" ^ string_of_bool v)))
+      [ true; false; true; false ];
+    ignore (Cluster.run c);
+    Array.iter
+      (fun x ->
+        match x with
+        | None -> Alcotest.fail "no decision"
+        | Some (b, proof) ->
+          Alcotest.(check bool) "proof validates decision" true (validator b proof))
+      decided;
+    Util.check_all_equal "agreement" (Array.to_list decided));
+
+  Alcotest.test_case "invalid proposal rejected locally" `Quick (fun () ->
+    let validator b proof = proof = "proof:" ^ string_of_bool b in
+    let c = Util.cluster ~seed:"vba2" () in
+    let inst =
+      Validated_agreement.create (Cluster.runtime c 0) ~pid:"vba" ~validator
+        ~on_decide:(fun _ ~proof:_ -> ())
+    in
+    Alcotest.check_raises "bad proof"
+      (Invalid_argument "Binary_agreement.propose: proposal fails validation")
+      (fun () -> Validated_agreement.propose inst true ~proof:"wrong"));
+
+  Alcotest.test_case "byzantine prevote shares are ignored" `Quick (fun () ->
+    (* Party 0 floods garbage and unjustified votes; the three honest
+       parties still reach agreement on their common proposal. *)
+    let c = Util.cluster ~seed:"byz-aba" () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 3 (fun k ->
+        let i = k + 1 in
+        Binary_agreement.create (Cluster.runtime c i) ~pid:"aba"
+          ~on_decide:(fun b _ -> decided.(i) <- Some b))
+    in
+    Cluster.inject c 0 (fun () ->
+      let rt = Cluster.runtime c 0 in
+      for dst = 1 to 3 do
+        (* raw garbage *)
+        Runtime.send rt ~dst ~pid:"aba" "complete nonsense";
+        (* a syntactically valid pre-vote whose share is for the wrong
+           statement (claims value true but shares the false statement) *)
+        let bogus_share =
+          Tsig.release ~drbg:rt.Runtime.drbg rt.Runtime.keys.Dealer.ag_tsig
+            ~ctx:"aba" "aba-pre|aba|1|false"
+        in
+        let body =
+          Wire.encode (fun b ->
+            Wire.Enc.u8 b 0;
+            Wire.Enc.int b 1;
+            Wire.Enc.bool b true;
+            Tsig.enc_share b bogus_share;
+            Wire.Enc.u8 b 0;
+            Wire.Enc.option b Wire.Enc.bytes None)
+        in
+        Runtime.send rt ~dst ~pid:"aba" body
+      done);
+    Array.iteri
+      (fun k inst ->
+        Cluster.inject c (k + 1) (fun () -> Binary_agreement.propose inst false))
+      insts;
+    ignore (Cluster.run c);
+    for i = 1 to 3 do
+      Alcotest.(check (option bool)) "honest decide false" (Some false) decided.(i)
+    done);
+
+  (* --- multi-valued agreement --- *)
+
+  Alcotest.test_case "mvba agrees on a proposed value" `Quick (fun () ->
+    let c = Util.cluster ~seed:"mv1" () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Array_agreement.create (Cluster.runtime c i) ~pid:"mv"
+          ~validator:(fun s -> String.length s > 0)
+          ~on_decide:(fun v -> decided.(i) <- Some v))
+    in
+    let proposals = List.init 4 (fun i -> Printf.sprintf "proposal-%d" i) in
+    List.iteri
+      (fun i v -> Cluster.inject c i (fun () -> Array_agreement.propose insts.(i) v))
+      proposals;
+    ignore (Cluster.run c);
+    Array.iter (fun d -> if d = None then Alcotest.fail "undecided") decided;
+    Util.check_all_equal "agreement" (Array.to_list decided);
+    match decided.(0) with
+    | Some v -> Alcotest.(check bool) "validity" true (List.mem v proposals)
+    | None -> assert false);
+
+  Alcotest.test_case "mvba with random candidate order" `Quick (fun () ->
+    let c = Util.cluster ~seed:"mv2" ~perm_mode:Config.Random_local () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Array_agreement.create (Cluster.runtime c i) ~pid:"mv-rand"
+          ~validator:(fun _ -> true)
+          ~on_decide:(fun v -> decided.(i) <- Some v))
+    in
+    List.iteri
+      (fun i inst ->
+        Cluster.inject c i (fun () -> Array_agreement.propose inst (string_of_int i)))
+      (Array.to_list insts);
+    ignore (Cluster.run c);
+    Array.iter (fun d -> if d = None then Alcotest.fail "undecided") decided;
+    Util.check_all_equal "agreement" (Array.to_list decided));
+
+  Alcotest.test_case "mvba tolerates a crashed party" `Quick (fun () ->
+    let c = Util.cluster ~seed:"mv3" () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Array_agreement.create (Cluster.runtime c i) ~pid:"mv"
+          ~validator:(fun s -> String.length s > 0)
+          ~on_decide:(fun v -> decided.(i) <- Some v))
+    in
+    Cluster.crash c 2;
+    List.iteri
+      (fun i inst ->
+        if i <> 2 then
+          Cluster.inject c i (fun () -> Array_agreement.propose inst (Printf.sprintf "p%d" i)))
+      (Array.to_list insts);
+    ignore (Cluster.run c);
+    List.iter
+      (fun i ->
+        match decided.(i) with
+        | None -> Alcotest.failf "party %d undecided" i
+        | Some v -> Alcotest.(check bool) "valid" true (String.length v > 0))
+      [ 0; 1; 3 ];
+    Util.check_all_equal "agreement" [ decided.(0); decided.(1); decided.(3) ]);
+
+  Alcotest.test_case "mvba never decides an invalid value" `Quick (fun () ->
+    (* The validator only accepts values with prefix "ok:"; the corrupted
+       party proposes something invalid, which can win no agreement. *)
+    let validator s = String.length s >= 3 && String.sub s 0 3 = "ok:" in
+    let c = Util.cluster ~seed:"mv4" () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Array_agreement.create (Cluster.runtime c i) ~pid:"mv"
+          ~validator
+          ~on_decide:(fun v -> decided.(i) <- Some v))
+    in
+    (* Party 0 is corrupted: it broadcasts an invalid proposal via its own
+       VCBC instance directly (bypassing the local validation in propose). *)
+    Cluster.inject c 0 (fun () ->
+      Consistent_broadcast.send insts.(0).Array_agreement.vcbc.(0) "evil");
+    List.iteri
+      (fun i inst ->
+        if i > 0 then
+          Cluster.inject c i (fun () ->
+            Array_agreement.propose inst (Printf.sprintf "ok:%d" i)))
+      (Array.to_list insts);
+    ignore (Cluster.run c);
+    List.iter
+      (fun i ->
+        match decided.(i) with
+        | None -> Alcotest.failf "party %d undecided" i
+        | Some v -> Alcotest.(check bool) "validator accepts" true (validator v))
+      [ 1; 2; 3 ]);
+
+  Alcotest.test_case "mvba double propose rejected" `Quick (fun () ->
+    let c = Util.cluster ~seed:"mv5" () in
+    let inst =
+      Array_agreement.create (Cluster.runtime c 0) ~pid:"mv"
+        ~validator:(fun _ -> true) ~on_decide:(fun _ -> ())
+    in
+    Array_agreement.propose inst "a";
+    Alcotest.check_raises "double"
+      (Invalid_argument "Array_agreement.propose: already proposed")
+      (fun () -> Array_agreement.propose inst "b"));
+]

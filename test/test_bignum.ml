@@ -1,0 +1,272 @@
+(* Unit and property tests for the bignum substrate. *)
+
+open Bignum
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let bigint = Alcotest.testable Bigint.pp Bigint.equal
+
+(* Generator for naturals up to ~512 bits, with small values well covered. *)
+let gen_nat : Nat.t QCheck.arbitrary =
+  let gen =
+    QCheck.Gen.(
+      oneof [
+        map Nat.of_int (int_bound 1000);
+        map
+          (fun (bits, seed) ->
+            let drbg = Hashes.Drbg.create ~seed:(string_of_int seed) in
+            Nat.random_bits ~random_bytes:(Hashes.Drbg.random_bytes drbg) (1 + bits))
+          (pair (int_bound 511) int);
+      ])
+  in
+  QCheck.make ~print:Nat.to_string gen
+
+let gen_pos_nat : Nat.t QCheck.arbitrary =
+  QCheck.map ~rev:(fun n -> n) (fun n -> Nat.add n Nat.one) gen_nat
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let unit_tests = [
+  Alcotest.test_case "zero and one" `Quick (fun () ->
+    Alcotest.check nat "0" Nat.zero (Nat.of_int 0);
+    Alcotest.check nat "1" Nat.one (Nat.of_int 1);
+    Alcotest.(check bool) "is_zero" true (Nat.is_zero Nat.zero);
+    Alcotest.(check bool) "one not zero" false (Nat.is_zero Nat.one));
+
+  Alcotest.test_case "of_int/to_int roundtrip" `Quick (fun () ->
+    List.iter
+      (fun x ->
+        Alcotest.(check (option int)) (string_of_int x) (Some x)
+          (Nat.to_int_opt (Nat.of_int x)))
+      [ 0; 1; 2; 12345; max_int / 4; (1 lsl 31) - 1; 1 lsl 31; (1 lsl 62) - 1; max_int ]);
+
+  Alcotest.test_case "of_int rejects negatives" `Quick (fun () ->
+    Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative")
+      (fun () -> ignore (Nat.of_int (-1))));
+
+  Alcotest.test_case "known product" `Quick (fun () ->
+    let a = Nat.of_string "123456789012345678901234567890123456789" in
+    let b = Nat.of_string "987654321098765432109876543210" in
+    Alcotest.check nat "product"
+      (Nat.of_string "121932631137021795226185032733744855963362292333223746380111126352690")
+      (Nat.mul a b));
+
+  Alcotest.test_case "known powmod" `Quick (fun () ->
+    (* cross-checked against an independent implementation *)
+    let m = Nat.of_string "1000000000000000000000000000057" in
+    let e = Nat.of_string "100000000000000000007" in
+    Alcotest.check nat "3^e mod m"
+      (Nat.of_string "833722544651502183370455795997")
+      (Nat.powmod (Nat.of_int 3) e m));
+
+  Alcotest.test_case "sub underflow raises" `Quick (fun () ->
+    Alcotest.check_raises "underflow" (Invalid_argument "Nat.sub: underflow")
+      (fun () -> ignore (Nat.sub Nat.one Nat.two)));
+
+  Alcotest.test_case "division by zero raises" `Quick (fun () ->
+    Alcotest.check_raises "div0" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero)));
+
+  Alcotest.test_case "decimal corner cases" `Quick (fun () ->
+    Alcotest.(check string) "zero" "0" (Nat.to_string Nat.zero);
+    Alcotest.(check string) "chunk boundary" "1000000000"
+      (Nat.to_string (Nat.of_string "1000000000"));
+    Alcotest.(check string) "interior zeros" "1000000000000000001"
+      (Nat.to_string (Nat.of_string "1000000000000000001")));
+
+  Alcotest.test_case "hex corner cases" `Quick (fun () ->
+    Alcotest.(check string) "zero" "0" (Nat.to_hex Nat.zero);
+    Alcotest.check nat "upper/lower" (Nat.of_hex "DEADBEEF") (Nat.of_hex "deadbeef");
+    Alcotest.check nat "value" (Nat.of_int 0xdeadbeef) (Nat.of_hex "deadbeef"));
+
+  Alcotest.test_case "to_bytes_be padding" `Quick (fun () ->
+    Alcotest.(check string) "padded" "\x00\x00\x01\x02"
+      (Nat.to_bytes_be ~len:4 (Nat.of_int 0x0102));
+    Alcotest.check_raises "too small"
+      (Invalid_argument "Nat.to_bytes_be: value too large for len") (fun () ->
+        ignore (Nat.to_bytes_be ~len:1 (Nat.of_int 0x0102))));
+
+  Alcotest.test_case "numbits / testbit" `Quick (fun () ->
+    Alcotest.(check int) "0 bits" 0 (Nat.numbits Nat.zero);
+    Alcotest.(check int) "1" 1 (Nat.numbits Nat.one);
+    Alcotest.(check int) "255" 8 (Nat.numbits (Nat.of_int 255));
+    Alcotest.(check int) "256" 9 (Nat.numbits (Nat.of_int 256));
+    let v = Nat.shift_left Nat.one 100 in
+    Alcotest.(check int) "2^100" 101 (Nat.numbits v);
+    Alcotest.(check bool) "bit 100" true (Nat.testbit v 100);
+    Alcotest.(check bool) "bit 99" false (Nat.testbit v 99));
+
+  Alcotest.test_case "bigint signs" `Quick (fun () ->
+    let a = Bigint.of_int (-7) and b = Bigint.of_int 3 in
+    Alcotest.check bigint "add" (Bigint.of_int (-4)) (Bigint.add a b);
+    Alcotest.check bigint "mul" (Bigint.of_int (-21)) (Bigint.mul a b);
+    Alcotest.check bigint "erem" (Bigint.of_int 2) (Bigint.erem a b);
+    Alcotest.(check string) "to_string" "-7" (Bigint.to_string a);
+    Alcotest.check bigint "of_string" a (Bigint.of_string "-7"));
+
+  Alcotest.test_case "invmod" `Quick (fun () ->
+    let m = Bigint.of_int 97 in
+    let inv = Bigint.invmod (Bigint.of_int 35) m in
+    Alcotest.check bigint "35 * inv = 1" Bigint.one
+      (Bigint.erem (Bigint.mul (Bigint.of_int 35) inv) m);
+    Alcotest.check_raises "no inverse" Not_found (fun () ->
+      ignore (Bigint.invmod (Bigint.of_int 6) (Bigint.of_int 9))));
+
+  Alcotest.test_case "jacobi known values" `Quick (fun () ->
+    (* (1001/9907) = -1 is the worked example in HAC *)
+    Alcotest.(check int) "HAC example" (-1)
+      (Bigint.jacobi (Bigint.of_int 1001) (Bigint.of_int 9907));
+    Alcotest.(check int) "square" 1
+      (Bigint.jacobi (Bigint.of_int 4) (Bigint.of_int 7));
+    Alcotest.(check int) "divides" 0
+      (Bigint.jacobi (Bigint.of_int 21) (Bigint.of_int 7)));
+
+  Alcotest.test_case "primality of known values" `Quick (fun () ->
+    let rb = Util.random_bytes () in
+    let prime s = Prime.is_probable_prime ~random_bytes:rb (Nat.of_string s) in
+    Alcotest.(check bool) "2" true (prime "2");
+    Alcotest.(check bool) "3" true (prime "3");
+    Alcotest.(check bool) "4" false (prime "4");
+    Alcotest.(check bool) "1" false (prime "1");
+    Alcotest.(check bool) "2^31-1" true (prime "2147483647");
+    Alcotest.(check bool) "carmichael 561" false (prime "561");
+    Alcotest.(check bool) "carmichael 41041" false (prime "41041");
+    Alcotest.(check bool) "10^18+9" true (prime "1000000000000000009");
+    Alcotest.(check bool) "10^18+11" false (prime "1000000000000000011"));
+
+  Alcotest.test_case "prime generation" `Quick (fun () ->
+    let rb = Util.random_bytes ~seed:"gen-prime" () in
+    let p = Prime.gen_prime ~random_bytes:rb 128 in
+    Alcotest.(check int) "exact size" 128 (Nat.numbits p);
+    Alcotest.(check bool) "prime" true (Prime.is_probable_prime ~random_bytes:rb p));
+
+  Alcotest.test_case "safe prime generation" `Quick (fun () ->
+    let rb = Util.random_bytes ~seed:"gen-safe" () in
+    let p = Prime.gen_safe_prime ~random_bytes:rb 96 in
+    let q = Nat.shift_right (Nat.sub p Nat.one) 1 in
+    Alcotest.(check bool) "p prime" true (Prime.is_probable_prime ~random_bytes:rb p);
+    Alcotest.(check bool) "(p-1)/2 prime" true (Prime.is_probable_prime ~random_bytes:rb q));
+
+  Alcotest.test_case "schnorr group generation" `Quick (fun () ->
+    let rb = Util.random_bytes ~seed:"gen-schnorr" () in
+    let p, q, g = Prime.gen_schnorr_group ~random_bytes:rb ~pbits:256 ~qbits:80 () in
+    Alcotest.(check int) "p size" 256 (Nat.numbits p);
+    Alcotest.(check int) "q size" 80 (Nat.numbits q);
+    Alcotest.check nat "q | p-1" Nat.zero (Nat.rem (Nat.sub p Nat.one) q);
+    Alcotest.check nat "g^q = 1" Nat.one (Nat.powmod g q p);
+    Alcotest.(check bool) "g <> 1" false (Nat.equal g Nat.one));
+]
+
+let property_tests = [
+  qtest "add commutes" (QCheck.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a));
+
+  qtest "add associates" (QCheck.triple gen_nat gen_nat gen_nat)
+    (fun (a, b, c) ->
+      Nat.equal (Nat.add a (Nat.add b c)) (Nat.add (Nat.add a b) c));
+
+  qtest "mul commutes" (QCheck.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a));
+
+  qtest "mul distributes over add" (QCheck.triple gen_nat gen_nat gen_nat)
+    (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)));
+
+  qtest "sub inverts add" (QCheck.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.sub (Nat.add a b) b) a);
+
+  qtest "divmod invariant" (QCheck.pair gen_nat gen_pos_nat)
+    (fun (a, b) ->
+      let q, r = Nat.divmod a b in
+      Nat.compare r b < 0 && Nat.equal (Nat.add (Nat.mul q b) r) a);
+
+  qtest "shift roundtrip" (QCheck.pair gen_nat (QCheck.int_bound 200))
+    (fun (a, k) -> Nat.equal (Nat.shift_right (Nat.shift_left a k) k) a);
+
+  qtest "shift_left is mul by 2^k" (QCheck.pair gen_nat (QCheck.int_bound 100))
+    (fun (a, k) ->
+      Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.shift_left Nat.one k)));
+
+  qtest "square consistent with mul" gen_nat
+    (fun a -> Nat.equal (Nat.sqr a) (Nat.mul a a));
+
+  qtest "karatsuba agrees with wide operands" (QCheck.pair (QCheck.int_bound 10000) (QCheck.int_bound 10000))
+    (fun (x, y) ->
+      (* Build ~1200-bit operands so the Karatsuba path runs. *)
+      let big v = Nat.add (Nat.shift_left (Nat.of_int (v + 1)) 1200) (Nat.of_int v) in
+      let a = big x and b = big y in
+      let q, r = Nat.divmod (Nat.mul a b) b in
+      Nat.equal q a && Nat.is_zero r);
+
+  qtest "bytes roundtrip" gen_nat
+    (fun a -> Nat.equal (Nat.of_bytes_be (Nat.to_bytes_be a)) a);
+
+  qtest "hex roundtrip" gen_nat
+    (fun a -> Nat.equal (Nat.of_hex (Nat.to_hex a)) a);
+
+  qtest "decimal roundtrip" gen_nat
+    (fun a -> Nat.equal (Nat.of_string (Nat.to_string a)) a);
+
+  qtest ~count:200 "barrett reduce agrees with rem" (QCheck.pair gen_nat gen_pos_nat)
+    (fun (x, m) ->
+      let ctx = Nat.Barrett.create m in
+      Nat.equal (Nat.Barrett.reduce ctx x) (Nat.rem x m));
+
+  qtest ~count:100 "barrett at product range" (QCheck.pair gen_nat gen_pos_nat)
+    (fun (a, m) ->
+      (* the hot case: reducing a product of two residues *)
+      let a = Nat.rem a m in
+      let x = Nat.sqr a in
+      let ctx = Nat.Barrett.create m in
+      Nat.equal (Nat.Barrett.reduce ctx x) (Nat.rem x m));
+
+  qtest ~count:50 "powmod multiplicativity" (QCheck.pair gen_nat gen_pos_nat)
+    (fun (a, m) ->
+      let m = Nat.add m Nat.one in  (* >= 2 *)
+      let e1 = Nat.of_int 13 and e2 = Nat.of_int 29 in
+      (* a^13 * a^29 = a^42 mod m *)
+      Nat.equal
+        (Nat.rem (Nat.mul (Nat.powmod a e1 m) (Nat.powmod a e2 m)) m)
+        (Nat.powmod a (Nat.add e1 e2) m));
+
+  qtest ~count:100 "egcd bezout identity" (QCheck.pair gen_nat gen_pos_nat)
+    (fun (a, b) ->
+      let a = Bigint.of_nat a and b = Bigint.of_nat b in
+      let g, x, y = Bigint.egcd a b in
+      Bigint.equal (Bigint.add (Bigint.mul a x) (Bigint.mul b y)) g);
+
+  qtest ~count:100 "invmod correct when gcd 1" (QCheck.pair gen_nat gen_pos_nat)
+    (fun (a, m) ->
+      let m = Bigint.add (Bigint.of_nat m) Bigint.two in
+      let a = Bigint.of_nat a in
+      match Bigint.invmod a m with
+      | inv -> Bigint.equal (Bigint.erem (Bigint.mul a inv) m) Bigint.one
+      | exception Not_found ->
+        not (Bigint.equal (Bigint.gcd a m) Bigint.one));
+
+  qtest ~count:100 "erem in range and consistent" (QCheck.pair gen_nat gen_pos_nat)
+    (fun (a, m) ->
+      let m = Bigint.of_nat m in
+      let a = Bigint.neg (Bigint.of_nat a) in   (* exercise negatives *)
+      let r = Bigint.erem a m in
+      (not (Bigint.is_neg r))
+      && Bigint.compare r m < 0
+      && Bigint.equal (Bigint.add (Bigint.mul m (Bigint.ediv a m)) r) a);
+
+  qtest ~count:50 "random_below stays below" gen_pos_nat
+    (fun bound ->
+      let rb = Util.random_bytes ~seed:(Nat.to_string bound) () in
+      let v = Nat.random_below ~random_bytes:rb bound in
+      Nat.compare v bound < 0);
+
+  qtest ~count:40 "jacobi multiplicative in numerator"
+    (QCheck.triple (QCheck.int_bound 2000) (QCheck.int_bound 2000) (QCheck.int_bound 500))
+    (fun (a, b, m) ->
+      let n = Bigint.of_int ((2 * m) + 3) in  (* odd >= 3 *)
+      let ja = Bigint.jacobi (Bigint.of_int a) n in
+      let jb = Bigint.jacobi (Bigint.of_int b) n in
+      let jab = Bigint.jacobi (Bigint.of_int (a * b)) n in
+      jab = ja * jb);
+]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,206 @@
+(* Tests for the broadcast primitives, including Byzantine-sender attacks. *)
+
+open Sintra
+
+let deliveries_of (got : string option array) : string list =
+  Array.to_list got |> List.filter_map (fun x -> x)
+
+let make_rbc c pid sender got =
+  Array.init (Cluster.n c) (fun i ->
+    Reliable_broadcast.create (Cluster.runtime c i) ~pid ~sender
+      ~on_deliver:(fun m -> got.(i) <- Some m))
+
+let suite = [
+  Alcotest.test_case "reliable: honest sender delivers everywhere" `Quick (fun () ->
+    let c = Util.cluster ~seed:"rbc1" () in
+    let got = Array.make 4 None in
+    let insts = make_rbc c "r.0" 0 got in
+    Cluster.inject c 0 (fun () -> Reliable_broadcast.send insts.(0) "payload");
+    ignore (Cluster.run c);
+    Alcotest.(check (list string)) "all four" [ "payload"; "payload"; "payload"; "payload" ]
+      (deliveries_of got));
+
+  Alcotest.test_case "reliable: empty and large payloads" `Quick (fun () ->
+    List.iteri
+      (fun k payload ->
+        let c = Util.cluster ~seed:(Printf.sprintf "rbc-size%d" k) () in
+        let got = Array.make 4 None in
+        let insts = make_rbc c "r.s" 1 got in
+        Cluster.inject c 1 (fun () -> Reliable_broadcast.send insts.(1) payload);
+        ignore (Cluster.run c);
+        Alcotest.(check int) "count" 4 (List.length (deliveries_of got));
+        Util.check_all_equal "payload" (deliveries_of got))
+      [ ""; String.make 20_000 'x' ]);
+
+  Alcotest.test_case "reliable: non-sender cannot send" `Quick (fun () ->
+    let c = Util.cluster ~seed:"rbc2" () in
+    let got = Array.make 4 None in
+    let insts = make_rbc c "r.1" 2 got in
+    Alcotest.check_raises "wrong sender"
+      (Invalid_argument "Reliable_broadcast.send: not the sender")
+      (fun () -> Reliable_broadcast.send insts.(0) "x"));
+
+  Alcotest.test_case "reliable: agreement under an equivocating sender" `Quick (fun () ->
+    (* Byzantine party 0 sends payload A to parties 1,2 and payload B to 3,
+       then echoes whatever helps; honest parties must never deliver
+       different payloads. *)
+    let c = Util.cluster ~seed:"rbc3" () in
+    let got = Array.make 4 None in
+    let _insts =
+      Array.init 3 (fun k ->
+        let i = k + 1 in
+        Reliable_broadcast.create (Cluster.runtime c i) ~pid:"r.eq" ~sender:0
+          ~on_deliver:(fun m -> got.(i) <- Some m))
+    in
+    Cluster.inject c 0 (fun () ->
+      let rt = Cluster.runtime c 0 in
+      Runtime.send rt ~dst:1 ~pid:"r.eq"
+        (Reliable_broadcast.encode ~tag:Reliable_broadcast.tag_send "A");
+      Runtime.send rt ~dst:2 ~pid:"r.eq"
+        (Reliable_broadcast.encode ~tag:Reliable_broadcast.tag_send "A");
+      Runtime.send rt ~dst:3 ~pid:"r.eq"
+        (Reliable_broadcast.encode ~tag:Reliable_broadcast.tag_send "B");
+      (* the corrupted party also echoes both values to everyone *)
+      for dst = 1 to 3 do
+        Runtime.send rt ~dst ~pid:"r.eq"
+          (Reliable_broadcast.encode ~tag:Reliable_broadcast.tag_echo "A");
+        Runtime.send rt ~dst ~pid:"r.eq"
+          (Reliable_broadcast.encode ~tag:Reliable_broadcast.tag_echo "B")
+      done);
+    ignore (Cluster.run c);
+    Util.check_all_equal "honest agreement" (deliveries_of got));
+
+  Alcotest.test_case "reliable: crashed sender delivers nowhere or everywhere" `Quick
+    (fun () ->
+      (* The sender's SEND reaches only party 1 before it crashes. *)
+      let c = Util.cluster ~seed:"rbc4" () in
+      let got = Array.make 4 None in
+      let insts = make_rbc c "r.cr" 0 got in
+      let passed = ref 0 in
+      Cluster.set_intercept c (fun ~src ~dst:_ _ ->
+        if src = 0 then begin
+          incr passed;
+          if !passed <= 1 then Sim.Net.Deliver else Sim.Net.Drop
+        end
+        else Sim.Net.Deliver);
+      Cluster.inject c 0 (fun () -> Reliable_broadcast.send insts.(0) "m");
+      Cluster.at c ~time:0.001 (fun () -> Cluster.crash c 0);
+      ignore (Cluster.run c);
+      (* with a single echo, no honest quorum forms: nothing delivered *)
+      let delivered = deliveries_of got in
+      Alcotest.(check bool) "all-or-nothing" true
+        (delivered = [] || List.length delivered >= 3);
+      Util.check_all_equal "same value" delivered);
+
+  Alcotest.test_case "consistent: honest sender delivers everywhere" `Quick (fun () ->
+    let c = Util.cluster ~seed:"cbc1" () in
+    let got = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Consistent_broadcast.create (Cluster.runtime c i) ~pid:"c.0" ~sender:3
+          ~on_deliver:(fun m -> got.(i) <- Some m))
+    in
+    Cluster.inject c 3 (fun () -> Consistent_broadcast.send insts.(3) "echo payload");
+    ignore (Cluster.run c);
+    Alcotest.(check int) "four deliveries" 4 (List.length (deliveries_of got));
+    Util.check_all_equal "same" (deliveries_of got));
+
+  Alcotest.test_case "consistent: closing message is transferable" `Quick (fun () ->
+    let c = Util.cluster ~seed:"cbc2" () in
+    let got = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Consistent_broadcast.create (Cluster.runtime c i) ~pid:"c.1" ~sender:0
+          ~on_deliver:(fun m -> got.(i) <- Some m))
+    in
+    Cluster.inject c 0 (fun () -> Consistent_broadcast.send insts.(0) "verifiable");
+    ignore (Cluster.run c);
+    match Consistent_broadcast.get_closing insts.(1) with
+    | None -> Alcotest.fail "no closing message"
+    | Some closing ->
+      Alcotest.(check bool) "valid for instance" true
+        (Consistent_broadcast.closing_valid (Cluster.runtime c 2) ~pid:"c.1" closing);
+      Alcotest.(check bool) "invalid for other instance" false
+        (Consistent_broadcast.closing_valid (Cluster.runtime c 2) ~pid:"c.other" closing);
+      Alcotest.(check (option string)) "payload extract" (Some "verifiable")
+        (Consistent_broadcast.payload_of_closing closing);
+      (* a fresh instance can deliver from the closing message alone *)
+      let c2 = Util.cluster ~seed:"cbc2" () in
+      let late = ref None in
+      let inst =
+        Consistent_broadcast.create (Cluster.runtime c2 2) ~pid:"c.1" ~sender:0
+          ~on_deliver:(fun m -> late := Some m)
+      in
+      Alcotest.(check bool) "garbage closing rejected" false
+        (Consistent_broadcast.deliver_closing inst "garbage");
+      Alcotest.(check bool) "deliver_closing" true
+        (Consistent_broadcast.deliver_closing inst closing);
+      Alcotest.(check (option string)) "late delivery" (Some "verifiable") !late);
+
+  Alcotest.test_case "consistent: equivocating sender cannot split the group" `Quick
+    (fun () ->
+      (* Byzantine sender 0 starts the echo phase with payload A at parties
+         1,2 and payload B at party 3, releases its own signature share for
+         both, and tries to assemble finals for both.  The echo quorum is 3
+         of 4, so only one payload can ever gather enough shares. *)
+      let c = Util.cluster ~seed:"cbc3" () in
+      let got = Array.make 4 None in
+      let _insts =
+        Array.init 3 (fun k ->
+          let i = k + 1 in
+          Consistent_broadcast.create (Cluster.runtime c i) ~pid:"c.eq" ~sender:0
+            ~on_deliver:(fun m -> got.(i) <- Some m))
+      in
+      let rt0 = Cluster.runtime c 0 in
+      let shares_a = ref [] and shares_b = ref [] in
+      let quorum = Config.echo_quorum (Util.cluster ~seed:"cbc3" ()).Cluster.cfg in
+      let stmt p = Consistent_broadcast.statement ~pid:"c.eq" p in
+      (* party 0's own shares for both payloads *)
+      let own p =
+        Tsig.release ~drbg:rt0.Runtime.drbg rt0.Runtime.keys.Dealer.bc_tsig
+          ~ctx:"c.eq" (stmt p)
+      in
+      shares_a := [ own "A" ];
+      shares_b := [ own "B" ];
+      let try_final payload shares =
+        if List.length shares >= quorum then begin
+          let pub = Tsig.public_of_secret rt0.Runtime.keys.Dealer.bc_tsig in
+          let signature = Tsig.assemble pub ~ctx:"c.eq" (stmt payload) shares in
+          let body =
+            Wire.encode (fun b ->
+              Wire.Enc.u8 b Consistent_broadcast.tag_final;
+              Wire.Enc.bytes b payload;
+              Wire.Enc.bytes b signature)
+          in
+          for dst = 1 to 3 do Runtime.send rt0 ~dst ~pid:"c.eq" body done
+        end
+      in
+      Runtime.register rt0 ~pid:"c.eq" (fun ~src body ->
+        match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
+        | Some (tag, d) when tag = Consistent_broadcast.tag_echo ->
+          (match (try Some (Tsig.dec_share d) with Wire.Decode _ -> None) with
+           | Some share ->
+             if src = 3 then begin
+               shares_b := share :: !shares_b;
+               try_final "B" !shares_b
+             end
+             else begin
+               shares_a := share :: !shares_a;
+               try_final "A" !shares_a
+             end
+           | None -> ())
+        | _ -> ());
+      Cluster.inject c 0 (fun () ->
+        let send_to dst payload =
+          Runtime.send rt0 ~dst ~pid:"c.eq"
+            (Wire.encode (fun b ->
+               Wire.Enc.u8 b Consistent_broadcast.tag_send;
+               Wire.Enc.bytes b payload))
+        in
+        send_to 1 "A"; send_to 2 "A"; send_to 3 "B");
+      ignore (Cluster.run c);
+      (* only A can reach the quorum; every delivering party delivers A *)
+      let delivered = deliveries_of got in
+      Util.check_all_equal "consistency" delivered;
+      List.iter (fun v -> Alcotest.(check string) "value A" "A" v) delivered);
+]

@@ -1,0 +1,322 @@
+(* Tests for the channels: atomic, secure causal atomic, reliable,
+   consistent. *)
+
+open Sintra
+
+let make_atomic ?(n = 4) (c : Cluster.t) pid =
+  let logs = Array.init n (fun _ -> ref []) in
+  let closed = Array.make n false in
+  let chans =
+    Array.init n (fun i ->
+      Atomic_channel.create (Cluster.runtime c i) ~pid
+        ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i)))
+        ~on_close:(fun () -> closed.(i) <- true) ())
+  in
+  (chans, logs, closed)
+
+let sequences logs = Array.map (fun l -> List.rev !l) logs
+
+let suite = [
+  Alcotest.test_case "atomic: single sender, in-order total delivery" `Quick (fun () ->
+    let c = Util.cluster ~seed:"at1" () in
+    let chans, logs, _ = make_atomic c "abc" in
+    for k = 0 to 4 do
+      Cluster.inject c 1 (fun () -> Atomic_channel.send chans.(1) (Printf.sprintf "m%d" k))
+    done;
+    ignore (Cluster.run c);
+    let seqs = sequences logs in
+    Util.check_all_equal "total order" (Array.to_list seqs);
+    Alcotest.(check (list (pair int string))) "sender order preserved"
+      (List.init 5 (fun k -> (1, Printf.sprintf "m%d" k)))
+      seqs.(0));
+
+  Alcotest.test_case "atomic: concurrent senders, identical order everywhere" `Quick
+    (fun () ->
+      let c = Util.cluster ~seed:"at2" () in
+      let chans, logs, _ = make_atomic c "abc" in
+      for i = 0 to 3 do
+        for k = 0 to 3 do
+          Cluster.inject c i (fun () ->
+            Atomic_channel.send chans.(i) (Printf.sprintf "m%d.%d" i k))
+        done
+      done;
+      ignore (Cluster.run c);
+      let seqs = sequences logs in
+      Util.check_all_equal "total order" (Array.to_list seqs);
+      Alcotest.(check int) "all 16 delivered" 16 (List.length seqs.(0));
+      (* no duplicates *)
+      Alcotest.(check int) "distinct" 16
+        (List.length (List.sort_uniq compare seqs.(0)));
+      (* per-sender FIFO *)
+      for i = 0 to 3 do
+        let mine = List.filter (fun (s, _) -> s = i) seqs.(0) in
+        Alcotest.(check (list (pair int string))) (Printf.sprintf "fifo %d" i)
+          (List.init 4 (fun k -> (i, Printf.sprintf "m%d.%d" i k)))
+          mine
+      done);
+
+  Alcotest.test_case "atomic: tolerates a crashed party" `Quick (fun () ->
+    let c = Util.cluster ~seed:"at3" () in
+    let chans, logs, _ = make_atomic c "abc" in
+    Cluster.crash c 3;
+    for k = 0 to 2 do
+      Cluster.inject c 0 (fun () -> Atomic_channel.send chans.(0) (Printf.sprintf "x%d" k))
+    done;
+    ignore (Cluster.run c);
+    let seqs = sequences logs in
+    Util.check_all_equal "order among live" [ seqs.(0); seqs.(1); seqs.(2) ];
+    Alcotest.(check int) "all delivered" 3 (List.length seqs.(0)));
+
+  Alcotest.test_case "atomic: byzantine party cannot forge a sender" `Quick (fun () ->
+    (* Party 0 injects an INIT claiming to carry a message from party 2 with
+       a bogus signature; the batch validator must reject it everywhere, and
+       the channel must still deliver honest traffic. *)
+    let c = Util.cluster ~seed:"at4" () in
+    let chans, logs, _ = make_atomic c "abc" in
+    Cluster.inject c 0 (fun () ->
+      let rt = Cluster.runtime c 0 in
+      let body =
+        Wire.encode (fun b ->
+          Wire.Enc.u8 b 0;
+          Wire.Enc.int b 0;          (* round *)
+          Wire.Enc.int b 2;          (* forged orig *)
+          Wire.Enc.int b 0;          (* seq *)
+          Wire.Enc.bytes b "\x01forged-from-2";
+          Wire.Enc.int b 0;          (* signer = 0, but sig is garbage *)
+          Wire.Enc.bytes b (String.make 32 '\000'))
+      in
+      for dst = 0 to 3 do Runtime.send rt ~dst ~pid:"abc" body done);
+    Cluster.inject c 1 (fun () -> Atomic_channel.send chans.(1) "legit");
+    ignore (Cluster.run c);
+    let seqs = sequences logs in
+    Util.check_all_equal "order" (Array.to_list seqs);
+    Alcotest.(check (list (pair int string))) "only legit" [ (1, "legit") ] seqs.(0));
+
+  Alcotest.test_case "atomic: close needs t+1 requests" `Quick (fun () ->
+    let c = Util.cluster ~seed:"at5" () in
+    let chans, _, closed = make_atomic c "abc" in
+    (* one close request (t = 1) is not enough *)
+    Cluster.inject c 0 (fun () -> Atomic_channel.close chans.(0));
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "not closed" false (Array.exists (fun x -> x) closed);
+    (* a second requester closes the channel everywhere *)
+    Cluster.inject c 1 (fun () -> Atomic_channel.close chans.(1));
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "all closed" true (Array.for_all (fun x -> x) closed);
+    Alcotest.check_raises "send after close"
+      (Invalid_argument "Atomic_channel.send: channel closed")
+      (fun () -> Atomic_channel.send chans.(2) "late"));
+
+  Alcotest.test_case "atomic: messages before close are delivered" `Quick (fun () ->
+    let c = Util.cluster ~seed:"at6" () in
+    let chans, logs, closed = make_atomic c "abc" in
+    Cluster.inject c 0 (fun () ->
+      Atomic_channel.send chans.(0) "before";
+      Atomic_channel.close chans.(0));
+    Cluster.inject c 1 (fun () -> Atomic_channel.close chans.(1));
+    Cluster.inject c 2 (fun () -> Atomic_channel.close chans.(2));
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "closed" true (Array.for_all (fun x -> x) closed);
+    let seqs = sequences logs in
+    Util.check_all_equal "order" (Array.to_list seqs);
+    Alcotest.(check bool) "payload delivered" true
+      (List.mem (0, "before") seqs.(0)));
+
+  Alcotest.test_case "atomic: batch size n-t also works" `Quick (fun () ->
+    let c = Util.cluster ~seed:"at7" ~batch_size:3 () in
+    let chans, logs, _ = make_atomic c "abc" in
+    for i = 0 to 2 do
+      Cluster.inject c i (fun () -> Atomic_channel.send chans.(i) (Printf.sprintf "b%d" i))
+    done;
+    ignore (Cluster.run c);
+    let seqs = sequences logs in
+    Util.check_all_equal "order" (Array.to_list seqs);
+    Alcotest.(check int) "all three" 3 (List.length seqs.(0)));
+
+  Alcotest.test_case "secure: total order and correct plaintexts" `Quick (fun () ->
+    let c = Util.cluster ~seed:"sc1" () in
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Secure_atomic_channel.create (Cluster.runtime c i) ~pid:"sac"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    for i = 0 to 2 do
+      Cluster.inject c i (fun () ->
+        Secure_atomic_channel.send chans.(i) (Printf.sprintf "secret-%d" i))
+    done;
+    ignore (Cluster.run c);
+    let seqs = sequences logs in
+    Util.check_all_equal "order" (Array.to_list seqs);
+    Alcotest.(check int) "three" 3 (List.length seqs.(0));
+    List.iter
+      (fun (s, m) -> Alcotest.(check string) "plaintext" (Printf.sprintf "secret-%d" s) m)
+      seqs.(0));
+
+  Alcotest.test_case "secure: plaintext never appears on the wire" `Quick (fun () ->
+    let c = Util.cluster ~seed:"sc2" () in
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Secure_atomic_channel.create (Cluster.runtime c i) ~pid:"sac"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    let secret = "EXTREMELY-SECRET-BID-1234567" in
+    let contains_secret = ref false in
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      m > 0 && go 0
+    in
+    Cluster.set_intercept c (fun ~src:_ ~dst:_ payload ->
+      if contains payload secret then contains_secret := true;
+      Sim.Net.Deliver);
+    Cluster.inject c 0 (fun () -> Secure_atomic_channel.send chans.(0) secret);
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "confidential on the wire" false !contains_secret;
+    Alcotest.(check (list (pair int string))) "but delivered" [ (0, secret) ]
+      (List.rev !(logs.(1))));
+
+  Alcotest.test_case "secure: ciphertext event precedes delivery" `Quick (fun () ->
+    let c = Util.cluster ~seed:"sc3" () in
+    let order = ref [] in
+    let chans =
+      Array.init 4 (fun i ->
+        Secure_atomic_channel.create (Cluster.runtime c i) ~pid:"sac"
+          ~on_deliver:(fun ~sender:_ _ -> if i = 1 then order := `Plain :: !order)
+          ~on_ciphertext:(fun ~sender:_ _ -> if i = 1 then order := `Cipher :: !order)
+          ())
+    in
+    Cluster.inject c 2 (fun () -> Secure_atomic_channel.send chans.(2) "m");
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "cipher first" true (List.rev !order = [ `Cipher; `Plain ]));
+
+  Alcotest.test_case "secure: external ciphertext via sendCiphertext" `Quick (fun () ->
+    let c = Util.cluster ~seed:"sc4" () in
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Secure_atomic_channel.create (Cluster.runtime c i) ~pid:"sac"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    (* an outside client encrypts with only the public key... *)
+    let ct =
+      Secure_atomic_channel.encrypt ~drbg:(Util.drbg ~seed:"client" ())
+        ~enc_pub:c.Cluster.dealer.Dealer.enc_pub ~pid:"sac" "from outside"
+    in
+    (* ...and hands the ciphertext to a group member for broadcasting *)
+    Cluster.inject c 3 (fun () -> Secure_atomic_channel.send_ciphertext chans.(3) ct);
+    ignore (Cluster.run c);
+    List.iter
+      (fun log ->
+        Alcotest.(check (list (pair int string))) "delivered" [ (3, "from outside") ]
+          (List.rev !log))
+      (Array.to_list logs));
+
+  Alcotest.test_case "secure: garbage ciphertext skipped consistently" `Quick (fun () ->
+    let c = Util.cluster ~seed:"sc5" () in
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Secure_atomic_channel.create (Cluster.runtime c i) ~pid:"sac"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    Cluster.inject c 0 (fun () ->
+      Secure_atomic_channel.send_ciphertext chans.(0) "not a ciphertext at all");
+    Cluster.inject c 1 (fun () -> Secure_atomic_channel.send chans.(1) "real");
+    ignore (Cluster.run c);
+    let seqs = sequences logs in
+    Util.check_all_equal "order" (Array.to_list seqs);
+    Alcotest.(check (list (pair int string))) "only real" [ (1, "real") ] seqs.(0));
+
+  Alcotest.test_case "reliable channel: unordered but complete" `Quick (fun () ->
+    let c = Util.cluster ~seed:"rc1" () in
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Reliable_channel.create (Cluster.runtime c i) ~pid:"rch"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    for i = 0 to 3 do
+      for k = 0 to 3 do
+        Cluster.inject c i (fun () ->
+          Reliable_channel.send chans.(i) (Printf.sprintf "r%d.%d" i k))
+      done
+    done;
+    ignore (Cluster.run c);
+    Array.iteri
+      (fun i log ->
+        Alcotest.(check int) (Printf.sprintf "party %d count" i) 16 (List.length !log);
+        (* per-sender order is preserved by the sequence-numbered instances *)
+        for s = 0 to 3 do
+          let mine = List.filter (fun (x, _) -> x = s) (List.rev !log) in
+          Alcotest.(check (list (pair int string))) "fifo"
+            (List.init 4 (fun k -> (s, Printf.sprintf "r%d.%d" s k)))
+            mine
+        done)
+      logs);
+
+  Alcotest.test_case "reliable channel: close on t+1 requests" `Quick (fun () ->
+    let c = Util.cluster ~seed:"rc2" () in
+    let closed = Array.make 4 false in
+    let chans =
+      Array.init 4 (fun i ->
+        Reliable_channel.create (Cluster.runtime c i) ~pid:"rch"
+          ~on_deliver:(fun ~sender:_ _ -> ())
+          ~on_close:(fun () -> closed.(i) <- true) ())
+    in
+    Cluster.inject c 0 (fun () -> Reliable_channel.close chans.(0));
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "one is not enough" false (Array.exists (fun x -> x) closed);
+    Cluster.inject c 3 (fun () -> Reliable_channel.close chans.(3));
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "closed everywhere" true (Array.for_all (fun x -> x) closed));
+
+  Alcotest.test_case "consistent channel: delivers and counts match" `Quick (fun () ->
+    let c = Util.cluster ~seed:"cc1" () in
+    let counts = Array.make 4 0 in
+    let chans =
+      Array.init 4 (fun i ->
+        Consistent_channel.create (Cluster.runtime c i) ~pid:"cch"
+          ~on_deliver:(fun ~sender:_ _ -> counts.(i) <- counts.(i) + 1) ())
+    in
+    for i = 0 to 3 do
+      for _k = 0 to 2 do
+        Cluster.inject c i (fun () -> Consistent_channel.send chans.(i) "payload")
+      done
+    done;
+    ignore (Cluster.run c);
+    Array.iteri
+      (fun i n -> Alcotest.(check int) (Printf.sprintf "party %d" i) 12 n)
+      counts);
+
+  Alcotest.test_case "runtime: orphan messages replay on late registration" `Quick
+    (fun () ->
+      let c = Util.cluster ~seed:"orph" () in
+      (* party 0 broadcasts before party 2 has created the instance *)
+      let got = ref None in
+      let insts01 =
+        List.map
+          (fun i ->
+            Reliable_broadcast.create (Cluster.runtime c i) ~pid:"late" ~sender:0
+              ~on_deliver:(fun _ -> ()))
+          [ 0; 1; 3 ]
+      in
+      Cluster.inject c 0 (fun () ->
+        Reliable_broadcast.send (List.hd insts01) "buffered");
+      ignore (Cluster.run c);
+      (* now the late party joins and must still deliver from the buffer *)
+      let _late =
+        Reliable_broadcast.create (Cluster.runtime c 2) ~pid:"late" ~sender:0
+          ~on_deliver:(fun m -> got := Some m)
+      in
+      ignore (Cluster.run c);
+      Alcotest.(check (option string)) "delivered from orphans" (Some "buffered") !got);
+
+  Alcotest.test_case "runtime: duplicate registration rejected" `Quick (fun () ->
+    let c = Util.cluster ~seed:"dup" () in
+    let rt = Cluster.runtime c 0 in
+    Runtime.register rt ~pid:"x" (fun ~src:_ _ -> ());
+    Alcotest.check_raises "dup" (Invalid_argument "Runtime.register: duplicate pid \"x\"")
+      (fun () -> Runtime.register rt ~pid:"x" (fun ~src:_ _ -> ())));
+]

@@ -1,0 +1,103 @@
+(* Fault-scenario tests using the reusable adversaries, including the
+   classic partition-and-heal liveness check. *)
+
+open Sintra
+
+let suite = [
+  Alcotest.test_case "2-2 partition stalls atomic broadcast, heals, resumes" `Quick
+    (fun () ->
+      let c = Util.cluster ~seed:"part1" () in
+      Faults.install c (Faults.partition c ~groups:[ [ 0; 1 ]; [ 2; 3 ] ] ~heal_at:5.0);
+      let logs = Array.init 4 (fun _ -> ref []) in
+      let chans =
+        Array.init 4 (fun i ->
+          Atomic_channel.create (Cluster.runtime c i) ~pid:"pt"
+            ~on_deliver:(fun ~sender m ->
+              logs.(i) := (Cluster.now c, sender, m) :: !(logs.(i)))
+            ())
+      in
+      Cluster.inject c 0 (fun () -> Atomic_channel.send chans.(0) "split brain?");
+      (* during the partition nothing can be delivered: no component has
+         n-t = 3 members *)
+      ignore (Cluster.run c ~until:4.9);
+      Array.iteri
+        (fun i log ->
+          if !log <> [] then Alcotest.failf "party %d delivered during partition" i)
+        logs;
+      (* heal and run to quiescence *)
+      ignore (Cluster.run c);
+      let seqs = Array.map (fun l -> List.rev_map (fun (_, s, m) -> (s, m)) !l) logs in
+      Util.check_all_equal "order after heal" (Array.to_list seqs);
+      Array.iteri
+        (fun i log ->
+          match List.rev !log with
+          | [ (time, 0, "split brain?") ] ->
+            if time < 5.0 then Alcotest.failf "party %d delivered before heal" i
+          | _ -> Alcotest.failf "party %d: unexpected deliveries" i)
+        logs);
+
+  Alcotest.test_case "3-1 partition: majority side keeps running" `Quick (fun () ->
+    let c = Util.cluster ~seed:"part2" () in
+    Faults.install c (Faults.partition c ~groups:[ [ 0; 1; 2 ]; [ 3 ] ] ~heal_at:30.0);
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Atomic_channel.create (Cluster.runtime c i) ~pid:"pt"
+          ~on_deliver:(fun ~sender m ->
+            logs.(i) := (Cluster.now c, sender, m) :: !(logs.(i)))
+          ())
+    in
+    Cluster.inject c 0 (fun () -> Atomic_channel.send chans.(0) "majority");
+    ignore (Cluster.run c ~until:25.0);
+    (* the 3-member side (= n-t) must deliver before healing... *)
+    List.iter
+      (fun i ->
+        match !(logs.(i)) with
+        | [ (time, 0, "majority") ] ->
+          if time >= 25.0 then Alcotest.failf "party %d too late" i
+        | _ -> Alcotest.failf "party %d did not deliver" i)
+      [ 0; 1; 2 ];
+    (* ...and the isolated party catches up after the heal *)
+    ignore (Cluster.run c);
+    (match !(logs.(3)) with
+     | [ (_, 0, "majority") ] -> ()
+     | _ -> Alcotest.fail "isolated party did not catch up"));
+
+  Alcotest.test_case "eclipsed party reads the same history late" `Quick (fun () ->
+    let c = Util.cluster ~seed:"ecl" () in
+    Faults.install c (Faults.eclipse 2 ~delay:6.0);
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Atomic_channel.create (Cluster.runtime c i) ~pid:"ec"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    for k = 0 to 2 do
+      Cluster.inject c 1 (fun () -> Atomic_channel.send chans.(1) (Printf.sprintf "e%d" k))
+    done;
+    ignore (Cluster.run c);
+    let seqs = Array.map (fun l -> List.rev !l) logs in
+    Util.check_all_equal "identical including the eclipsed party"
+      (Array.to_list seqs);
+    Alcotest.(check int) "complete" 3 (List.length seqs.(2)));
+
+  Alcotest.test_case "scheduler drops: whoever delivers, delivers consistently" `Quick
+    (fun () ->
+      (* drop_every models an adversarial scheduler discarding messages of a
+         protocol that tolerates it: reliable broadcast has enough
+         redundancy to deliver when only 1 in 10 messages vanish. *)
+      let c = Util.cluster ~seed:"dr" () in
+      Faults.install c (Faults.drop_every 10);
+      let got = Array.make 4 None in
+      let insts =
+        Array.init 4 (fun i ->
+          Reliable_broadcast.create (Cluster.runtime c i) ~pid:"dr" ~sender:0
+            ~on_deliver:(fun m -> got.(i) <- Some m))
+      in
+      Cluster.inject c 0 (fun () -> Reliable_broadcast.send insts.(0) "redundant");
+      ignore (Cluster.run c);
+      (* With random drops Bracha's quorums may or may not complete for
+         every party, but consistency must hold for all who delivered. *)
+      let delivered = Array.to_list got |> List.filter_map (fun x -> x) in
+      Util.check_all_equal "consistent" delivered);
+]

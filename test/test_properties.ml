@@ -1,0 +1,155 @@
+(* Schedule-randomized protocol properties: every seed produces a different
+   interleaving of the asynchronous network (different jitter draws,
+   different coin values), and the safety properties must hold in all of
+   them.  This is the distributed-systems analogue of the qcheck property
+   tests on the data structures. *)
+
+open Sintra
+
+let seeds = List.init 12 (fun i -> Printf.sprintf "prop-%d" i)
+
+let suite = [
+  Alcotest.test_case "ABA: agreement+validity+termination across schedules" `Slow
+    (fun () ->
+      List.iteri
+        (fun k seed ->
+          let rng = Hashes.Drbg.create ~seed:("props" ^ seed) in
+          let props = List.init 4 (fun _ -> Hashes.Drbg.bool rng) in
+          let c = Util.cluster ~seed () in
+          let decided = Array.make 4 None in
+          let insts =
+            Array.init 4 (fun i ->
+              Binary_agreement.create (Cluster.runtime c i) ~pid:"p-aba"
+                ~on_decide:(fun b _ -> decided.(i) <- Some b))
+          in
+          List.iteri
+            (fun i v ->
+              Cluster.inject c i (fun () -> Binary_agreement.propose insts.(i) v))
+            props;
+          ignore (Cluster.run c);
+          Array.iteri
+            (fun i d ->
+              if d = None then Alcotest.failf "seed %d: party %d undecided" k i)
+            decided;
+          Util.check_all_equal "agreement" (Array.to_list decided);
+          (match decided.(0) with
+           | Some v ->
+             if not (List.mem v props) then
+               Alcotest.failf "seed %d: decided unproposed value" k
+           | None -> ()))
+        seeds);
+
+  Alcotest.test_case "MVBA: agreement+external-validity across schedules" `Slow
+    (fun () ->
+      List.iteri
+        (fun k seed ->
+          let c = Util.cluster ~seed:("mv" ^ seed) ~perm_mode:Config.Random_local () in
+          let decided = Array.make 4 None in
+          let validator s = String.length s >= 2 in
+          let insts =
+            Array.init 4 (fun i ->
+              Array_agreement.create (Cluster.runtime c i) ~pid:"p-mv" ~validator
+                ~on_decide:(fun v -> decided.(i) <- Some v))
+          in
+          let props = List.init 4 (fun i -> Printf.sprintf "v%d-%d" i k) in
+          List.iteri
+            (fun i v ->
+              Cluster.inject c i (fun () -> Array_agreement.propose insts.(i) v))
+            props;
+          ignore (Cluster.run c);
+          Array.iteri
+            (fun i d -> if d = None then Alcotest.failf "seed %d: party %d undecided" k i)
+            decided;
+          Util.check_all_equal "agreement" (Array.to_list decided);
+          (match decided.(0) with
+           | Some v ->
+             if not (List.mem v props) then Alcotest.failf "seed %d: foreign value" k
+           | None -> ()))
+        seeds);
+
+  Alcotest.test_case "atomic channel: total order + exactly-once across schedules" `Slow
+    (fun () ->
+      List.iteri
+        (fun k seed ->
+          let rng = Hashes.Drbg.create ~seed:("abc" ^ seed) in
+          let c = Util.cluster ~seed:("abc" ^ seed) () in
+          let logs = Array.init 4 (fun _ -> ref []) in
+          let chans =
+            Array.init 4 (fun i ->
+              Atomic_channel.create (Cluster.runtime c i) ~pid:"p-abc"
+                ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i)))
+                ())
+          in
+          (* a random workload: 1-3 senders, 1-4 messages each, staggered *)
+          let nsenders = 1 + Hashes.Drbg.int rng 3 in
+          let sent = ref [] in
+          for s = 0 to nsenders - 1 do
+            let count = 1 + Hashes.Drbg.int rng 4 in
+            for m = 0 to count - 1 do
+              let payload = Printf.sprintf "w%d.%d" s m in
+              sent := (s, payload) :: !sent;
+              let at = Hashes.Drbg.float rng 0.5 in
+              Cluster.at c ~time:at (fun () ->
+                Cluster.inject c s (fun () -> Atomic_channel.send chans.(s) payload))
+            done
+          done;
+          ignore (Cluster.run c);
+          let seqs = Array.map (fun l -> List.rev !l) logs in
+          Util.check_all_equal "total order" (Array.to_list seqs);
+          (* exactly-once and complete *)
+          let delivered = List.sort compare seqs.(0) in
+          let expected = List.sort compare !sent in
+          if delivered <> expected then
+            Alcotest.failf "seed %d: delivered set differs from sent set" k)
+        seeds);
+
+  Alcotest.test_case "coin: any t+1 subset agrees, across many coins" `Quick (fun () ->
+    let c = Util.cluster ~seed:"coin-prop" () in
+    let keys = c.Cluster.dealer in
+    let pub = keys.Dealer.coin_pub in
+    let drbg = Util.drbg ~seed:"coin-prop-rng" () in
+    for coin = 0 to 14 do
+      let name = Printf.sprintf "prop-coin-%d" coin in
+      let shares =
+        List.init 4 (fun i ->
+          Crypto.Threshold_coin.release
+            ~drbg:(Hashes.Drbg.fork drbg (Printf.sprintf "%d.%d" coin i))
+            pub keys.Dealer.parties.(i).Dealer.coin_share ~name)
+      in
+      let pick a b = [ List.nth shares a; List.nth shares b ] in
+      let v0 = Crypto.Threshold_coin.assemble_bit pub ~name (pick 0 1) in
+      List.iter
+        (fun (a, b) ->
+          if Crypto.Threshold_coin.assemble_bit pub ~name (pick a b) <> v0 then
+            Alcotest.failf "coin %d: subsets disagree" coin)
+        [ (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+    done);
+
+  Alcotest.test_case "shamir: random share subsets always reconstruct" `Quick (fun () ->
+    let drbg = Util.drbg ~seed:"shamir-prop" () in
+    let q = Bignum.Nat.of_string "57896044618658097711785492504343953926634992332820282019728792003956564819949" in
+    for trial = 0 to 19 do
+      let n = 4 + Hashes.Drbg.int drbg 6 in           (* 4..9 *)
+      let k = 2 + Hashes.Drbg.int drbg (n - 2) in     (* 2..n *)
+      let secret =
+        Bignum.Nat.random_below ~random_bytes:(Hashes.Drbg.random_bytes drbg) q
+      in
+      let shares =
+        Crypto.Shamir.share_secret
+          ~drbg:(Hashes.Drbg.fork drbg (string_of_int trial))
+          ~modulus:q ~secret ~n ~k
+      in
+      (* a random k-subset *)
+      let idx = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Hashes.Drbg.int drbg (i + 1) in
+        let tmp = idx.(i) in
+        idx.(i) <- idx.(j);
+        idx.(j) <- tmp
+      done;
+      let subset = List.init k (fun i -> shares.(idx.(i))) in
+      let rec_ = Crypto.Shamir.interpolate ~modulus:q ~shares:subset ~at:0 in
+      if not (Bignum.Nat.equal rec_ secret) then
+        Alcotest.failf "trial %d (n=%d k=%d): reconstruction failed" trial n k
+    done);
+]

@@ -1,0 +1,102 @@
+(* Targeted regression tests for implementation-level behaviours: state
+   garbage collection vs. laggards, the model-key-size scaling that drives
+   Figure 6, and the optimistic channel over lossy links. *)
+
+open Sintra
+
+let suite = [
+  Alcotest.test_case "a lagging party catches up after others GC old rounds" `Slow
+    (fun () ->
+      (* Every message TO party 3 is delayed by several virtual seconds, so
+         the fast trio runs many rounds ahead (and garbage-collects the old
+         agreement instances) while party 3 crawls; when the delays drain,
+         party 3 must still reconstruct the identical sequence from its
+         buffered traffic. *)
+      let c = Util.cluster ~seed:"laggard" () in
+      Cluster.set_intercept c (fun ~src:_ ~dst _ ->
+        if dst = 3 then Sim.Net.Delay 8.0 else Sim.Net.Deliver);
+      let logs = Array.init 4 (fun _ -> ref []) in
+      let chans =
+        Array.init 4 (fun i ->
+          Atomic_channel.create (Cluster.runtime c i) ~pid:"lag"
+            ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+      in
+      for k = 0 to 7 do
+        Cluster.inject c 0 (fun () ->
+          Atomic_channel.send chans.(0) (Printf.sprintf "g%d" k))
+      done;
+      ignore (Cluster.run c ~until:600.0);
+      let seqs = Array.map (fun l -> List.rev !l) logs in
+      Alcotest.(check int) "fast party got all" 8 (List.length seqs.(0));
+      Alcotest.(check int) "laggard got all" 8 (List.length seqs.(3));
+      Util.check_all_equal "identical order" (Array.to_list seqs));
+
+  Alcotest.test_case "modeled key size drives virtual time (Figure 6 mechanism)" `Quick
+    (fun () ->
+      let duration model_rsa_bits =
+        let cfg =
+          Config.make ~tsig_scheme:Config.Multi
+            ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96
+            ~model_rsa_bits ~model_dl_pbits:1024 ~model_dl_qbits:160 ~n:4 ~t:1 ()
+        in
+        let topo = Sim.Topology.lan in
+        let c = Cluster.create ~seed:"model-sweep" ~topo cfg in
+        let done_at = ref 0.0 in
+        let chans =
+          Array.init 4 (fun i ->
+            Atomic_channel.create (Cluster.runtime c i) ~pid:"ms"
+              ~on_deliver:(fun ~sender:_ _ -> if i = 0 then done_at := Cluster.now c)
+              ())
+        in
+        Cluster.inject c 1 (fun () -> Atomic_channel.send chans.(1) "probe");
+        ignore (Cluster.run c ~until:600.0);
+        !done_at
+      in
+      let t_small = duration 128 and t_big = duration 2048 in
+      (* the same real crypto ran both times; only the cost model differs *)
+      if not (t_big > t_small *. 1.5) then
+        Alcotest.failf "model size had no effect: %f vs %f" t_small t_big);
+
+  Alcotest.test_case "optimistic channel over 10% frame loss" `Slow (fun () ->
+    let cfg = Config.test () in
+    let topo = Sim.Topology.uniform ~count:4 () in
+    let c = Cluster.create ~seed:"opt-lossy" ~loss:0.10 ~topo cfg in
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Optimistic_channel.create ~timeout:4.0 (Cluster.runtime c i) ~pid:"ol"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    for k = 0 to 4 do
+      Cluster.inject c 1 (fun () ->
+        Optimistic_channel.send chans.(1) (Printf.sprintf "lossy-%d" k))
+    done;
+    ignore (Cluster.run c ~until:600.0);
+    let seqs = Array.map (fun l -> List.rev !l) logs in
+    Util.check_all_equal "agreement" (Array.to_list seqs);
+    Alcotest.(check int) "all five" 5 (List.length seqs.(0)));
+
+  Alcotest.test_case "service over the Internet topology" `Quick (fun () ->
+    (* End-to-end: replicated accumulator across the WAN test-bed. *)
+    let cfg =
+      Config.make ~tsig_scheme:Config.Multi ~rsa_bits:256 ~tsig_bits:256
+        ~dl_pbits:256 ~dl_qbits:96 ~n:4 ~t:1 ()
+    in
+    let c = Cluster.create ~seed:"svc-wan" ~topo:Sim.Topology.internet cfg in
+    let apply acc req =
+      match int_of_string_opt req with
+      | Some v -> (acc + v, string_of_int (acc + v))
+      | None -> (acc, "err")
+    in
+    let replicas =
+      Array.init 4 (fun i ->
+        Service.create (Cluster.runtime c i) ~pid:"acc" ~init:0 ~apply)
+    in
+    Cluster.inject c 0 (fun () -> ignore (Service.submit replicas.(0) "10"));
+    Cluster.inject c 1 (fun () -> ignore (Service.submit replicas.(1) "32"));
+    ignore (Cluster.run c ~until:300.0);
+    Array.iter
+      (fun r -> Alcotest.(check int) "state" 42 (Service.state r))
+      replicas;
+    Alcotest.(check bool) "took realistic WAN time" true (Cluster.now c > 1.0));
+]

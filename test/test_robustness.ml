@@ -1,0 +1,190 @@
+(* Robustness: every protocol handler is fed adversarial garbage — random
+   bytes, truncated encodings, mis-tagged messages — and must neither crash
+   nor lose its safety/liveness afterwards.  A corrupted party controls
+   every byte it sends, so this is the protocol-level analogue of the wire
+   fuzz tests. *)
+
+open Sintra
+
+let fuzz_bodies ~(seed : string) ~(count : int) : string list =
+  let d = Hashes.Drbg.create ~seed in
+  List.init count (fun _ ->
+    let len = Hashes.Drbg.int d 120 in
+    Hashes.Drbg.bytes d len)
+
+(* Send garbage from party 0 to all parties on [pid], before and after the
+   honest workload starts. *)
+let flood (c : Cluster.t) ~(pid : string) ~(seed : string) : unit =
+  Cluster.inject c 0 (fun () ->
+    let rt = Cluster.runtime c 0 in
+    List.iter
+      (fun body ->
+        for dst = 0 to Cluster.n c - 1 do
+          Runtime.send rt ~dst ~pid body
+        done)
+      (fuzz_bodies ~seed ~count:30))
+
+let suite = [
+  Alcotest.test_case "reliable broadcast survives garbage" `Quick (fun () ->
+    let c = Util.cluster ~seed:"fz-rbc" () in
+    let got = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Reliable_broadcast.create (Cluster.runtime c i) ~pid:"fz" ~sender:1
+          ~on_deliver:(fun m -> got.(i) <- Some m))
+    in
+    flood c ~pid:"fz" ~seed:"g1";
+    Cluster.inject c 1 (fun () -> Reliable_broadcast.send insts.(1) "real payload");
+    flood c ~pid:"fz" ~seed:"g2";
+    ignore (Cluster.run c);
+    List.iter
+      (fun i ->
+        Alcotest.(check (option string)) "delivered" (Some "real payload") got.(i))
+      [ 1; 2; 3 ]);
+
+  Alcotest.test_case "consistent broadcast survives garbage" `Quick (fun () ->
+    let c = Util.cluster ~seed:"fz-cbc" () in
+    let got = Array.make 4 None in
+    let insts =
+      Array.init 4 (fun i ->
+        Consistent_broadcast.create (Cluster.runtime c i) ~pid:"fz" ~sender:1
+          ~on_deliver:(fun m -> got.(i) <- Some m))
+    in
+    flood c ~pid:"fz" ~seed:"g3";
+    Cluster.inject c 1 (fun () -> Consistent_broadcast.send insts.(1) "echo me");
+    ignore (Cluster.run c);
+    List.iter
+      (fun i -> Alcotest.(check (option string)) "delivered" (Some "echo me") got.(i))
+      [ 1; 2; 3 ]);
+
+  Alcotest.test_case "binary agreement survives garbage" `Quick (fun () ->
+    let c = Util.cluster ~seed:"fz-aba" () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 3 (fun k ->
+        let i = k + 1 in
+        Binary_agreement.create (Cluster.runtime c i) ~pid:"fz"
+          ~on_decide:(fun b _ -> decided.(i) <- Some b))
+    in
+    flood c ~pid:"fz" ~seed:"g4";
+    Array.iteri
+      (fun k inst ->
+        Cluster.inject c (k + 1) (fun () -> Binary_agreement.propose inst true))
+      insts;
+    ignore (Cluster.run c);
+    for i = 1 to 3 do
+      Alcotest.(check (option bool)) "decided true" (Some true) decided.(i)
+    done);
+
+  Alcotest.test_case "atomic channel survives garbage on every sub-pid" `Quick
+    (fun () ->
+      let c = Util.cluster ~seed:"fz-abc" () in
+      let logs = Array.init 4 (fun _ -> ref []) in
+      let chans =
+        Array.init 4 (fun i ->
+          Atomic_channel.create (Cluster.runtime c i) ~pid:"fz"
+            ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+      in
+      (* hit the channel pid and the inner MVBA/VCBC/VBA namespaces *)
+      List.iter
+        (fun pid -> flood c ~pid ~seed:("g5" ^ pid))
+        [ "fz"; "fz/mv.0"; "fz/mv.0/p.1"; "fz/mv.0/ba.0"; "fz/mv.0/ba.2" ];
+      Cluster.inject c 1 (fun () -> Atomic_channel.send chans.(1) "genuine");
+      ignore (Cluster.run c);
+      let seqs = Array.map (fun l -> List.rev !l) logs in
+      Util.check_all_equal "order" (Array.to_list seqs);
+      Alcotest.(check (list (pair int string))) "only genuine" [ (1, "genuine") ]
+        seqs.(0));
+
+  Alcotest.test_case "secure channel survives garbage decryption shares" `Quick
+    (fun () ->
+      let c = Util.cluster ~seed:"fz-sac" () in
+      let logs = Array.init 4 (fun _ -> ref []) in
+      let chans =
+        Array.init 4 (fun i ->
+          Secure_atomic_channel.create (Cluster.runtime c i) ~pid:"fz"
+            ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+      in
+      flood c ~pid:"fz/dec" ~seed:"g6";
+      Cluster.inject c 2 (fun () -> Secure_atomic_channel.send chans.(2) "sealed");
+      flood c ~pid:"fz/dec" ~seed:"g7";
+      ignore (Cluster.run c);
+      List.iter
+        (fun i ->
+          Alcotest.(check (list (pair int string))) "decrypted"
+            [ (2, "sealed") ] (List.rev !(logs.(i))))
+        [ 1; 2; 3 ]);
+
+  Alcotest.test_case "optimistic channel survives garbage" `Quick (fun () ->
+    let c = Util.cluster ~seed:"fz-opt" () in
+    let logs = Array.init 4 (fun _ -> ref []) in
+    let chans =
+      Array.init 4 (fun i ->
+        Optimistic_channel.create ~timeout:2.0 (Cluster.runtime c i) ~pid:"fz"
+          ~on_deliver:(fun ~sender m -> logs.(i) := (sender, m) :: !(logs.(i))) ())
+    in
+    flood c ~pid:"fz" ~seed:"g8";
+    flood c ~pid:"fz/e.0.0" ~seed:"g9";
+    Cluster.inject c 1 (fun () -> Optimistic_channel.send chans.(1) "fast path");
+    ignore (Cluster.run c ~until:120.0);
+    let seqs = Array.map (fun l -> List.rev !l) logs in
+    Util.check_all_equal "order" (Array.to_list seqs);
+    Alcotest.(check bool) "delivered" true (List.mem (1, "fast path") seqs.(0)));
+
+  Alcotest.test_case "orphan buffer is bounded" `Quick (fun () ->
+    let c = Util.cluster ~seed:"fz-orphan" () in
+    let rt0 = Cluster.runtime c 0 in
+    let rt1 = Cluster.runtime c 1 in
+    (* flood an unregistered pid far past the cap *)
+    for batch = 0 to 5 do
+      Cluster.inject c 0 (fun () ->
+        for k = 0 to 999 do
+          Runtime.send rt0 ~dst:1 ~pid:"never-registered"
+            (Printf.sprintf "junk %d.%d" batch k)
+        done)
+    done;
+    ignore (Cluster.run c);
+    Alcotest.(check bool) "dropped some" true (rt1.Runtime.dropped_orphans > 0);
+    (match Hashtbl.find_opt rt1.Runtime.orphans "never-registered" with
+     | Some q -> Alcotest.(check bool) "bounded" true (Queue.length q <= 4096)
+     | None -> Alcotest.fail "expected an orphan queue"));
+
+  Alcotest.test_case "forged main-vote justification is rejected" `Quick (fun () ->
+    (* A Byzantine party claims a main-vote for true justified by a
+       threshold signature over the *false* pre-vote statement; honest
+       parties must ignore it and settle on their own proposals. *)
+    let c = Util.cluster ~seed:"fz-mj" () in
+    let decided = Array.make 4 None in
+    let insts =
+      Array.init 3 (fun k ->
+        let i = k + 1 in
+        Binary_agreement.create (Cluster.runtime c i) ~pid:"aba"
+          ~on_decide:(fun b _ -> decided.(i) <- Some b))
+    in
+    Cluster.inject c 0 (fun () ->
+      let rt = Cluster.runtime c 0 in
+      (* a correctly signed share for the main statement... *)
+      let share =
+        Tsig.release ~drbg:rt.Runtime.drbg rt.Runtime.keys.Dealer.ag_tsig
+          ~ctx:"aba" "aba-main|aba|1|true"
+      in
+      (* ...but a justification that cannot verify *)
+      let body =
+        Wire.encode (fun b ->
+          Wire.Enc.u8 b 1;            (* MAINVOTE *)
+          Wire.Enc.int b 1;           (* round *)
+          Wire.Enc.u8 b 1;            (* value true *)
+          Tsig.enc_share b share;
+          Wire.Enc.u8 b 0;            (* MJ_value *)
+          Wire.Enc.bytes b "not a threshold signature")
+      in
+      for dst = 1 to 3 do Runtime.send rt ~dst ~pid:"aba" body done);
+    Array.iteri
+      (fun k inst ->
+        Cluster.inject c (k + 1) (fun () -> Binary_agreement.propose inst false))
+      insts;
+    ignore (Cluster.run c);
+    for i = 1 to 3 do
+      Alcotest.(check (option bool)) "honest value wins" (Some false) decided.(i)
+    done);
+]

@@ -1,0 +1,87 @@
+(* Tests for the state-machine-replication service wrapper. *)
+
+open Sintra
+
+(* A tiny deterministic service: an accumulator with ADD/GET commands. *)
+let apply (acc : int) (request : string) : int * string =
+  match String.split_on_char ' ' request with
+  | [ "add"; n ] ->
+    (match int_of_string_opt n with
+     | Some v -> (acc + v, Printf.sprintf "ok %d" (acc + v))
+     | None -> (acc, "error"))
+  | [ "get" ] -> (acc, string_of_int acc)
+  | _ -> (acc, "error")
+
+let make_replicas (c : Cluster.t) =
+  Array.init (Cluster.n c) (fun i ->
+    Service.create (Cluster.runtime c i) ~pid:"svc" ~init:0 ~apply)
+
+let suite = [
+  Alcotest.test_case "replicas converge to the same state" `Quick (fun () ->
+    let c = Util.cluster ~seed:"svc1" () in
+    let replicas = make_replicas c in
+    Cluster.inject c 0 (fun () -> ignore (Service.submit replicas.(0) "add 5"));
+    Cluster.inject c 1 (fun () -> ignore (Service.submit replicas.(1) "add 10"));
+    Cluster.inject c 2 (fun () -> ignore (Service.submit replicas.(2) "add 100"));
+    ignore (Cluster.run c);
+    Array.iteri
+      (fun i r ->
+        Alcotest.(check int) (Printf.sprintf "replica %d state" i) 115 (Service.state r);
+        Alcotest.(check int) "executed" 3 (Service.executed r))
+      replicas;
+    Util.check_all_equal "reply digests"
+      (Array.to_list (Array.map Service.reply_digest replicas)));
+
+  Alcotest.test_case "replies are recorded per request and match" `Quick (fun () ->
+    let c = Util.cluster ~seed:"svc2" () in
+    let replicas = make_replicas c in
+    let tag = ref (-1) in
+    Cluster.inject c 1 (fun () -> tag := Service.submit replicas.(1) "add 7");
+    ignore (Cluster.run c);
+    (* every replica computed the same reply for (origin=1, tag) *)
+    let answers =
+      List.map (fun i -> Service.reply replicas.(i) ~origin:1 ~tag:!tag) [ 0; 1; 2; 3 ]
+    in
+    Util.check_all_equal "replies" answers;
+    Alcotest.(check (option string)) "value" (Some "ok 7") (List.hd answers));
+
+  Alcotest.test_case "order dependence is resolved identically" `Quick (fun () ->
+    (* 'add' then 'get': whatever order wins, all replicas agree on it. *)
+    let c = Util.cluster ~seed:"svc3" () in
+    let replicas = make_replicas c in
+    Cluster.inject c 0 (fun () -> ignore (Service.submit replicas.(0) "add 1"));
+    Cluster.inject c 3 (fun () -> ignore (Service.submit replicas.(3) "get"));
+    ignore (Cluster.run c);
+    Util.check_all_equal "digests"
+      (Array.to_list (Array.map Service.reply_digest replicas));
+    Array.iter (fun r -> Alcotest.(check int) "state" 1 (Service.state r)) replicas);
+
+  Alcotest.test_case "tolerates a crashed replica" `Quick (fun () ->
+    let c = Util.cluster ~seed:"svc4" () in
+    let replicas = make_replicas c in
+    Cluster.crash c 2;
+    Cluster.inject c 0 (fun () -> ignore (Service.submit replicas.(0) "add 42"));
+    ignore (Cluster.run c);
+    List.iter
+      (fun i -> Alcotest.(check int) "state" 42 (Service.state replicas.(i)))
+      [ 0; 1; 3 ]);
+
+  Alcotest.test_case "invalid commands produce deterministic errors" `Quick
+    (fun () ->
+      let c = Util.cluster ~seed:"svc5" () in
+      let replicas = make_replicas c in
+      let tag = ref (-1) in
+      Cluster.inject c 2 (fun () -> tag := Service.submit replicas.(2) "frobnicate 9");
+      Cluster.inject c 0 (fun () -> ignore (Service.submit replicas.(0) "add 3"));
+      ignore (Cluster.run c);
+      (* the bad command executed everywhere with the same error reply and
+         did not corrupt the state *)
+      Array.iter
+        (fun r ->
+          Alcotest.(check (option string)) "error reply" (Some "error")
+            (Service.reply r ~origin:2 ~tag:!tag);
+          Alcotest.(check int) "state" 3 (Service.state r))
+        replicas;
+      Util.check_all_equal "digests"
+        (Array.to_list (Array.map Service.reply_digest replicas)));
+]

@@ -1,0 +1,211 @@
+(* Tests for the discrete-event simulator: event ordering, determinism,
+   link FIFO and authentication, CPU accounting. *)
+
+let suite = [
+  Alcotest.test_case "heap orders by time then sequence" `Quick (fun () ->
+    let h = Sim.Heap.create () in
+    Sim.Heap.push h ~time:2.0 "c";
+    Sim.Heap.push h ~time:1.0 "a";
+    Sim.Heap.push h ~time:1.0 "b";   (* same time: insertion order *)
+    Sim.Heap.push h ~time:0.5 "z";
+    let order = List.init 4 (fun _ -> match Sim.Heap.pop h with Some (_, v) -> v | None -> "?") in
+    Alcotest.(check (list string)) "order" [ "z"; "a"; "b"; "c" ] order;
+    Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h));
+
+  Alcotest.test_case "heap stress against sorted reference" `Quick (fun () ->
+    let h = Sim.Heap.create () in
+    let d = Hashes.Drbg.create ~seed:"heap" in
+    let times = List.init 500 (fun _ -> Hashes.Drbg.float d 100.0) in
+    List.iter (fun t -> Sim.Heap.push h ~time:t t) times;
+    let popped = List.init 500 (fun _ -> match Sim.Heap.pop h with Some (_, v) -> v | None -> nan) in
+    Alcotest.(check bool) "sorted" true (popped = List.sort compare times));
+
+  Alcotest.test_case "engine executes in time order" `Quick (fun () ->
+    let e = Sim.Engine.create () in
+    let log = ref [] in
+    Sim.Engine.schedule e ~delay:3.0 (fun () -> log := "late" :: !log);
+    Sim.Engine.schedule e ~delay:1.0 (fun () ->
+      log := "early" :: !log;
+      (* events scheduled from events run too *)
+      Sim.Engine.schedule e ~delay:1.0 (fun () -> log := "nested" :: !log));
+    let n = Sim.Engine.run e in
+    Alcotest.(check int) "three events" 3 n;
+    Alcotest.(check (list string)) "order" [ "late"; "nested"; "early" ] !log;
+    Alcotest.(check (float 1e-9)) "clock" 3.0 (Sim.Engine.now e));
+
+  Alcotest.test_case "engine until bound" `Quick (fun () ->
+    let e = Sim.Engine.create () in
+    let hits = ref 0 in
+    for i = 1 to 10 do
+      Sim.Engine.schedule e ~delay:(float_of_int i) (fun () -> incr hits)
+    done;
+    let n = Sim.Engine.run ~until:5.5 e in
+    Alcotest.(check int) "five ran" 5 n;
+    Alcotest.(check int) "hits" 5 !hits;
+    Alcotest.(check int) "rest pending" 5 (Sim.Engine.pending e));
+
+  Alcotest.test_case "negative delays clamp to now" `Quick (fun () ->
+    let e = Sim.Engine.create () in
+    let ran = ref false in
+    Sim.Engine.schedule e ~delay:(-5.0) (fun () -> ran := true);
+    ignore (Sim.Engine.run e);
+    Alcotest.(check bool) "ran" true !ran;
+    Alcotest.(check (float 1e-9)) "at zero" 0.0 (Sim.Engine.now e));
+
+  Alcotest.test_case "network delivers with topology latency" `Quick (fun () ->
+    let topo = Sim.Topology.uniform ~count:2 ~latency:0.5 ~jitter_frac:0.0 () in
+    let engine = Sim.Engine.create () in
+    let keys = Array.make_matrix 2 2 "k" in
+    let net = Sim.Net.create ~engine ~topo ~mac_keys:keys in
+    let arrival = ref nan in
+    Sim.Net.set_handler net 1 (fun ~src:_ _ -> arrival := Sim.Engine.now engine);
+    Sim.Net.send net ~src:0 ~dst:1 "ping";
+    ignore (Sim.Engine.run engine);
+    Alcotest.(check (float 1e-6)) "0.5s" 0.5 !arrival);
+
+  Alcotest.test_case "per-pair FIFO even under jitter" `Quick (fun () ->
+    let topo = Sim.Topology.uniform ~count:2 ~latency:0.1 ~jitter_frac:0.9 () in
+    let engine = Sim.Engine.create ~seed:"fifo" () in
+    let net = Sim.Net.create ~engine ~topo ~mac_keys:(Array.make_matrix 2 2 "k") in
+    let got = ref [] in
+    Sim.Net.set_handler net 1 (fun ~src:_ m -> got := m :: !got);
+    for i = 0 to 49 do
+      Sim.Net.send net ~src:0 ~dst:1 (string_of_int i)
+    done;
+    ignore (Sim.Engine.run engine);
+    Alcotest.(check (list string)) "in order"
+      (List.init 50 string_of_int) (List.rev !got));
+
+  Alcotest.test_case "simulation is deterministic in its seed" `Quick (fun () ->
+    let run_once () =
+      let topo = Sim.Topology.uniform ~count:3 ~latency:0.05 ~jitter_frac:0.5 () in
+      let engine = Sim.Engine.create ~seed:"det" () in
+      let net = Sim.Net.create ~engine ~topo ~mac_keys:(Array.make_matrix 3 3 "k") in
+      let log = ref [] in
+      for i = 0 to 2 do
+        Sim.Net.set_handler net i (fun ~src m ->
+          log := Printf.sprintf "%d<-%d:%s@%.9f" i src m (Sim.Engine.now engine) :: !log)
+      done;
+      Sim.Net.send net ~src:0 ~dst:1 "a";
+      Sim.Net.send net ~src:1 ~dst:2 "b";
+      Sim.Net.send net ~src:2 ~dst:0 "c";
+      ignore (Sim.Engine.run engine);
+      !log
+    in
+    Alcotest.(check (list string)) "identical" (run_once ()) (run_once ()));
+
+  Alcotest.test_case "tampered payloads are dropped by the MAC" `Quick (fun () ->
+    let topo = Sim.Topology.uniform ~count:2 () in
+    let engine = Sim.Engine.create () in
+    let net = Sim.Net.create ~engine ~topo ~mac_keys:(Array.make_matrix 2 2 "secret") in
+    let got = ref 0 in
+    Sim.Net.set_handler net 1 (fun ~src:_ _ -> incr got);
+    Sim.Net.set_intercept net (fun ~src:_ ~dst:_ payload ->
+      if payload = "evil-target" then Sim.Net.Replace "replaced!" else Sim.Net.Deliver);
+    Sim.Net.send net ~src:0 ~dst:1 "fine";
+    Sim.Net.send net ~src:0 ~dst:1 "evil-target";
+    ignore (Sim.Engine.run engine);
+    Alcotest.(check int) "only clean delivered" 1 !got;
+    Alcotest.(check int) "mac failure counted" 1 (Sim.Net.mac_failures net));
+
+  Alcotest.test_case "drop and delay interception" `Quick (fun () ->
+    let topo = Sim.Topology.uniform ~count:2 ~latency:0.1 ~jitter_frac:0.0 () in
+    let engine = Sim.Engine.create () in
+    let net = Sim.Net.create ~engine ~topo ~mac_keys:(Array.make_matrix 2 2 "k") in
+    let arrivals = ref [] in
+    Sim.Net.set_handler net 1 (fun ~src:_ m ->
+      arrivals := (m, Sim.Engine.now engine) :: !arrivals);
+    Sim.Net.set_intercept net (fun ~src:_ ~dst:_ payload ->
+      match payload with
+      | "dropme" -> Sim.Net.Drop
+      | "slow" -> Sim.Net.Delay 5.0
+      | _ -> Sim.Net.Deliver);
+    Sim.Net.send net ~src:0 ~dst:1 "dropme";
+    Sim.Net.send net ~src:0 ~dst:1 "slow";
+    Sim.Net.send net ~src:0 ~dst:1 "fast";
+    ignore (Sim.Engine.run engine);
+    (* links are FIFO streams (like the prototype's TCP), so the delayed
+       message holds back the one sent after it *)
+    match List.rev !arrivals with
+    | [ ("slow", t_slow); ("fast", t_fast) ] ->
+      Alcotest.(check bool) "slow after 5s" true (t_slow >= 5.0);
+      Alcotest.(check bool) "fast held back by FIFO" true (t_fast >= t_slow)
+    | other ->
+      Alcotest.failf "unexpected arrivals: %s"
+        (String.concat ";" (List.map fst other)));
+
+  Alcotest.test_case "crashed node is silent" `Quick (fun () ->
+    let topo = Sim.Topology.uniform ~count:2 () in
+    let engine = Sim.Engine.create () in
+    let net = Sim.Net.create ~engine ~topo ~mac_keys:(Array.make_matrix 2 2 "k") in
+    let got = ref 0 in
+    Sim.Net.set_handler net 1 (fun ~src:_ _ -> incr got);
+    Sim.Net.crash net 0;
+    Sim.Net.send net ~src:0 ~dst:1 "from the dead";
+    ignore (Sim.Engine.run engine);
+    Alcotest.(check int) "nothing" 0 !got;
+    (* and a crashed receiver drops input *)
+    Sim.Net.crash net 1;
+    Sim.Net.send net ~src:1 ~dst:0 "x";
+    ignore (Sim.Engine.run engine);
+    Alcotest.(check int) "still nothing" 0 !got);
+
+  Alcotest.test_case "handler cost delays outgoing messages" `Quick (fun () ->
+    let topo = Sim.Topology.uniform ~exp_ms:100.0 ~count:2 ~latency:0.01 ~jitter_frac:0.0 () in
+    let engine = Sim.Engine.create () in
+    let net = Sim.Net.create ~engine ~topo ~mac_keys:(Array.make_matrix 2 2 "k") in
+    let reply_time = ref nan in
+    Sim.Net.set_handler net 1 (fun ~src:_ _ ->
+      (* charge one full 1024-bit exponentiation: 100 ms *)
+      Sim.Cost.exp_full (Sim.Net.meter net 1) ~bits:1024;
+      Sim.Net.send net ~src:1 ~dst:0 "reply");
+    Sim.Net.set_handler net 0 (fun ~src:_ _ -> reply_time := Sim.Engine.now engine);
+    Sim.Net.send net ~src:0 ~dst:1 "request";
+    ignore (Sim.Engine.run engine);
+    (* 0.01 out + 0.1 compute + 0.01 back *)
+    Alcotest.(check (float 1e-6)) "latency + compute" 0.12 !reply_time);
+
+  Alcotest.test_case "busy node queues messages" `Quick (fun () ->
+    let topo = Sim.Topology.uniform ~exp_ms:1000.0 ~count:2 ~latency:0.001 ~jitter_frac:0.0 () in
+    let engine = Sim.Engine.create () in
+    let net = Sim.Net.create ~engine ~topo ~mac_keys:(Array.make_matrix 2 2 "k") in
+    let times = ref [] in
+    Sim.Net.set_handler net 1 (fun ~src:_ _ ->
+      Sim.Cost.exp_full (Sim.Net.meter net 1) ~bits:1024;  (* 1 s each *)
+      times := Sim.Engine.now engine :: !times);
+    Sim.Net.send net ~src:0 ~dst:1 "a";
+    Sim.Net.send net ~src:0 ~dst:1 "b";
+    ignore (Sim.Engine.run engine);
+    match List.rev !times with
+    | [ t1; t2 ] ->
+      (* second message processed only after the first's compute finishes *)
+      Alcotest.(check bool) "sequential cpu" true (t2 -. t1 >= 0.999)
+    | _ -> Alcotest.fail "expected two deliveries");
+
+  Alcotest.test_case "cost model scales with key size" `Quick (fun () ->
+    let full b = Sim.Cost.modexp_ms ~exp_ms:100.0 ~mod_bits:b ~exp_bits:b in
+    Alcotest.(check (float 1e-9)) "1024 calibrated" 100.0 (full 1024);
+    (* cubic: halving the size divides by 8 *)
+    Alcotest.(check (float 1e-9)) "512" 12.5 (full 512);
+    let e160 = Sim.Cost.modexp_ms ~exp_ms:100.0 ~mod_bits:1024 ~exp_bits:160 in
+    Alcotest.(check (float 1e-6)) "short exponent" (100.0 *. 160.0 /. 1024.0) e160);
+
+  Alcotest.test_case "paper topologies are well-formed" `Quick (fun () ->
+    Alcotest.(check int) "lan n" 4 (Sim.Topology.n Sim.Topology.lan);
+    Alcotest.(check int) "internet n" 4 (Sim.Topology.n Sim.Topology.internet);
+    Alcotest.(check int) "combined n" 7 (Sim.Topology.n Sim.Topology.combined);
+    (* RTT matrix symmetry *)
+    let r = Sim.Topology.internet_rtt in
+    for i = 0 to 3 do
+      for j = 0 to 3 do
+        if abs_float (r.(i).(j) -. r.(j).(i)) > 1e-9 then Alcotest.fail "asymmetric rtt"
+      done
+    done;
+    (* one-way latencies are positive and RTT/2-scaled (jitter and the
+       heavy tail allow up to ~3.5x) *)
+    let d = Hashes.Drbg.create ~seed:"topo" in
+    for _ = 1 to 50 do
+      let l = Sim.Topology.internet.Sim.Topology.one_way 0 1 100 d in
+      if not (l > 0.1 && l < 0.6) then Alcotest.failf "latency out of range: %f" l
+    done);
+]

@@ -1,0 +1,48 @@
+(* Shared helpers for the test suites. *)
+
+open Sintra
+
+let default_topo ?(count = 4) () = Sim.Topology.uniform ~count ()
+
+(* Dealers dominate test start-up cost; memoize clusters' key material by
+   (seed, n, t, scheme). *)
+let dealer_cache : (string, Dealer.t) Hashtbl.t = Hashtbl.create 8
+
+let cluster ?(seed = "test") ?(n = 4) ?(t = 1) ?(tsig_scheme = Config.Multi)
+    ?(perm_mode = Config.Fixed) ?batch_size ?topo () : Cluster.t =
+  let cfg = Config.test ~n ~t ~tsig_scheme ~perm_mode ?batch_size () in
+  let topo = match topo with Some tp -> tp | None -> default_topo ~count:n () in
+  let key =
+    Printf.sprintf "%s|%d|%d|%s" seed n t
+      (match tsig_scheme with Config.Shoup -> "shoup" | Config.Multi -> "multi")
+  in
+  match Hashtbl.find_opt dealer_cache key with
+  | Some dealer ->
+    let engine = Sim.Engine.create ~seed:("engine|" ^ seed) () in
+    let net =
+      Sim.Net.create ~engine ~topo ~mac_keys:(Dealer.net_mac_keys dealer)
+    in
+    let runtimes =
+      Array.init n (fun i ->
+        Runtime.create ~engine ~net ~cfg ~keys:dealer.Dealer.parties.(i))
+    in
+    { Cluster.engine; net; cfg; dealer; runtimes }
+  | None ->
+    let c = Cluster.create ~seed ~topo cfg in
+    Hashtbl.replace dealer_cache key c.Cluster.dealer;
+    c
+
+let check_all_equal (name : string) (values : 'a list) : unit =
+  match values with
+  | [] -> ()
+  | first :: rest ->
+    List.iteri
+      (fun i v ->
+        if v <> first then
+          Alcotest.failf "%s: party %d disagrees with party 0" name (i + 1))
+      rest
+
+let drbg ?(seed = "test-rng") () = Hashes.Drbg.create ~seed
+
+(* A deterministic qcheck-friendly byte source. *)
+let random_bytes ?(seed = "test-rng") () = Hashes.Drbg.random_bytes (drbg ~seed ())
