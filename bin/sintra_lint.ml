@@ -1,0 +1,34 @@
+(* sintra-lint: the repo's protocol-safety static analysis pass.
+
+     sintra_lint [DIR-or-FILE ...]     default roots: lib bin
+
+   Exit status 0 when the tree is clean, 1 when any rule fires.  Run as
+   part of `dune runtest` (and `dune build @lint`), so protocol-safety
+   regressions fail the build. *)
+
+let usage () =
+  print_endline "usage: sintra_lint [--rules] [DIR-or-FILE ...]   (default: lib bin)";
+  print_endline "";
+  print_endline "rules:";
+  List.iter
+    (fun (name, descr) -> Printf.printf "  %-14s %s\n" name descr)
+    Lint.rule_names;
+  print_endline "";
+  print_endline "suppress a finding with: (* lint: allow <rule> -- reason *)"
+
+let () =
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
+  if List.mem "--help" args || List.mem "--rules" args then usage ()
+  else begin
+    let roots = if args = [] then [ "lib"; "bin" ] else args in
+    let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+    if missing <> [] then begin
+      List.iter (Printf.eprintf "sintra_lint: no such path: %s\n") missing;
+      exit 2
+    end;
+    let files = Lint.discover roots in
+    let findings = Lint.check_paths files in
+    List.iter (fun f -> print_endline (Lint.render f)) findings;
+    print_endline (Lint.summary ~files:(List.length files) findings);
+    if findings <> [] then exit 1
+  end

@@ -137,7 +137,7 @@ let run_cmd =
       (match ds with
        | [] -> ()
        | (t0, _, _) :: _ ->
-         let tn, _, _ = List.nth ds (List.length ds - 1) in
+         let tn = List.fold_left (fun _ (time, _, _) -> time) t0 ds in
          let count = List.length ds in
          Printf.printf "first delivery %.3fs, last %.3fs, avg inter-delivery %.3fs\n"
            t0 tn

@@ -83,7 +83,7 @@ let message_rep (pub : public) ~(ctx : string) (msg : string) : Nat.t =
 
 let hash_challenge (parts : Nat.t list) : Nat.t =
   let joined =
-    String.concat "\x00" (List.map Nat.to_bytes_be parts)
+    String.concat "\x00" (List.map (fun p -> Nat.to_bytes_be p) parts)
   in
   let b0 = Hashes.Sha256.digest_list [ "tsig-chal|0|"; joined ] in
   let b1 = Hashes.Sha256.digest_list [ "tsig-chal|1|"; joined ] in

@@ -1,0 +1,36 @@
+(* Canonical-order iteration over hash tables.
+
+   OCaml's [Hashtbl] iterates in an order that depends on the hash seed and
+   insertion history, so any protocol decision derived from [Hashtbl.iter]
+   or [Hashtbl.fold] output is a replay-determinism hazard: two runs (or two
+   honest parties) can assemble the same set in different orders and diverge
+   in message bytes, signature-share subsets or tie-breaks.  All protocol
+   code goes through this module instead — it is the single allowed seam for
+   raw table iteration, and `sintra_lint` (rule hashtbl-order) enforces
+   that. *)
+
+(* lint: allow hashtbl-order — this module IS the canonical-order seam *)
+let bindings (tbl : ('k, 'v) Hashtbl.t) ~(compare : 'k -> 'k -> int) : ('k * 'v) list =
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  List.sort (fun (ka, _) (kb, _) -> compare ka kb) items
+
+let keys (tbl : ('k, 'v) Hashtbl.t) ~(compare : 'k -> 'k -> int) : 'k list =
+  List.map fst (bindings tbl ~compare)
+
+let values (tbl : ('k, 'v) Hashtbl.t) ~(compare : 'k -> 'k -> int) : 'v list =
+  List.map snd (bindings tbl ~compare)
+
+let iter (tbl : ('k, 'v) Hashtbl.t) ~(compare : 'k -> 'k -> int)
+    (f : 'k -> 'v -> unit) : unit =
+  List.iter (fun (k, v) -> f k v) (bindings tbl ~compare)
+
+let fold (tbl : ('k, 'v) Hashtbl.t) ~(compare : 'k -> 'k -> int)
+    (f : 'k -> 'v -> 'acc -> 'acc) (init : 'acc) : 'acc =
+  List.fold_left (fun acc (k, v) -> f k v acc) init (bindings tbl ~compare)
+
+(* Comparators for the key shapes the protocols use. *)
+let by_int : int -> int -> int = Int.compare
+
+let by_int_pair (a1, a2) (b1, b2) : int =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2

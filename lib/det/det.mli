@@ -1,0 +1,30 @@
+(** Canonical-order iteration over hash tables.
+
+    [Hashtbl] iteration order depends on the hash seed and insertion
+    history; protocol decisions derived from it are a replay-determinism
+    hazard.  This module is the single allowed seam for table iteration in
+    protocol code: every accessor sorts the bindings by key under an
+    explicit comparator, so two honest parties (or two replays) always see
+    the same order.  The [sintra_lint] rule [hashtbl-order] forbids raw
+    [Hashtbl.iter]/[Hashtbl.fold] outside this module. *)
+
+val bindings : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> ('k * 'v) list
+(** All bindings, sorted by key.  Tables written through
+    [Hashtbl.replace]/guarded [Hashtbl.add] have one binding per key. *)
+
+val keys : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> 'k list
+
+val values : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> 'v list
+(** Values in key order — the common case: votes/shares by sender index. *)
+
+val iter : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> unit
+
+val fold :
+  ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) -> 'acc -> 'acc
+
+val by_int : int -> int -> int
+(** [Int.compare], for 0-based party / sequence-number keys. *)
+
+val by_int_pair : int * int -> int * int -> int
+(** Lexicographic order on [(orig, seq)]-style keys. *)

@@ -4,7 +4,7 @@
 let mask = 0xFFFFFFFF
 
 type ctx = {
-  mutable h : int array;
+  h : int array;
   buf : Bytes.t;
   mutable buf_len : int;
   mutable total : int;

@@ -17,7 +17,7 @@ let k = [|
   0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  mutable h : int array;       (* 8 state words *)
+  h : int array;       (* 8 state words *)
   buf : Bytes.t;               (* 64-byte block buffer *)
   mutable buf_len : int;
   mutable total : int;         (* total bytes fed *)

@@ -1,0 +1,64 @@
+(* Driver plumbing for sintra-lint: file discovery, running the rule set,
+   and rendering findings.  Kept free of I/O to stdout — printing is the
+   executable's job (rule debug-print applies to this library too). *)
+
+type finding = Rules.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+let rule_names : (string * string) list = Rules.rule_names
+
+(* Recursively collect .ml/.mli files under the given roots, in a sorted,
+   platform-independent order.  Hidden and build directories are skipped. *)
+let discover (roots : string list) : string list =
+  let skip_dir name =
+    String.length name = 0 || name.[0] = '.' || name.[0] = '_'
+  in
+  let rec walk acc path =
+    if Sys.is_directory path then
+      Array.to_list (Sys.readdir path)
+      |> List.sort String.compare
+      |> List.fold_left
+           (fun acc entry ->
+             if skip_dir entry then acc
+             else walk acc (Filename.concat path entry))
+           acc
+    else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+    then path :: acc
+    else acc
+  in
+  List.rev (List.fold_left walk [] roots)
+
+let check_sources (sources : (string * string) list) : finding list =
+  let srcs = List.map (fun (path, text) -> Source.of_string ~path text) sources in
+  let by_location a b =
+    let c = String.compare a.file b.file in
+    if c <> 0 then c else Int.compare a.line b.line
+  in
+  List.sort by_location (Rules.check_tree srcs)
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let check_paths (paths : string list) : finding list =
+  check_sources (List.map (fun p -> (p, read_file p)) paths)
+
+let render (f : finding) : string =
+  Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let summary ~(files : int) (findings : finding list) : string =
+  if findings = [] then
+    Printf.sprintf "sintra-lint: OK — %d files, %d rules, 0 violations"
+      files (List.length Rules.rule_names)
+  else
+    Printf.sprintf "sintra-lint: %d violation%s in %d files"
+      (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      files

@@ -1,0 +1,29 @@
+(** sintra-lint driver plumbing: file discovery, running the rule set over
+    a tree or over in-memory fixtures, and rendering findings.  This
+    library never prints — the [sintra_lint] executable does. *)
+
+type finding = Rules.finding = {
+  file : string;
+  line : int;      (** 1-based *)
+  rule : string;
+  message : string;
+}
+
+val rule_names : (string * string) list
+(** [(name, one-line description)] for every rule, for docs and [--help]. *)
+
+val discover : string list -> string list
+(** All [.ml]/[.mli] files under the roots, sorted; skips hidden and
+    [_build]-style directories. *)
+
+val check_sources : (string * string) list -> finding list
+(** Run the full rule set over [(path, contents)] pairs — the fixture entry
+    point for tests.  Findings are sorted by file, then line. *)
+
+val check_paths : string list -> finding list
+(** [check_sources] over on-disk files. *)
+
+val render : finding -> string
+(** ["file:line: [rule] message"]. *)
+
+val summary : files:int -> finding list -> string

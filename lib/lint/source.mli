@@ -1,0 +1,25 @@
+(** Source-file model for the linter: per-line masked text (comments and
+    string/char literals blanked, so token rules never fire inside them)
+    plus the allowlist directives found in comments.
+
+    A directive [lint: allow <rule>[, <rule>...] — reason] inside a comment
+    suppresses the named rules on every line the comment touches and on the
+    first code-bearing line after it. *)
+
+type t
+
+val of_string : path:string -> string -> t
+val load : string -> t
+
+val path : t -> string
+val line_count : t -> int
+
+val masked_line : t -> int -> string
+(** The masked text of a 1-based line. *)
+
+val allowed : t -> rule:string -> line:int -> bool
+val allowed_anywhere : t -> rule:string -> bool
+
+val tokenize : string -> string list
+(** Split a masked line into tokens: qualified identifiers ([Hashtbl.fold]
+    is one token), maximal operator runs, single punctuation characters. *)

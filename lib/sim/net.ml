@@ -41,7 +41,7 @@ type t = {
   latency_drbg : Hashes.Drbg.t;
   mutable intercept : (src:int -> dst:int -> string -> action) option;
   mutable mac_failures : int;
-  mutable last_arrival : float array array;  (* FIFO ordering per (src,dst) *)
+  last_arrival : float array array;  (* FIFO ordering per (src,dst) *)
   (* Lossy-datagram mode: when [lossy = Some p] the links are unreliable,
      reordering datagram channels losing each frame with probability [p],
      and reliability/FIFO/authentication come from a sliding-window

@@ -78,12 +78,12 @@ let rec arm_retransmit (ep : endpoint) : unit =
     Engine.schedule ep.engine ~delay:ep.rto (fun () ->
       ep.retransmit_armed <- false;
       if Hashtbl.length ep.unacked > 0 then begin
-        (* Selective repeat: re-send every outstanding frame. *)
-        Hashtbl.iter
+        (* Selective repeat: re-send every outstanding frame, in sequence
+           order so retransmission traces replay deterministically. *)
+        Det.iter ep.unacked ~compare:Det.by_int
           (fun seq payload ->
             ep.retransmissions <- ep.retransmissions + 1;
-            ep.out (encode_data ep ~seq payload))
-          ep.unacked;
+            ep.out (encode_data ep ~seq payload));
         arm_retransmit ep
       end)
   end
@@ -116,12 +116,16 @@ let handle_data (ep : endpoint) ~(seq : int) (payload : string) : unit =
     if not (Hashtbl.mem ep.out_of_order seq) then Hashtbl.replace ep.out_of_order seq payload
     else ep.duplicate_frames <- ep.duplicate_frames + 1;
     (* Deliver any consecutive run that is now complete. *)
-    while Hashtbl.mem ep.out_of_order ep.rcv_next do
-      let p = Hashtbl.find ep.out_of_order ep.rcv_next in
-      Hashtbl.remove ep.out_of_order ep.rcv_next;
-      ep.rcv_next <- ep.rcv_next + 1;
-      ep.deliver p
-    done;
+    let rec deliver_run () =
+      match Hashtbl.find_opt ep.out_of_order ep.rcv_next with
+      | None -> ()
+      | Some p ->
+        Hashtbl.remove ep.out_of_order ep.rcv_next;
+        ep.rcv_next <- ep.rcv_next + 1;
+        ep.deliver p;
+        deliver_run ()
+    in
+    deliver_run ();
     ep.out (encode_ack ep ~cumulative:ep.rcv_next)
   end
 

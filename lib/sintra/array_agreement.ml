@@ -21,9 +21,8 @@
    balances load; both variants are in SINTRA). *)
 
 type candidate_state = {
-  mutable votes : (int, bool) Hashtbl.t;        (* voter -> yes/no *)
+  votes : (int, bool) Hashtbl.t;        (* voter -> yes/no *)
   mutable vba : Validated_agreement.t option;
-  mutable vba_proposed : bool;
 }
 
 type t = {
@@ -122,7 +121,6 @@ and check_candidate_progress (t : t) (a : int) : unit =
           ~on_decide:(fun value ~proof -> candidate_decided t a value ~proof)
       in
       st.vba <- Some vba;
-      st.vba_proposed <- true;
       (match t.closings.(a) with
        | Some closing -> Validated_agreement.propose vba true ~proof:closing
        | None -> Validated_agreement.propose vba false ~proof:"")
@@ -208,7 +206,7 @@ let create (rt : Runtime.t) ~(pid : string) ~(validator : string -> bool)
     perm = permutation rt.Runtime.cfg pid;
     candidates =
       Array.init n (fun _ ->
-        { votes = Hashtbl.create 8; vba = None; vba_proposed = false });
+        { votes = Hashtbl.create 8; vba = None });
     proposed = false;
     started_loop = false;
     loop_index = 0;

@@ -44,7 +44,7 @@ type t = {
   inits : (int, (int, int * item) Hashtbl.t) Hashtbl.t;
   delivered : (int * int, unit) Hashtbl.t;          (* (orig, seq) *)
   term_requests : (int, unit) Hashtbl.t;            (* parties asking to close *)
-  mutable my_init : (int, item) Hashtbl.t;          (* round -> our own INIT *)
+  my_init : (int, item) Hashtbl.t;          (* round -> our own INIT *)
   mutable mvba : Array_agreement.t option;
   past_mvba : (int, Array_agreement.t) Hashtbl.t;  (* decided, awaiting GC *)
   mutable proposed : bool;
@@ -159,13 +159,12 @@ let rec try_send_init (t : t) : unit =
          received this round, if any. *)
       let tbl = round_inits t t.round in
       let best = ref None in
-      Hashtbl.iter
+      Det.iter tbl ~compare:Det.by_int
         (fun _ (rank, it) ->
           if not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq)) then
             match !best with
             | None -> best := Some (rank, it)
-            | Some (cur_rank, _) -> if rank < cur_rank then best := Some (rank, it))
-        tbl;
+            | Some (cur_rank, _) -> if rank < cur_rank then best := Some (rank, it));
       (match !best with
        | Some (_, it) -> send_init t ~orig:it.it_orig ~seq:it.it_seq it.it_payload
        | None -> ())
@@ -192,7 +191,7 @@ and try_propose (t : t) : unit =
          distinct payloads, so a batch usually carries batch_size different
          messages (the 0-second band of Figures 4 and 5); fall back to
          duplicate payloads from distinct signers only when short. *)
-      let items = Hashtbl.fold (fun _ entry acc -> entry :: acc) tbl [] in
+      let items = Det.values tbl ~compare:Det.by_int in
       let items = List.sort (fun (r1, _) (r2, _) -> compare r1 r2) items in
       let items = List.map snd items in
       let chosen_payloads = Hashtbl.create 8 in
@@ -289,12 +288,26 @@ let handle (t : t) ~src body =
     with
     | None -> ()
     | Some (tag, round, it) ->
+      let inv = t.rt.Runtime.inv in
+      Invariant.sender_in_range inv src;
       if tag = tag_init && round >= t.round && it.it_signer = src then begin
         let tbl = round_inits t round in
+        (* A conflicting, validly signed INIT from a signer we already hold
+           one from is Byzantine evidence — record it, drop the duplicate. *)
+        (match Hashtbl.find_opt tbl src with
+         | Some (_, prev)
+           when Invariant.enabled inv
+                && (prev.it_orig, prev.it_seq, prev.it_payload)
+                   <> (it.it_orig, it.it_seq, it.it_payload)
+                && item_signature_valid t ~round it ->
+           Invariant.flag inv ~offender:src
+             (Printf.sprintf "abc %s: conflicting INIT in round %d" t.pid round)
+         | Some _ | None -> ());
         if not (Hashtbl.mem tbl src)
            && not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq))
            && item_signature_valid t ~round it
         then begin
+          Invariant.fresh_sender inv tbl src "INIT pool";
           Hashtbl.add tbl src (Hashtbl.length tbl, it);
           if round = t.round then begin
             try_send_init t;
@@ -361,6 +374,6 @@ let kick (t : t) : unit =
 let abort (t : t) : unit =
   t.closed <- true;
   (match t.mvba with Some m -> Array_agreement.abort m | None -> ());
-  Hashtbl.iter (fun _ m -> Array_agreement.abort m) t.past_mvba;
+  Det.iter t.past_mvba ~compare:Det.by_int (fun _ m -> Array_agreement.abort m);
   Hashtbl.reset t.past_mvba;
   Runtime.unregister t.rt ~pid:t.pid

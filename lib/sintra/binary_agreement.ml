@@ -324,7 +324,9 @@ let try_send_mainvote (t : t) (r : int) : unit =
   then begin
     st.sent_mainvote <- true;
     let charge = t.rt.Runtime.charge in
-    let votes = Hashtbl.fold (fun _ pv acc -> pv :: acc) st.prevotes [] in
+    (* Canonical sender order: the abstain justification picks the first
+       vote for each bit, and that choice must not depend on hash order. *)
+    let votes = Det.values st.prevotes ~compare:Det.by_int in
     let zeros = List.filter (fun pv -> not pv.pv_value) votes in
     let ones = List.filter (fun pv -> pv.pv_value) votes in
     let value, just =
@@ -384,7 +386,7 @@ let rec try_finish_round (t : t) (r : int) : unit =
      && Hashtbl.length st.mainvotes >= quorum t
   then begin
     st.finished <- true;
-    let votes = Hashtbl.fold (fun _ mv acc -> mv :: acc) st.mainvotes [] in
+    let votes = Det.values st.mainvotes ~compare:Det.by_int in
     let bit_votes =
       List.filter_map (fun mv -> match mv.mv_value with MV_bit b -> Some (b, mv) | MV_abstain -> None) votes
     in
@@ -434,7 +436,9 @@ let rec try_finish_round (t : t) (r : int) : unit =
 and try_advance (t : t) (r : int) : unit =
   let st = round_state t r in
   if st.finished && not t.halted && not (round_state t (r + 1)).sent_prevote then begin
-    let votes = Hashtbl.fold (fun _ mv acc -> mv :: acc) st.mainvotes [] in
+    (* Canonical sender order: the adopted bit-vote (and the signature we
+       re-broadcast with it) must be the same at every replay. *)
+    let votes = Det.values st.mainvotes ~compare:Det.by_int in
     let bit_vote =
       List.find_map
         (fun mv -> match mv.mv_value with MV_bit b -> Some (b, mv) | MV_abstain -> None)
@@ -455,12 +459,12 @@ and try_advance (t : t) (r : int) : unit =
        | Some coin ->
          let charge = t.rt.Runtime.charge in
          let abstain_shares =
-           Hashtbl.fold
-             (fun _ mv acc ->
+           List.filter_map
+             (fun mv ->
                match mv.mv_value with
-               | MV_abstain -> mv.mv_share :: acc
-               | MV_bit _ -> acc)
-             st.mainvotes []
+               | MV_abstain -> Some mv.mv_share
+               | MV_bit _ -> None)
+             votes
          in
          Charge.tsig_assemble charge ~k:(quorum t);
          let sigbar =
@@ -470,15 +474,10 @@ and try_advance (t : t) (r : int) : unit =
            match t.bias with
            | Some _ when r = 1 -> []
            | _ ->
-             let all = Hashtbl.fold (fun _ s acc -> s :: acc) st.coin_shares [] in
-             (* Keep exactly the threshold, smallest origins first, so the
-                justification is compact and deterministic. *)
-             let sorted =
-               List.sort
-                 (fun a b ->
-                   compare a.Crypto.Threshold_coin.origin b.Crypto.Threshold_coin.origin)
-                 all
-             in
+             (* Keep exactly the threshold, smallest senders first, so the
+                justification is compact and deterministic (the table is
+                keyed by 0-based sender = origin - 1). *)
+             let sorted = Det.values st.coin_shares ~compare:Det.by_int in
              List.filteri (fun i _ -> i < coin_k t) sorted
          in
          send_prevote t (r + 1) coin (J_coin (sigbar, shares));
@@ -497,9 +496,24 @@ let handle (t : t) ~src body =
         match (try Some (dec_prevote d) with Wire.Decode _ -> None) with
         | None -> ()
         | Some pv ->
+          let inv = t.rt.Runtime.inv in
+          Invariant.sender_in_range inv src;
           let st = round_state t pv.pv_round in
+          (* Equivocation: a second, conflicting, validly signed pre-vote
+             from the same sender is Byzantine evidence — record it, then
+             ignore the duplicate as usual. *)
+          (match Hashtbl.find_opt st.prevotes src with
+           | Some prev
+             when Invariant.enabled inv && prev.pv_value <> pv.pv_value
+                  && prevote_valid t ~sender:src pv ->
+             Invariant.flag inv ~offender:src
+               (Printf.sprintf "aba %s: equivocating pre-vote in round %d"
+                  t.pid pv.pv_round)
+           | Some _ | None -> ());
           if not (Hashtbl.mem st.prevotes src) && prevote_valid t ~sender:src pv
           then begin
+            Invariant.share_index inv (Tsig.share_origin pv.pv_share);
+            Invariant.fresh_sender inv st.prevotes src "pre-vote tally";
             Hashtbl.add st.prevotes src pv;
             (* A coin-justified pre-vote reveals the previous round's coin. *)
             (match pv.pv_just with
@@ -520,9 +534,21 @@ let handle (t : t) ~src body =
         match (try Some (dec_mainvote d) with Wire.Decode _ -> None) with
         | None -> ()
         | Some mv ->
+          let inv = t.rt.Runtime.inv in
+          Invariant.sender_in_range inv src;
           let st = round_state t mv.mv_round in
+          (match Hashtbl.find_opt st.mainvotes src with
+           | Some prev
+             when Invariant.enabled inv && prev.mv_value <> mv.mv_value
+                  && mainvote_valid t ~sender:src mv ->
+             Invariant.flag inv ~offender:src
+               (Printf.sprintf "aba %s: equivocating main-vote in round %d"
+                  t.pid mv.mv_round)
+           | Some _ | None -> ());
           if not (Hashtbl.mem st.mainvotes src) && mainvote_valid t ~sender:src mv
           then begin
+            Invariant.share_index inv (Tsig.share_origin mv.mv_share);
+            Invariant.fresh_sender inv st.mainvotes src "main-vote tally";
             Hashtbl.add st.mainvotes src mv;
             if not t.halted then begin
               try_finish_round t mv.mv_round;
@@ -551,10 +577,13 @@ let handle (t : t) ~src body =
               if Crypto.Threshold_coin.verify_share t.rt.Runtime.keys.Dealer.coin_pub
                    ~name:(coin_name t r) share
               then begin
+                let inv = t.rt.Runtime.inv in
+                Invariant.share_index inv share.Crypto.Threshold_coin.origin;
+                Invariant.fresh_sender inv st.coin_shares src "coin-share tally";
                 Hashtbl.add st.coin_shares src share;
                 if Hashtbl.length st.coin_shares >= coin_k t then begin
                   Charge.coin_assemble charge ~k:(coin_k t);
-                  let shares = Hashtbl.fold (fun _ s acc -> s :: acc) st.coin_shares [] in
+                  let shares = Det.values st.coin_shares ~compare:Det.by_int in
                   st.coin_value <-
                     Some (Crypto.Threshold_coin.assemble_bit
                             t.rt.Runtime.keys.Dealer.coin_pub ~name:(coin_name t r) shares);

@@ -17,7 +17,7 @@ module type BROADCAST = sig
   val abort : t -> unit
 end
 
-module Make (B : BROADCAST) : sig
+module Make (_ : BROADCAST) : sig
   type t
 
   val create :

@@ -30,6 +30,11 @@ type t = {
   model_rsa_bits : int;
   model_dl_pbits : int;
   model_dl_qbits : int;
+  (* Run the Invariant checker inside the protocol handlers: local protocol
+     invariants (quorum arithmetic, index ranges, no duplicate senders)
+     raise, remote misbehaviour (equivocation) is recorded for inspection.
+     Off by default; the simulator and the fault tests switch it on. *)
+  check_invariants : bool;
 }
 
 let validate (c : t) : unit =
@@ -52,12 +57,14 @@ let dec_threshold (c : t) : int = c.t + 1
 let make ?(batch_size : int option) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
     ?(rsa_bits = 512) ?(tsig_bits = 512) ?(dl_pbits = 512) ?(dl_qbits = 160)
     ?(model_rsa_bits = 1024) ?(model_dl_pbits = 1024) ?(model_dl_qbits = 160)
+    ?(check_invariants = false)
     ~n ~t () : t =
   let batch_size = match batch_size with Some b -> b | None -> t + 1 in
   let c = {
     n; t; batch_size; tsig_scheme; perm_mode;
     rsa_bits; tsig_bits; dl_pbits; dl_qbits;
     model_rsa_bits; model_dl_pbits; model_dl_qbits;
+    check_invariants;
   }
   in
   validate c;
@@ -65,6 +72,6 @@ let make ?(batch_size : int option) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
 
 (* A small fast configuration for unit tests: tiny real keys. *)
 let test ?(n = 4) ?(t = 1) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
-    ?(batch_size : int option) () : t =
-  make ?batch_size ~tsig_scheme ~perm_mode
+    ?(batch_size : int option) ?check_invariants () : t =
+  make ?batch_size ?check_invariants ~tsig_scheme ~perm_mode
     ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()

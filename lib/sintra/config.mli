@@ -28,6 +28,10 @@ type t = {
   model_rsa_bits : int;
   model_dl_pbits : int;
   model_dl_qbits : int;
+  check_invariants : bool;
+  (** Run the {!Invariant} checker inside protocol handlers: local
+      invariant violations raise, remote equivocation is recorded.  Off by
+      default. *)
 }
 
 val validate : t -> unit
@@ -52,11 +56,12 @@ val make :
   ?batch_size:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
   ?rsa_bits:int -> ?tsig_bits:int -> ?dl_pbits:int -> ?dl_qbits:int ->
   ?model_rsa_bits:int -> ?model_dl_pbits:int -> ?model_dl_qbits:int ->
+  ?check_invariants:bool ->
   n:int -> t:int -> unit -> t
 (** Defaults: batch [t+1], multi-signatures, fixed candidate order, modest
     real key sizes, modeled 1024-bit RSA and 1024/160-bit discrete logs. *)
 
 val test :
   ?n:int -> ?t:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
-  ?batch_size:int -> unit -> t
+  ?batch_size:int -> ?check_invariants:bool -> unit -> t
 (** A fast configuration for unit tests (tiny real keys; default n=4, t=1). *)

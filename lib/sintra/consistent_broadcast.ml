@@ -25,7 +25,7 @@ type t = {
   on_deliver : string -> unit;
   mutable echoed : bool;                  (* this party already sent a share *)
   mutable shares : Tsig.share list;       (* sender only *)
-  mutable share_origins : (int, unit) Hashtbl.t;
+  share_origins : (int, unit) Hashtbl.t;
   mutable sent_payload : string option;   (* sender only *)
   mutable final_sent : bool;
   mutable delivered : bool;
@@ -45,6 +45,8 @@ let handle (t : t) ~src body =
   if not t.aborted then begin
     let cfg = t.rt.Runtime.cfg in
     let charge = t.rt.Runtime.charge in
+    let inv = t.rt.Runtime.inv in
+    Invariant.sender_in_range inv src;
     match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
     | None -> ()
     | Some (tag, d) ->
@@ -78,6 +80,9 @@ let handle (t : t) ~src body =
                let pub = Tsig.public_of_secret t.rt.Runtime.keys.Dealer.bc_tsig in
                if Tsig.verify_share pub ~ctx:t.pid (statement ~pid:t.pid payload) share
                then begin
+                 Invariant.share_index inv origin;
+                 Invariant.require inv (not (Hashtbl.mem t.share_origins origin))
+                   "duplicate share origin in echo tally";
                  Hashtbl.replace t.share_origins origin ();
                  t.shares <- share :: t.shares;
                  if Hashtbl.length t.share_origins >= Config.echo_quorum cfg then begin

@@ -1,0 +1,96 @@
+(* Runtime protocol-invariant checker.
+
+   SINTRA's guarantees rest on mechanical discipline the type system cannot
+   see: quorum arithmetic (n > 3t, thresholds t+1, n-t, ceil((n+t+1)/2)),
+   one vote per sender per round, 1-based share indices in [1, n].  When
+   [Config.check_invariants] is set, the protocol handlers call into this
+   module so every simulation doubles as an invariant audit.
+
+   Two severities, because the two failure modes mean different things:
+
+   - a *local* invariant violation (double-counting a sender, an
+     out-of-range index reaching a tally, broken quorum arithmetic) is a bug
+     in THIS party's code: [require] raises {!Violation} immediately;
+   - *remote* misbehaviour (an equivocating pre-vote, a conflicting INIT)
+     is exactly what a Byzantine peer is allowed to attempt; the protocols
+     must tolerate it, so [flag] records the evidence — offender and
+     description — for tests and operators to inspect, and execution
+     continues. *)
+
+exception Violation of string
+
+type t = {
+  cfg : Config.t;
+  mutable flags : (int * string) list;     (* offender, description; newest first *)
+}
+
+let create (cfg : Config.t) : t option =
+  if cfg.Config.check_invariants then Some { cfg; flags = [] } else None
+
+let enabled (inv : t option) : bool = inv <> None
+
+let require (inv : t option) (cond : bool) (what : string) : unit =
+  match inv with
+  | None -> ()
+  | Some _ -> if not cond then raise (Violation ("invariant violated: " ^ what))
+
+(* The quorum arithmetic every protocol assumes; checked once per runtime. *)
+let check_quorums (cfg : Config.t) : unit =
+  let n = cfg.Config.n and t = cfg.Config.t in
+  let inv = Some { cfg; flags = [] } in
+  require inv (n >= 3 * t + 1) "resilience: need n > 3t";
+  let echo = Config.echo_quorum cfg in
+  let vote = Config.vote_quorum cfg in
+  let ready = Config.ready_quorum cfg in
+  let coin = Config.coin_threshold cfg in
+  let dec = Config.dec_threshold cfg in
+  require inv (echo = (n + t + 2) / 2) "echo quorum is ceil((n+t+1)/2)";
+  require inv (vote = n - t) "vote quorum is n-t";
+  require inv (ready = 2 * t + 1) "ready quorum is 2t+1";
+  require inv (coin = t + 1 && dec = t + 1) "coin/decryption thresholds are t+1";
+  (* Intersection properties the proofs rely on. *)
+  require inv (2 * echo - n >= t + 1)
+    "two echo quorums intersect in t+1 parties (consistency)";
+  require inv (2 * vote - n >= t + 1)
+    "two vote quorums intersect in an honest party (agreement)";
+  require inv (vote >= echo) "every vote quorum contains an echo quorum";
+  require inv (coin <= n - t) "t+1 coin shares are guaranteed from honest parties"
+
+let sender_in_range (inv : t option) (src : int) : unit =
+  match inv with
+  | None -> ()
+  | Some i ->
+    require inv (src >= 0 && src < i.cfg.Config.n)
+      (Printf.sprintf "sender index %d outside [0, %d)" src i.cfg.Config.n)
+
+let share_index (inv : t option) (origin : int) : unit =
+  match inv with
+  | None -> ()
+  | Some i ->
+    require inv (origin >= 1 && origin <= i.cfg.Config.n)
+      (Printf.sprintf "share index %d outside [1, %d]" origin i.cfg.Config.n)
+
+(* One vote per sender: call immediately before [Hashtbl.add]ing a tally
+   keyed by sender — a duplicate key there means this party's dedup logic
+   failed, not that the peer misbehaved. *)
+let fresh_sender (inv : t option) (tbl : (int, 'a) Hashtbl.t) (src : int)
+    (what : string) : unit =
+  match inv with
+  | None -> ()
+  | Some i ->
+    sender_in_range inv src;
+    require inv (not (Hashtbl.mem tbl src))
+      (Printf.sprintf "duplicate sender %d in %s" src what);
+    require inv (Hashtbl.length tbl < i.cfg.Config.n)
+      (Printf.sprintf "%s already holds %d entries (n = %d)" what
+         (Hashtbl.length tbl) i.cfg.Config.n)
+
+let flag (inv : t option) ~(offender : int) (what : string) : unit =
+  match inv with
+  | None -> ()
+  | Some i -> i.flags <- (offender, what) :: i.flags
+
+let flagged (inv : t option) : (int * string) list =
+  match inv with
+  | None -> []
+  | Some i -> List.rev i.flags

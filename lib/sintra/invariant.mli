@@ -1,0 +1,41 @@
+(** Runtime protocol-invariant checker, enabled by
+    {!Config.check_invariants}.
+
+    Local invariant violations (broken quorum arithmetic, duplicate-sender
+    tallies, out-of-range indices) are bugs in this party's code and raise
+    {!Violation}; remote misbehaviour (equivocation by a Byzantine peer) is
+    tolerated by the protocols and therefore only {i recorded}, for tests
+    and operators to inspect via {!flagged}. *)
+
+exception Violation of string
+
+type t
+
+val create : Config.t -> t option
+(** [None] unless the configuration enables invariant checking; every
+    checker below is a no-op on [None], so call sites stay unconditional. *)
+
+val enabled : t option -> bool
+
+val require : t option -> bool -> string -> unit
+(** Assert a local invariant.  @raise Violation when enabled and false. *)
+
+val check_quorums : Config.t -> unit
+(** Verify the quorum arithmetic (n > 3t; echo/vote/ready/coin thresholds
+    and their intersection properties).  @raise Violation on failure. *)
+
+val sender_in_range : t option -> int -> unit
+(** 0-based sender index must lie in [0, n). *)
+
+val share_index : t option -> int -> unit
+(** 1-based share origin must lie in [1, n]. *)
+
+val fresh_sender : t option -> (int, 'a) Hashtbl.t -> int -> string -> unit
+(** Call immediately before adding to a sender-keyed tally: the sender must
+    be in range, not already present, and the tally must have room. *)
+
+val flag : t option -> offender:int -> string -> unit
+(** Record evidence of remote (Byzantine) misbehaviour; never raises. *)
+
+val flagged : t option -> (int * string) list
+(** All recorded misbehaviour, oldest first; [] when disabled. *)

@@ -182,15 +182,14 @@ and deliver_request (t : t) (rq : request) ~(fast : bool) : unit =
 (* Leader: order every known unordered request. *)
 and leader_pump (t : t) : unit =
   if (not t.in_recovery) && leader t = t.rt.Runtime.me then begin
+    (* Canonical (orig, cseq) order: the sequence numbers the leader assigns
+       must be a function of the known requests, not of hash order. *)
     let pending =
-      Hashtbl.fold
-        (fun id rq acc ->
-          if Hashtbl.mem t.assigned_ids id || Hashtbl.mem t.delivered_ids id then acc
-          else rq :: acc)
-        t.requests []
-    in
-    let pending =
-      List.sort (fun a b -> compare (a.rq_orig, a.rq_cseq) (b.rq_orig, b.rq_cseq)) pending
+      List.filter_map
+        (fun (id, rq) ->
+          if Hashtbl.mem t.assigned_ids id || Hashtbl.mem t.delivered_ids id then None
+          else Some rq)
+        (Det.bindings t.requests ~compare:Det.by_int_pair)
     in
     List.iter
       (fun rq ->
@@ -246,11 +245,19 @@ and on_complain (t : t) ~(src : int) ~(epoch : int) : unit =
 and start_recovery (t : t) : unit =
   if not t.in_recovery then begin
     t.in_recovery <- true;
-    Hashtbl.iter (fun _ inst -> Consistent_broadcast.abort inst) t.insts;
+    Det.iter t.insts ~compare:Det.by_int (fun _ inst -> Consistent_broadcast.abort inst);
     Hashtbl.reset t.insts;
     let epoch = t.epoch in
     (* Broadcast our signed evidence: the closings of our whole prefix. *)
-    let closings = List.init t.vcbc_prefix (fun s -> Hashtbl.find t.closings s) in
+    let closings =
+      List.init t.vcbc_prefix (fun s ->
+        match Hashtbl.find_opt t.closings s with
+        | Some c -> c
+        | None ->
+          (* VCBC records the closing before delivering, so every seq the
+             prefix walk passed has one. *)
+          raise (Invariant.Violation "optimistic: prefix entry missing its closing"))
+    in
     Charge.rsa_sign t.rt.Runtime.charge;
     let signature =
       Crypto.Rsa.sign t.rt.Runtime.keys.Dealer.sign_sk ~ctx:t.pid
@@ -305,7 +312,9 @@ and maybe_propose_recovery (t : t) ~(epoch : int) : unit =
           (fun b (reporter, cls) ->
             Wire.Enc.int b reporter;
             Wire.Enc.list b Wire.Enc.bytes cls)
-          (Hashtbl.fold (fun r c acc -> (r, c) :: acc) t.reports []))
+          (* Canonical reporter order: the proposal bytes feed an agreement
+             and must be identical across replays. *)
+          (Det.bindings t.reports ~compare:Det.by_int))
     in
     let mvba =
       Array_agreement.create t.rt ~pid:(recovery_pid t ~epoch)
@@ -392,7 +401,7 @@ and finish_recovery (t : t) ~(epoch : int) (decided : string) : unit =
     Hashtbl.reset t.assigned_ids;
     open_next_vcbc t;
     (* Re-broadcast every request still outstanding and restart timers. *)
-    let outstanding = Hashtbl.fold (fun id rq acc -> (id, rq) :: acc) t.requests [] in
+    let outstanding = Det.bindings t.requests ~compare:Det.by_int_pair in
     List.iter
       (fun (id, rq) ->
         if not (Hashtbl.mem t.delivered_ids id) then begin
@@ -409,6 +418,7 @@ and finish_recovery (t : t) ~(epoch : int) (decided : string) : unit =
 (* --- dispatch --- *)
 
 let handle (t : t) ~src body =
+  Invariant.sender_in_range t.rt.Runtime.inv src;
   match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
   | None -> ()
   | Some (tag, d) ->
@@ -511,7 +521,7 @@ let deliveries_recovered (t : t) = t.stats_recovered
 
 let abort (t : t) : unit =
   t.in_recovery <- true;
-  Hashtbl.iter (fun _ inst -> Consistent_broadcast.abort inst) t.insts;
+  Det.iter t.insts ~compare:Det.by_int (fun _ inst -> Consistent_broadcast.abort inst);
   Hashtbl.reset t.insts;
   (match t.recovery_mvba with Some m -> Array_agreement.abort m | None -> ());
   Runtime.unregister t.rt ~pid:t.pid

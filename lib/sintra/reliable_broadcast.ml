@@ -19,6 +19,9 @@ type t = {
   echoes : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   readies : (string, (int, unit) Hashtbl.t) Hashtbl.t;
   payloads : (string, string) Hashtbl.t;       (* digest -> payload *)
+  (* first digest echoed / readied by each sender, for equivocation checks *)
+  echo_by_src : (int, string) Hashtbl.t;
+  ready_by_src : (int, string) Hashtbl.t;
   mutable echo_sent : bool;
   mutable ready_sent : bool;
   mutable delivered : bool;
@@ -60,6 +63,8 @@ let rec handle (t : t) ~src body =
     | None -> ()
     | Some (tag, payload) ->
       let cfg = t.rt.Runtime.cfg in
+      let inv = t.rt.Runtime.inv in
+      Invariant.sender_in_range inv src;
       if tag = tag_send && src = t.sender && not t.echo_sent then begin
         t.echo_sent <- true;
         Runtime.broadcast t.rt ~pid:t.pid (encode ~tag:tag_echo payload)
@@ -67,13 +72,31 @@ let rec handle (t : t) ~src body =
       else if tag = tag_echo then begin
         let dg = digest t payload in
         Hashtbl.replace t.payloads dg payload;
+        (* An honest party echoes one payload per instance; a second,
+           different digest from the same source is Byzantine evidence. *)
+        (match Hashtbl.find_opt t.echo_by_src src with
+         | Some dg' when dg' <> dg ->
+           Invariant.flag inv ~offender:src
+             (Printf.sprintf "rbc %s: equivocating ECHO" t.pid)
+         | Some _ -> ()
+         | None -> Hashtbl.add t.echo_by_src src dg);
         let count = tally t.echoes dg src in
+        Invariant.require inv (count <= cfg.Config.n)
+          "echo tally exceeds group size";
         if count >= Config.echo_quorum cfg then send_ready t dg
       end
       else if tag = tag_ready then begin
         let dg = digest t payload in
         Hashtbl.replace t.payloads dg payload;
+        (match Hashtbl.find_opt t.ready_by_src src with
+         | Some dg' when dg' <> dg ->
+           Invariant.flag inv ~offender:src
+             (Printf.sprintf "rbc %s: equivocating READY" t.pid)
+         | Some _ -> ()
+         | None -> Hashtbl.add t.ready_by_src src dg);
         let count = tally t.readies dg src in
+        Invariant.require inv (count <= cfg.Config.n)
+          "ready tally exceeds group size";
         if count >= cfg.Config.t + 1 then send_ready t dg;
         if count >= Config.ready_quorum cfg && not t.delivered then begin
           t.delivered <- true;
@@ -96,6 +119,8 @@ let create (rt : Runtime.t) ~(pid : string) ~(sender : int)
     echoes = Hashtbl.create 8;
     readies = Hashtbl.create 8;
     payloads = Hashtbl.create 8;
+    echo_by_src = Hashtbl.create 8;
+    ready_by_src = Hashtbl.create 8;
     echo_sent = false;
     ready_sent = false;
     delivered = false;

@@ -16,6 +16,7 @@ type t = {
   engine : Sim.Engine.t;
   drbg : Hashes.Drbg.t;
   charge : Charge.t;
+  inv : Invariant.t option;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;
@@ -31,6 +32,8 @@ let envelope ~(pid : string) (body : string) : string =
 let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
     ~(keys : Dealer.party_keys) : t =
   let me = keys.Dealer.index in
+  let inv = Invariant.create cfg in
+  if Invariant.enabled inv then Invariant.check_quorums cfg;
   let rt = {
     me;
     cfg;
@@ -39,6 +42,7 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
     engine;
     drbg = Hashes.Drbg.fork (Sim.Engine.drbg engine) (Printf.sprintf "party-%d" me);
     charge = { Charge.meter = Sim.Net.meter net me; cfg };
+    inv;
     handlers = Hashtbl.create 64;
     orphans = Hashtbl.create 64;
     dropped_orphans = 0;
@@ -84,6 +88,9 @@ let register (rt : t) ~(pid : string) (h : src:int -> string -> unit) : unit =
       Queue.iter
         (fun (src, body) ->
           match Hashtbl.find_opt rt.handlers pid with
+          (* lint: allow poly-compare — intentional physical identity check:
+             replay must target exactly the handler closure that buffered the
+             orphans, not a successor registered under the same pid. *)
           | Some h' when h' == h -> h ~src body
           | Some _ | None -> ())
         q)

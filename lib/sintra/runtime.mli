@@ -15,6 +15,7 @@ type t = {
   engine : Sim.Engine.t;
   drbg : Hashes.Drbg.t;
   charge : Charge.t;
+  inv : Invariant.t option;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;

@@ -10,7 +10,6 @@
    cleartext, and cleartexts are delivered strictly in atomic order. *)
 
 type slot = {
-  sl_index : int;
   sl_sender : int;
   sl_ct : Crypto.Threshold_enc.ciphertext;
   shares : (int, Crypto.Threshold_enc.dec_share) Hashtbl.t;
@@ -79,7 +78,7 @@ let try_combine (t : t) (slot : slot) : unit =
      && Hashtbl.length slot.shares >= Config.dec_threshold t.rt.Runtime.cfg
   then begin
     let pub = t.rt.Runtime.keys.Dealer.enc_pub in
-    let shares = Hashtbl.fold (fun _ s acc -> s :: acc) slot.shares [] in
+    let shares = Det.values slot.shares ~compare:Det.by_int in
     Charge.enc_combine t.rt.Runtime.charge ~k:(Config.dec_threshold t.rt.Runtime.cfg)
       ~bytes:(String.length slot.sl_ct.Crypto.Threshold_enc.c);
     match Crypto.Threshold_enc.combine pub slot.sl_ct shares with
@@ -134,7 +133,7 @@ let on_atomic_deliver (t : t) ~(sender : int) (ct_bytes : string) : unit =
        | Some f -> f ~sender ct_bytes
        | None -> ());
       let slot = {
-        sl_index = index; sl_sender = sender; sl_ct = ct;
+        sl_sender = sender; sl_ct = ct;
         shares = Hashtbl.create 8;
         plaintext = None;
         emitted = false;

@@ -11,7 +11,6 @@
    answers and is guaranteed one from an honest replica. *)
 
 type 'state t = {
-  rt : Runtime.t;
   mutable channel : Atomic_channel.t option;
   apply : 'state -> string -> 'state * string;
   mutable state : 'state;
@@ -46,7 +45,6 @@ let create ?(on_reply = fun ~origin:_ ~tag:_ ~reply:_ -> ()) (rt : Runtime.t)
     ~(pid : string) ~(init : 'state)
     ~(apply : 'state -> string -> 'state * string) : 'state t =
   let t = {
-    rt;
     channel = None;
     apply;
     state = init;
@@ -85,9 +83,8 @@ let reply (t : 'state t) ~(origin : int) ~(tag : int) : string option =
    have executed the same prefix (useful for cross-replica auditing). *)
 let reply_digest (t : 'state t) : string =
   let entries =
-    Hashtbl.fold (fun (o, g) r acc -> (o, g, r) :: acc) t.replies []
-    |> List.sort compare
-    |> List.map (fun (o, g, r) -> Printf.sprintf "%d.%d=%s" o g r)
+    Det.bindings t.replies ~compare:Det.by_int_pair
+    |> List.map (fun ((o, g), r) -> Printf.sprintf "%d.%d=%s" o g r)
   in
   Hashes.Sha256.hex_of_digest (Hashes.Sha256.digest (String.concat ";" entries))
 

@@ -1,0 +1,179 @@
+(* sintra-lint: every rule fires on a bad fixture, stays silent on the
+   corresponding clean code, and is suppressed by an allow directive — plus
+   the meta-test: the shipped tree itself is violation-free. *)
+
+let find_rule (rule : string) (findings : Lint.finding list) :
+    Lint.finding list =
+  List.filter (fun f -> f.Lint.rule = rule) findings
+
+let check (path : string) (text : string) : Lint.finding list =
+  Lint.check_sources [ (path, text) ]
+
+let expect_fires ~(rule : string) (path : string) (text : string) : unit =
+  match find_rule rule (check path text) with
+  | [] -> Alcotest.failf "%s: expected a %s finding on %S" path rule text
+  | _ :: _ -> ()
+
+let expect_silent ~(rule : string) (path : string) (text : string) : unit =
+  match find_rule rule (check path text) with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "%s: unexpected %s finding at line %d: %s" path rule
+      f.Lint.line f.Lint.message
+
+(* --- L1: hashtbl-order --- *)
+
+let test_hashtbl_order () =
+  let rule = "hashtbl-order" in
+  expect_fires ~rule "lib/proto/votes.ml"
+    "let vs = Hashtbl.fold (fun _ v acc -> v :: acc) tbl []\n";
+  expect_fires ~rule "lib/proto/votes.ml"
+    "let () = Hashtbl.iter (fun k v -> use k v) tbl\n";
+  (* the sanctioned seam *)
+  expect_silent ~rule "lib/proto/votes.ml"
+    "let vs = Det.values tbl ~compare:Det.by_int\n";
+  (* inside lib/det itself the rule is off *)
+  expect_silent ~rule "lib/det/det.ml"
+    "let bindings tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []\n";
+  (* mention in a comment or a string must not fire *)
+  expect_silent ~rule "lib/proto/votes.ml"
+    "(* Hashtbl.iter would be wrong here *)\nlet s = \"Hashtbl.fold\"\n";
+  (* allow directive suppresses *)
+  expect_silent ~rule "lib/proto/votes.ml"
+    "(* lint: allow hashtbl-order — order-insensitive count *)\n\
+     let n = Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0\n"
+
+(* --- L2: poly-compare --- *)
+
+let test_poly_compare () =
+  let rule = "poly-compare" in
+  expect_fires ~rule "lib/proto/check.ml" "let same = x == y\n";
+  expect_fires ~rule "lib/proto/check.ml"
+    "let ok = x = Nat.zero\n";
+  expect_fires ~rule "lib/proto/check.ml"
+    "let c = compare a (Bignum.Nat.of_int 3)\n";
+  (* a typed comparison through the module is fine *)
+  expect_silent ~rule "lib/proto/check.ml"
+    "let c = Nat.compare a b\n";
+  (* plain let-bindings of abstract values are not comparisons *)
+  expect_silent ~rule "lib/proto/check.ml"
+    "let x = Nat.of_int 7\n";
+  (* a ~compare: label is an argument, not a call *)
+  expect_silent ~rule "lib/proto/check.ml"
+    "let vs = Det.values tbl ~compare:Bignum.Nat.compare\n";
+  expect_silent ~rule "lib/proto/check.ml"
+    "(* lint: allow poly-compare — physical identity intended *)\n\
+     let same = h' == h\n"
+
+(* --- L3: partial-fn --- *)
+
+let test_partial_fn () =
+  let rule = "partial-fn" in
+  expect_fires ~rule "lib/proto/handler.ml" "let v = List.hd msgs\n";
+  expect_fires ~rule "lib/proto/handler.ml" "let v = Option.get slot\n";
+  expect_fires ~rule "lib/proto/handler.ml" "let v = Hashtbl.find tbl k\n";
+  expect_fires ~rule "lib/proto/handler.ml"
+    "let () = if bad then failwith \"boom\"\n";
+  (* total variants are fine *)
+  expect_silent ~rule "lib/proto/handler.ml"
+    "let v = Hashtbl.find_opt tbl k\n\
+     let w = match msgs with m :: _ -> Some m | [] -> None\n";
+  expect_silent ~rule "lib/proto/handler.ml"
+    "(* lint: allow partial-fn — guarded by the length check above *)\n\
+     let v = List.hd msgs\n"
+
+(* --- L4: debug-print --- *)
+
+let test_debug_print () =
+  let rule = "debug-print" in
+  expect_fires ~rule "lib/proto/trace.ml" "let () = print_endline \"dbg\"\n";
+  expect_fires ~rule "lib/proto/trace.ml"
+    "let () = Printf.printf \"%d\\n\" x\n";
+  (* Printf.sprintf builds a string; it does not print *)
+  expect_silent ~rule "lib/proto/trace.ml"
+    "let s = Printf.sprintf \"%d\" x\n";
+  (* executables may print *)
+  expect_silent ~rule "bin/tool.ml" "let () = print_endline \"usage\"\n";
+  expect_silent ~rule "lib/proto/trace.ml"
+    "(* lint: allow debug-print — the CLI reporting path *)\n\
+     let () = print_endline msg\n"
+
+(* --- L5: missing-mli --- *)
+
+let test_missing_mli () =
+  let rule = "missing-mli" in
+  let bare = [ ("lib/proto/naked.ml", "let x = 1\n") ] in
+  (match find_rule rule (Lint.check_sources bare) with
+   | [] -> Alcotest.fail "expected missing-mli for a bare lib module"
+   | f :: _ ->
+     Alcotest.(check string) "flagged file" "lib/proto/naked.ml" f.Lint.file);
+  (* with its interface present the rule is silent *)
+  let paired =
+    [ ("lib/proto/naked.ml", "let x = 1\n");
+      ("lib/proto/naked.mli", "val x : int\n") ]
+  in
+  (match find_rule rule (Lint.check_sources paired) with
+   | [] -> ()
+   | _ -> Alcotest.fail "missing-mli fired despite the .mli being present");
+  (* a file-level allow anywhere in the module suppresses it *)
+  let allowed =
+    [ ("lib/proto/naked.ml",
+       "(* lint: allow missing-mli — generated module *)\nlet x = 1\n") ]
+  in
+  match find_rule rule (Lint.check_sources allowed) with
+  | [] -> ()
+  | _ -> Alcotest.fail "missing-mli fired despite a file-level allow"
+
+(* --- directives --- *)
+
+let test_allow_directive_scope () =
+  (* one directive can name several rules *)
+  expect_silent ~rule:"partial-fn" "lib/proto/multi.ml"
+    "(* lint: allow partial-fn, hashtbl-order — both intentional *)\n\
+     let v = List.hd (Hashtbl.fold (fun _ x a -> x :: a) tbl [])\n";
+  expect_silent ~rule:"hashtbl-order" "lib/proto/multi.ml"
+    "(* lint: allow partial-fn, hashtbl-order — both intentional *)\n\
+     let v = List.hd (Hashtbl.fold (fun _ x a -> x :: a) tbl [])\n";
+  (* the directive covers only the next code line, not the whole file *)
+  expect_fires ~rule:"partial-fn" "lib/proto/multi.ml"
+    "(* lint: allow partial-fn — first use only *)\n\
+     let a = List.hd xs\n\
+     let b = List.hd ys\n"
+
+(* --- the meta-test: the shipped tree is clean --- *)
+
+let test_tree_clean () =
+  (* dune runs tests from _build/default/test; the (source_tree ...) deps in
+     test/dune stage lib/ and bin/ one level up. *)
+  let roots = [ "../lib"; "../bin" ] in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then
+        Alcotest.failf "lint meta-test: missing staged tree %s" r)
+    roots;
+  let files = Lint.discover roots in
+  if List.length files < 50 then
+    Alcotest.failf "lint meta-test: discovered only %d files" (List.length files);
+  match Lint.check_paths files with
+  | [] -> ()
+  | findings ->
+    Alcotest.failf "tree has %d lint violations, e.g. %s"
+      (List.length findings)
+      (Lint.render (List.hd findings))
+(* lint note: the List.hd above is in test code, outside the linted roots *)
+
+let suite =
+  [
+    Alcotest.test_case "hashtbl-order fires/clears/allows" `Quick
+      test_hashtbl_order;
+    Alcotest.test_case "poly-compare fires/clears/allows" `Quick
+      test_poly_compare;
+    Alcotest.test_case "partial-fn fires/clears/allows" `Quick test_partial_fn;
+    Alcotest.test_case "debug-print fires/clears/allows" `Quick
+      test_debug_print;
+    Alcotest.test_case "missing-mli fires/clears/allows" `Quick
+      test_missing_mli;
+    Alcotest.test_case "allow directive scope" `Quick
+      test_allow_directive_scope;
+    Alcotest.test_case "whole tree is lint-clean" `Quick test_tree_clean;
+  ]

@@ -19,4 +19,5 @@ let () =
       ("service", Test_service.suite);
       ("regression", Test_regression.suite);
       ("faults", Test_faults.suite);
+      ("lint", Test_lint.suite);
     ]
