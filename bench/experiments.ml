@@ -57,6 +57,28 @@ type delivery = {
   sender : int;
 }
 
+(* Per-experiment metrics, collected after each channel run and written to
+   BENCH_trace.json by the harness: message/byte counts, charged CPU time
+   and exponentiations per party, so a figure's cost story is inspectable
+   without re-running. *)
+let metrics_log : (string * string) list ref = ref []
+
+let record_metrics ~(label : string) (c : Cluster.t) : unit =
+  metrics_log :=
+    (label, Trace.Metrics.to_json (Cluster.publish_metrics c)) :: !metrics_log
+
+let metrics_count () = List.length !metrics_log
+
+let metrics_json () : string =
+  let entries = List.rev !metrics_log in
+  "[\n"
+  ^ String.concat ",\n"
+      (List.map
+         (fun (label, json) ->
+           Printf.sprintf "{\"experiment\":%S,\"metrics\":%s}" label json)
+         entries)
+  ^ "\n]\n"
+
 (* Run one channel experiment: [senders] each broadcast [per_sender] short
    payloads at maximum capacity from t=0; deliveries are recorded at
    [measure_at].  Returns the delivery series and the cluster. *)
@@ -114,6 +136,8 @@ let run_channel ?(seed = "run") ~(topo : Sim.Topology.t) ~(cfg : Config.t)
       done)
     senders;
   ignore (Cluster.run c ~max_events:50_000_000);
+  record_metrics c
+    ~label:(Printf.sprintf "%s|%s|%s" (kind_name kind) topo.Sim.Topology.label seed);
   List.rev !deliveries
 
 (* --- Figure 3: the WAN topology --- *)

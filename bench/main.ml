@@ -45,4 +45,12 @@ let () =
   section "fig6" (fun () -> Experiments.fig6 ~messages:(if full then 100 else 25) ());
   section "ablations" (fun () -> Ablations.all ());
   section "micro" (fun () -> Micro.all ());
+  if Experiments.metrics_count () > 0 then begin
+    let path = "BENCH_trace.json" in
+    let oc = open_out path in
+    output_string oc (Experiments.metrics_json ());
+    close_out oc;
+    Printf.printf "wrote %s (%d experiment metric sets)\n" path
+      (Experiments.metrics_count ())
+  end;
   Printf.printf "total: %.1fs real time\n" (Unix.gettimeofday () -. t0)

@@ -60,6 +60,99 @@ let make_cluster ~seed ~scheme (topo : Sim.Topology.t) : Cluster.t =
   in
   Cluster.create ~seed ~topo cfg
 
+(* --- tracing and metrics options --- *)
+
+type trace_format = Jsonl | Chrome
+
+let trace_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Write a structured event trace to $(docv).")
+
+let trace_format_arg =
+  let fmt_conv = Arg.enum [ ("jsonl", Jsonl); ("chrome", Chrome) ] in
+  Arg.(value & opt fmt_conv Jsonl
+       & info [ "trace-format" ] ~docv:"FMT"
+           ~doc:"Trace format: jsonl (one event per line) or chrome \
+                 (trace-event JSON, loadable in Perfetto / chrome://tracing).")
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ] ~doc:"Print per-party metrics after the run.")
+
+let write_file (path : string) (contents : string) : unit =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Install the requested sink on [c]; returns a finalizer that writes the
+   file and reports the event count. *)
+let setup_trace (c : Cluster.t) (file : string option) (fmt : trace_format)
+  : unit -> unit =
+  match file with
+  | None -> (fun () -> ())
+  | Some path ->
+    (match fmt with
+     | Jsonl ->
+       let buf = Buffer.create (1 lsl 16) in
+       Cluster.set_sink c (Trace.Sink.jsonl buf);
+       fun () ->
+         write_file path (Buffer.contents buf);
+         Printf.printf "trace: wrote %s (jsonl)\n" path
+     | Chrome ->
+       let ch = Trace.Sink.chrome () in
+       Cluster.set_sink c (Trace.Sink.chrome_sink ch);
+       fun () ->
+         write_file path (Trace.Sink.chrome_contents ch);
+         Printf.printf "trace: wrote %s (chrome, %d events)\n" path
+           (Trace.Sink.chrome_count ch))
+
+let print_stats (c : Cluster.t) : unit =
+  let m = Cluster.publish_metrics c in
+  let get name =
+    match Trace.Metrics.find_counter m name with
+    | Some ct -> Trace.Metrics.value ct
+    | None -> 0.0
+  in
+  let n = Cluster.n c in
+  Printf.printf "\nper-party metrics:\n";
+  Printf.printf "  %5s %10s %12s %10s %9s %7s\n"
+    "party" "sent_msgs" "sent_bytes" "recv_msgs" "cpu_s" "exps";
+  for i = 0 to n - 1 do
+    let p fmt = Printf.sprintf fmt i in
+    Printf.printf "  %5d %10.0f %12.0f %10.0f %9.2f %7.0f\n" i
+      (get (p "p%d/net.sent_msgs")) (get (p "p%d/net.sent_bytes"))
+      (get (p "p%d/net.recv_msgs")) (get (p "p%d/cpu.charged_s"))
+      (get (p "p%d/crypto.exps"))
+  done;
+  (* Everything else (protocol counters, drops), minus the table columns
+     and the per-link detail. *)
+  let tabled name =
+    List.exists (fun suffix ->
+      String.length name > String.length suffix
+      && String.sub name (String.length name - String.length suffix)
+           (String.length suffix) = suffix)
+      [ "/net.sent_msgs"; "/net.sent_bytes"; "/net.recv_msgs";
+        "/cpu.charged_s"; "/crypto.exps" ]
+    || (String.length name >= 5 && String.sub name 0 5 = "link/")
+  in
+  let rest = List.filter (fun (name, _) -> not (tabled name)) (Trace.Metrics.dump m) in
+  if rest <> [] then begin
+    Printf.printf "\ncounters:\n";
+    List.iter (fun (name, v) -> Printf.printf "  %-40s %12.0f\n" name v) rest
+  end;
+  let hists = Trace.Metrics.hists m in
+  if hists <> [] then begin
+    Printf.printf "\nlatency histograms (seconds):\n";
+    List.iter
+      (fun h ->
+        Printf.printf "  %-40s n=%-6d mean=%.3f p50=%.3f p90=%.3f\n"
+          (Trace.Metrics.hist_name h) (Trace.Metrics.hist_count h)
+          (Trace.Metrics.hist_mean h)
+          (Trace.Metrics.hist_quantile h 0.5)
+          (Trace.Metrics.hist_quantile h 0.9))
+      hists
+  end
+
 (* --- run: drive a channel --- *)
 
 type channel_kind = Atomic | Secure | Reliable | Consistent
@@ -74,8 +167,10 @@ let channel_arg =
        & info [ "channel" ] ~docv:"KIND" ~doc:"atomic, secure, reliable or consistent.")
 
 let run_cmd =
-  let run channel topo seed scheme senders messages crashes verbose =
+  let run channel topo seed scheme senders messages crashes verbose
+      trace_file trace_format stats =
     let c = make_cluster ~seed ~scheme topo in
+    let finish_trace = setup_trace c trace_file trace_format in
     let n = Cluster.n c in
     let senders = List.filter (fun s -> s >= 0 && s < n) senders in
     let deliveries = ref [] in
@@ -142,7 +237,9 @@ let run_cmd =
          Printf.printf "first delivery %.3fs, last %.3fs, avg inter-delivery %.3fs\n"
            t0 tn
            (if count > 1 then (tn -. t0) /. float_of_int (count - 1) else 0.0))
-    end
+    end;
+    finish_trace ();
+    if stats then print_stats c
   in
   let senders =
     int_list_arg "senders" ~doc:"Comma-separated sending parties." ~default:[ 0 ]
@@ -155,7 +252,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive a broadcast channel over a simulated test-bed.")
     Term.(const run $ channel_arg $ topology_arg $ seed_arg $ scheme_arg
-          $ senders $ messages $ crashes_arg $ verbose)
+          $ senders $ messages $ crashes_arg $ verbose
+          $ trace_file_arg $ trace_format_arg $ stats_arg)
 
 (* --- agree: one multi-valued or binary agreement --- *)
 
@@ -286,9 +384,97 @@ let crypto_cmd =
   Cmd.v (Cmd.info "crypto" ~doc:"Exercise one threshold-cryptography primitive.")
     Term.(const run $ seed_arg $ op)
 
+(* --- trace-check: validate a trace file written by --trace --- *)
+
+let trace_check_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  (* Balanced B/E per (pid, tid) lane: the count never goes negative and
+     ends at zero. *)
+  let check_chrome (events : Trace.Json.value list) : (int, string) result =
+    let lanes : (string, int) Hashtbl.t = Hashtbl.create 64 in
+    let lane_order : string list ref = ref [] in
+    let depth k = Option.value ~default:0 (Hashtbl.find_opt lanes k) in
+    let bump k d =
+      if not (Hashtbl.mem lanes k) then lane_order := k :: !lane_order;
+      Hashtbl.replace lanes k (depth k + d)
+    in
+    let key ev =
+      let num f =
+        match Option.bind (Trace.Json.member f ev) Trace.Json.num_opt with
+        | Some v -> int_of_float v
+        | None -> -1
+      in
+      Printf.sprintf "%d:%d" (num "pid") (num "tid")
+    in
+    let bad = ref None in
+    List.iter
+      (fun ev ->
+        match Option.bind (Trace.Json.member "ph" ev) Trace.Json.str_opt with
+        | Some "B" -> bump (key ev) 1
+        | Some "E" ->
+          let k = key ev in
+          if depth k <= 0 && !bad = None then
+            bad := Some (Printf.sprintf "unmatched E on lane %s" k);
+          bump k (-1)
+        | Some _ -> ()
+        | None -> if !bad = None then bad := Some "event without a \"ph\" field")
+      events;
+    (match !bad with
+     | None ->
+       List.iter
+         (fun k ->
+           let d = depth k in
+           if d <> 0 && !bad = None then
+             bad := Some (Printf.sprintf "%d unclosed span(s) on lane %s" d k))
+         (List.rev !lane_order)
+     | Some _ -> ());
+    match !bad with
+    | Some msg -> Error msg
+    | None -> Ok (List.length events)
+  in
+  let run file =
+    let contents = read_file file in
+    let outcome =
+      match Trace.Json.parse contents with
+      | Ok doc when Trace.Json.member "traceEvents" doc <> None ->
+        (match Option.bind (Trace.Json.member "traceEvents" doc) Trace.Json.list_opt with
+         | None -> Error "\"traceEvents\" is not an array"
+         | Some events ->
+           (match check_chrome events with
+            | Ok n -> Ok ("chrome", n)
+            | Error e -> Error e))
+      | Ok _ -> Error "a JSON document without \"traceEvents\" is not a trace"
+      | Error _ ->
+        (* Not one JSON document: try JSONL. *)
+        (match Trace.Json.parse_lines contents with
+         | Ok events -> Ok ("jsonl", List.length events)
+         | Error e -> Error e)
+    in
+    match outcome with
+    | Ok (kind, n) ->
+      Printf.printf "%s: valid %s trace, %d events\n" file kind n
+    | Error msg ->
+      Printf.eprintf "%s: INVALID trace: %s\n" file msg;
+      exit 1
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Trace file to validate.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a trace file (chrome: JSON + balanced spans; jsonl: parses).")
+    Term.(const run $ file)
+
 let () =
   let doc = "SINTRA: secure intrusion-tolerant replication (DSN 2002), simulated" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sintra_sim" ~doc)
-          [ run_cmd; agree_cmd; topologies_cmd; crypto_cmd ]))
+          [ run_cmd; agree_cmd; topologies_cmd; crypto_cmd; trace_check_cmd ]))

@@ -16,9 +16,11 @@ type meter = {
   mutable charged_ms : float;        (* accumulated in the current step *)
   mutable total_ms : float;          (* accumulated over the whole run *)
   exp_ms : float;                    (* host calibration *)
+  mutable exp_count : int;           (* modular exponentiations performed *)
 }
 
-let create_meter ~(exp_ms : float) : meter = { charged_ms = 0.0; total_ms = 0.0; exp_ms }
+let create_meter ~(exp_ms : float) : meter =
+  { charged_ms = 0.0; total_ms = 0.0; exp_ms; exp_count = 0 }
 
 let charge (m : meter) (ms : float) : unit =
   m.charged_ms <- m.charged_ms +. ms;
@@ -36,15 +38,18 @@ let modexp_ms ~(exp_ms : float) ~(mod_bits : int) ~(exp_bits : int) : float =
   exp_ms *. e *. b *. b
 
 let exp_full (m : meter) ~(bits : int) : unit =
+  m.exp_count <- m.exp_count + 1;
   charge m (modexp_ms ~exp_ms:m.exp_ms ~mod_bits:bits ~exp_bits:bits)
 
 let exp (m : meter) ~(mod_bits : int) ~(exp_bits : int) : unit =
+  m.exp_count <- m.exp_count + 1;
   charge m (modexp_ms ~exp_ms:m.exp_ms ~mod_bits ~exp_bits)
 
 (* RSA signing with CRT: two half-size exponentiations = 1/4 of a full one
    (the paper credits Chinese remaindering for the fast multi-signature
    path). *)
 let rsa_sign (m : meter) ~(bits : int) : unit =
+  m.exp_count <- m.exp_count + 1;
   charge m (modexp_ms ~exp_ms:m.exp_ms ~mod_bits:bits ~exp_bits:bits /. 4.0)
 
 (* RSA verification with e = 65537: 17 multiplications. *)

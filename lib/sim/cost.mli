@@ -11,6 +11,7 @@ type meter = {
   mutable charged_ms : float;   (** accumulated in the current step *)
   mutable total_ms : float;     (** accumulated over the whole run *)
   exp_ms : float;               (** host calibration *)
+  mutable exp_count : int;      (** modular exponentiations performed *)
 }
 
 val create_meter : exp_ms:float -> meter

@@ -10,6 +10,8 @@ type t = {
   drbg : Hashes.Drbg.t;
   mutable executed : int;
   mutable stopped : bool;
+  sink : Trace.Sink.t ref;                  (* observability: shared trace sink *)
+  metrics : Trace.Metrics.t;                (* observability: shared registry *)
 }
 
 let create ?(seed = "sintra-sim") () : t =
@@ -19,11 +21,25 @@ let create ?(seed = "sintra-sim") () : t =
     drbg = Hashes.Drbg.create ~seed;
     executed = 0;
     stopped = false;
+    sink = ref Trace.Sink.Null;
+    metrics = Trace.Metrics.create ();
   }
 
 let now (t : t) = t.now
 
 let drbg (t : t) = t.drbg
+
+let sink (t : t) = t.sink
+
+let set_sink (t : t) (s : Trace.Sink.t) = t.sink := s
+
+let metrics (t : t) = t.metrics
+
+(* A tracing context bound to this engine's clock, sink and registry for
+   party [party]. *)
+let trace_ctx (t : t) ~(party : int) : Trace.Ctx.t =
+  Trace.Ctx.create ~sink:t.sink ~metrics:t.metrics
+    ~now:(fun () -> t.now) ~party
 
 (* Schedule [f] to run [delay] virtual seconds from now (clamped to now). *)
 let schedule (t : t) ~(delay : float) (f : unit -> unit) : unit =

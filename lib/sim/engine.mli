@@ -12,6 +12,19 @@ val now : t -> float
 
 val drbg : t -> Hashes.Drbg.t
 
+val sink : t -> Trace.Sink.t ref
+(** The shared trace sink slot.  Starts null; install one with
+    {!set_sink}.  Contexts made by {!trace_ctx} alias this ref, so a sink
+    installed after construction is seen by every instrumentation site. *)
+
+val set_sink : t -> Trace.Sink.t -> unit
+
+val metrics : t -> Trace.Metrics.t
+(** The run-wide metrics registry. *)
+
+val trace_ctx : t -> party:int -> Trace.Ctx.t
+(** A tracing context bound to this engine's clock, sink and registry. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Run the thunk [delay] virtual seconds from now (negative clamps to 0). *)
 

@@ -49,6 +49,9 @@ type t = {
      for TCP, running under the whole protocol stack. *)
   lossy : float option;
   mutable links : Swlink.endpoint option array array;
+  link_msgs : int array array;       (* per (src,dst) message counts *)
+  link_bytes : int array array;      (* per (src,dst) payload bytes *)
+  traces : Trace.Ctx.t array;        (* per-node tracing contexts *)
 }
 
 let make ?lossy ~(engine : Engine.t) ~(topo : Topology.t)
@@ -82,6 +85,9 @@ let make ?lossy ~(engine : Engine.t) ~(topo : Topology.t)
     last_arrival = Array.init n (fun _ -> Array.make n 0.0);
     lossy;
     links = [||];
+    link_msgs = Array.init n (fun _ -> Array.make n 0);
+    link_bytes = Array.init n (fun _ -> Array.make n 0);
+    traces = Array.init n (fun id -> Engine.trace_ctx engine ~party:id);
   }
 
 let mac_tag (t : t) ~(src : int) ~(dst : int) (payload : string) : string =
@@ -257,6 +263,16 @@ let send (t : t) ~(src : int) ~(dst : int) (payload : string) : unit =
   if not nd.crashed then begin
     nd.sent_msgs <- nd.sent_msgs + 1;
     nd.sent_bytes <- nd.sent_bytes + String.length payload;
+    t.link_msgs.(src).(dst) <- t.link_msgs.(src).(dst) + 1;
+    t.link_bytes.(src).(dst) <- t.link_bytes.(src).(dst) + String.length payload;
+    let tr = t.traces.(src) in
+    if Trace.Ctx.enabled tr then
+      Trace.Ctx.emit_at tr ~time:(Engine.now t.engine) ~pid:"net" ~cat:"net"
+        ~ph:Trace.Event.Counter
+        ~args:
+          [ ("msgs", Trace.Event.Int nd.sent_msgs);
+            ("bytes", Trace.Event.Int nd.sent_bytes) ]
+        "sent";
     if nd.in_handler then Queue.push (dst, payload) nd.outbox
     else transmit t ~src ~dst ~depart:(Stdlib.max (Engine.now t.engine) nd.busy_until) payload
   end
@@ -281,3 +297,33 @@ let inject (t : t) (i : int) (f : unit -> unit) : unit =
   end
 
 let mac_failures (t : t) = t.mac_failures
+
+let trace_ctx (t : t) (i : int) : Trace.Ctx.t = t.traces.(i)
+
+(* Dump the accumulated network and CPU counters into the engine's metrics
+   registry.  Idempotent ([Metrics.set], not add), so harnesses may call it
+   whenever a report is wanted. *)
+let publish_metrics (t : t) : unit =
+  let m = Engine.metrics t.engine in
+  let setc name v = Trace.Metrics.set (Trace.Metrics.counter m name) v in
+  Array.iteri
+    (fun i nd ->
+      setc (Printf.sprintf "p%d/net.sent_msgs" i) (float_of_int nd.sent_msgs);
+      setc (Printf.sprintf "p%d/net.sent_bytes" i) (float_of_int nd.sent_bytes);
+      setc (Printf.sprintf "p%d/net.recv_msgs" i) (float_of_int nd.received_msgs);
+      setc (Printf.sprintf "p%d/cpu.charged_s" i) (nd.meter.Cost.total_ms /. 1000.0);
+      setc (Printf.sprintf "p%d/crypto.exps" i) (float_of_int nd.meter.Cost.exp_count))
+    t.nodes;
+  Array.iteri
+    (fun src row ->
+      Array.iteri
+        (fun dst msgs ->
+          if msgs > 0 then begin
+            setc (Printf.sprintf "link/%d>%d/msgs" src dst) (float_of_int msgs);
+            setc
+              (Printf.sprintf "link/%d>%d/bytes" src dst)
+              (float_of_int t.link_bytes.(src).(dst))
+          end)
+        row)
+    t.link_msgs;
+  setc "net/mac_failures" (float_of_int t.mac_failures)

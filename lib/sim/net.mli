@@ -60,3 +60,10 @@ val inject : t -> int -> (unit -> unit) -> unit
 
 val mac_failures : t -> int
 (** Count of messages dropped by link-authentication failure. *)
+
+val trace_ctx : t -> int -> Trace.Ctx.t
+(** Node [i]'s tracing context (bound to the engine's sink and clock). *)
+
+val publish_metrics : t -> unit
+(** Dump per-node and per-link message/byte/CPU/exponentiation counters
+    into the engine's metrics registry.  Idempotent. *)

@@ -76,11 +76,16 @@ let store_proposal (t : t) (a : int) ~(payload : string) ~(closing : string) : u
 
 let candidate_at (t : t) (idx : int) : int = t.perm.(idx)
 
+let trace (t : t) : Trace.Ctx.t = t.rt.Runtime.trace
+
 let rec maybe_start_loop (t : t) : unit =
   if not t.started_loop && not t.decided
      && valid_proposal_count t >= Config.vote_quorum t.rt.Runtime.cfg
   then begin
     t.started_loop <- true;
+    (* The candidate-selection loop: from a quorum of proposals to the
+       decided value (one biased agreement per rejected candidate). *)
+    Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"mvba" "select";
     start_candidate t
   end
 
@@ -151,6 +156,12 @@ and candidate_decided (t : t) (a : int) (value : bool) ~(proof : string) : unit 
 and decide (t : t) (payload : string) : unit =
   if not t.decided then begin
     t.decided <- true;
+    if t.started_loop then
+      Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"mvba" "select";
+    if Trace.Ctx.enabled (trace t) then
+      Trace.Ctx.instant (trace t) ~pid:t.pid ~cat:"mvba"
+        ~args:[ ("candidate", Trace.Event.Int (candidate_at t t.loop_index)) ]
+        "decide";
     t.on_decide payload
   end
 

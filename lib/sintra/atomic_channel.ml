@@ -56,6 +56,7 @@ type t = {
      drained the channel's outputs (the paper: "if the outputs are not
      removed ... the channel will stall"). *)
   mutable gate : unit -> bool;
+  enqueued_at : (int, float) Hashtbl.t;   (* seq -> enqueue virtual time *)
 }
 
 let tag_init = 0
@@ -108,6 +109,19 @@ let batch_valid (t : t) ~(round : int) (batch : string) : bool =
     end
     && List.for_all (fun it -> item_signature_valid t ~round it) items
 
+(* --- tracing: queue -> agree -> deliver, one round span per round on the
+   channel's thread with the agreement span nested inside it. --- *)
+
+let trace (t : t) : Trace.Ctx.t = t.rt.Runtime.trace
+
+let trace_phase (t : t) (name : string) (r : int) (ph : Trace.Event.phase) :
+    unit =
+  let tr = trace t in
+  if Trace.Ctx.enabled tr then
+    Trace.Ctx.emit_at tr ~time:(Trace.Ctx.now tr) ~pid:t.pid ~cat:"abc" ~ph
+      ~args:[ ("round", Trace.Event.Int r) ]
+      (Printf.sprintf "%s %d" name r)
+
 let round_inits (t : t) (round : int) : (int, int * item) Hashtbl.t =
   match Hashtbl.find_opt t.inits round with
   | Some tbl -> tbl
@@ -120,6 +134,7 @@ let round_inits (t : t) (round : int) : (int, int * item) Hashtbl.t =
    payload). *)
 let send_init (t : t) ~(orig : int) ~(seq : int) (payload : string) : unit =
   let round = t.round in
+  trace_phase t "round" round Trace.Event.Span_begin;
   Charge.rsa_sign t.rt.Runtime.charge;
   let signature =
     Crypto.Rsa.sign t.rt.Runtime.keys.Dealer.sign_sk ~ctx:t.pid
@@ -209,6 +224,7 @@ and try_propose (t : t) : unit =
       let encoded = Wire.encode (fun b -> Wire.Enc.list b enc_item batch) in
       t.proposed <- true;
       let round = t.round in
+      trace_phase t "agree" round Trace.Event.Span_begin;
       let mvba =
         match t.mvba with
         | Some m -> m
@@ -227,6 +243,7 @@ and try_propose (t : t) : unit =
 
 and finish_round (t : t) (round : int) (batch : string) : unit =
   if round = t.round && not t.closed then begin
+    if t.proposed then trace_phase t "agree" round Trace.Event.Span_end;
     (match Wire.decode batch (fun d -> Wire.Dec.list d dec_item) with
      | None -> ()   (* cannot happen: validator enforced the format *)
      | Some items ->
@@ -239,6 +256,22 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
            if not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq)) then begin
              Hashtbl.replace t.delivered (it.it_orig, it.it_seq) ();
              t.deliveries <- t.deliveries + 1;
+             (* Own-payload end-to-end latency: enqueue -> atomic delivery
+                (the per-message latency of Figures 4 and 5). *)
+             if it.it_orig = t.rt.Runtime.me then begin
+               match Hashtbl.find_opt t.enqueued_at it.it_seq with
+               | Some t0 ->
+                 Hashtbl.remove t.enqueued_at it.it_seq;
+                 Trace.Ctx.observe (trace t) "abc.latency" (Runtime.now t.rt -. t0)
+               | None -> ()
+             end;
+             let tr = trace t in
+             if Trace.Ctx.enabled tr then
+               Trace.Ctx.instant tr ~pid:t.pid ~cat:"abc"
+                 ~args:
+                   [ ("sender", Trace.Event.Int it.it_orig);
+                     ("seq", Trace.Event.Int it.it_seq) ]
+                 "deliver";
              if it.it_payload = frame_term then
                Hashtbl.replace t.term_requests it.it_orig ()
              else if String.length it.it_payload >= 1 && it.it_payload.[0] = '\x01' then
@@ -246,6 +279,7 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
                  (String.sub it.it_payload 1 (String.length it.it_payload - 1))
            end)
          items);
+    trace_phase t "round" round Trace.Event.Span_end;
     (* Close once t+1 distinct parties asked. *)
     if Hashtbl.length t.term_requests >= t.rt.Runtime.cfg.Config.t + 1 then begin
       t.closed <- true;
@@ -336,6 +370,7 @@ let create (rt : Runtime.t) ~(pid : string)
     closed = false;
     deliveries = 0;
     gate = (fun () -> true);
+    enqueued_at = Hashtbl.create 16;
   }
   in
   Runtime.register rt ~pid (fun ~src body -> handle t ~src body);
@@ -345,6 +380,12 @@ let enqueue (t : t) (framed : string) : unit =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   Queue.push (seq, framed) t.queue;
+  Hashtbl.replace t.enqueued_at seq (Runtime.now t.rt);
+  let tr = trace t in
+  if Trace.Ctx.enabled tr then
+    Trace.Ctx.instant tr ~pid:t.pid ~cat:"abc"
+      ~args:[ ("seq", Trace.Event.Int seq) ]
+      "enqueue";
   try_send_init t;
   try_propose t
 

@@ -195,6 +195,26 @@ let round_state (t : t) (r : int) : round_state =
 let quorum (t : t) : int = Config.vote_quorum t.rt.Runtime.cfg
 let coin_k (t : t) : int = Config.coin_threshold t.rt.Runtime.cfg
 
+(* --- tracing: one span per round on the instance's thread, coin flips on
+   a dedicated "<pid>/coin" thread so overlapping rounds stay nested. --- *)
+
+let trace (t : t) : Trace.Ctx.t = t.rt.Runtime.trace
+
+let trace_round (t : t) (r : int) (ph : Trace.Event.phase) : unit =
+  let tr = trace t in
+  if Trace.Ctx.enabled tr then
+    Trace.Ctx.emit_at tr ~time:(Trace.Ctx.now tr) ~pid:t.pid ~cat:"aba" ~ph
+      ~args:[ ("round", Trace.Event.Int r) ]
+      (Printf.sprintf "round %d" r)
+
+let trace_coin (t : t) (r : int) (ph : Trace.Event.phase)
+    (args : (string * Trace.Event.arg) list) : unit =
+  let tr = trace t in
+  if Trace.Ctx.enabled tr then
+    Trace.Ctx.emit_at tr ~time:(Trace.Ctx.now tr) ~pid:(t.pid ^ "/coin")
+      ~cat:"aba" ~ph ~args
+      (Printf.sprintf "coin %d" r)
+
 let store_proof (t : t) (b : bool) (proof : string) : unit =
   match t.validator with
   | None -> ()
@@ -305,6 +325,7 @@ let send_prevote (t : t) (r : int) (b : bool) (just : justification) : unit =
   let st = round_state t r in
   if not st.sent_prevote then begin
     st.sent_prevote <- true;
+    trace_round t r Trace.Event.Span_begin;
     let charge = t.rt.Runtime.charge in
     Charge.tsig_release charge;
     let share =
@@ -364,15 +385,24 @@ let emit_decide (t : t) : unit =
     match t.decided with
     | None -> ()
     | Some (b, _) ->
+      let trace_decide () =
+        let tr = trace t in
+        if Trace.Ctx.enabled tr then
+          Trace.Ctx.instant tr ~pid:t.pid ~cat:"aba"
+            ~args:[ ("value", Trace.Event.Bool b) ]
+            "decide"
+      in
       (match t.validator with
        | None ->
          t.decide_emitted <- true;
+         trace_decide ();
          t.on_decide b None
        | Some _ ->
          (match Hashtbl.find_opt t.proofs b with
           | Some proof ->
             t.decide_emitted <- true;
             t.pending_decide <- None;
+            trace_decide ();
             t.on_decide b (Some proof)
           | None ->
             (* External validity: defer until validation data arrives (a
@@ -386,6 +416,7 @@ let rec try_finish_round (t : t) (r : int) : unit =
      && Hashtbl.length st.mainvotes >= quorum t
   then begin
     st.finished <- true;
+    trace_round t r Trace.Event.Span_end;
     let votes = Det.values st.mainvotes ~compare:Det.by_int in
     let bit_votes =
       List.filter_map (fun mv -> match mv.mv_value with MV_bit b -> Some (b, mv) | MV_abstain -> None) votes
@@ -413,6 +444,7 @@ let rec try_finish_round (t : t) (r : int) : unit =
         | _ ->
           if not st.released_coin then begin
             st.released_coin <- true;
+            trace_coin t r Trace.Event.Span_begin [];
             let charge = t.rt.Runtime.charge in
             Charge.coin_release charge;
             let share =
@@ -519,7 +551,12 @@ let handle (t : t) ~src body =
             (match pv.pv_just with
              | J_coin (_, _) when pv.pv_round > 1 ->
                let prev = round_state t (pv.pv_round - 1) in
-               if prev.coin_value = None then prev.coin_value <- Some pv.pv_value
+               if prev.coin_value = None then begin
+                 prev.coin_value <- Some pv.pv_value;
+                 if prev.released_coin then
+                   trace_coin t (pv.pv_round - 1) Trace.Event.Span_end
+                     [ ("value", Trace.Event.Bool pv.pv_value) ]
+               end
              | J_initial | J_hard _ | J_coin _ -> ());
             if not t.halted then begin
               try_send_mainvote t pv.pv_round;
@@ -584,9 +621,14 @@ let handle (t : t) ~src body =
                 if Hashtbl.length st.coin_shares >= coin_k t then begin
                   Charge.coin_assemble charge ~k:(coin_k t);
                   let shares = Det.values st.coin_shares ~compare:Det.by_int in
-                  st.coin_value <-
-                    Some (Crypto.Threshold_coin.assemble_bit
-                            t.rt.Runtime.keys.Dealer.coin_pub ~name:(coin_name t r) shares);
+                  let coin =
+                    Crypto.Threshold_coin.assemble_bit
+                      t.rt.Runtime.keys.Dealer.coin_pub ~name:(coin_name t r) shares
+                  in
+                  st.coin_value <- Some coin;
+                  if st.released_coin then
+                    trace_coin t r Trace.Event.Span_end
+                      [ ("value", Trace.Event.Bool coin) ];
                   if not t.halted then try_advance t r
                 end
               end

@@ -71,6 +71,12 @@ module Make (B : BROADCAST) = struct
       end
       else if String.length framed >= 1 && framed.[0] = '\x01' then begin
         t.deliveries <- t.deliveries + 1;
+        Trace.Ctx.incr t.rt.Runtime.trace "bcast.deliveries";
+        let tr = t.rt.Runtime.trace in
+        if Trace.Ctx.enabled tr then
+          Trace.Ctx.instant tr ~pid:t.pid ~cat:"bcast"
+            ~args:[ ("sender", Trace.Event.Int sender) ]
+            "channel_deliver";
         t.on_deliver ~sender (String.sub framed 1 (String.length framed - 1))
       end
     end

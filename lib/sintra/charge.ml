@@ -12,15 +12,43 @@
 type t = {
   meter : Sim.Cost.meter;
   cfg : Config.t;
+  trace : Trace.Ctx.t;
 }
 
 let exp (c : t) ~mod_bits ~exp_bits = Sim.Cost.exp c.meter ~mod_bits ~exp_bits
 let full (c : t) ~bits = Sim.Cost.exp_full c.meter ~bits
 
+(* Record [f]'s work as a span on the party's "crypto" pseudo-thread.  The
+   virtual clock does not advance inside a handler, so the span is anchored
+   at the current time plus the CPU milliseconds already charged in this
+   step — an approximation of where in the step the operation runs, exact
+   in total width.  Costs nothing when the sink is null. *)
+let spanned (c : t) (name : string) (f : unit -> unit) : unit =
+  if Trace.Ctx.enabled c.trace then begin
+    let t0 = Trace.Ctx.now c.trace in
+    let before = c.meter.Sim.Cost.charged_ms in
+    Trace.Ctx.emit_at c.trace
+      ~time:(t0 +. (before /. 1000.0))
+      ~pid:"crypto" ~cat:"crypto" ~ph:Trace.Event.Span_begin name;
+    f ();
+    let after = c.meter.Sim.Cost.charged_ms in
+    Trace.Ctx.emit_at c.trace
+      ~time:(t0 +. (after /. 1000.0))
+      ~pid:"crypto" ~cat:"crypto" ~ph:Trace.Event.Span_end
+      ~args:[ ("ms", Trace.Event.Float (after -. before)) ]
+      name
+  end
+  else f ()
+
 (* --- ordinary RSA signatures (atomic broadcast INITs, multi-signatures) --- *)
 
-let rsa_sign (c : t) = Sim.Cost.rsa_sign c.meter ~bits:c.cfg.Config.model_rsa_bits
-let rsa_verify (c : t) = Sim.Cost.rsa_verify c.meter ~bits:c.cfg.Config.model_rsa_bits
+let rsa_sign (c : t) =
+  spanned c "rsa_sign" (fun () ->
+    Sim.Cost.rsa_sign c.meter ~bits:c.cfg.Config.model_rsa_bits)
+
+let rsa_verify (c : t) =
+  spanned c "rsa_verify" (fun () ->
+    Sim.Cost.rsa_verify c.meter ~bits:c.cfg.Config.model_rsa_bits)
 
 (* --- threshold signatures --- *)
 
@@ -28,43 +56,47 @@ let rsa_verify (c : t) = Sim.Cost.rsa_verify c.meter ~bits:c.cfg.Config.model_rs
    plus the correctness proof's two commitments with an exponent ~ |n|+512
    bits.  Multi release: one CRT RSA signature. *)
 let tsig_release (c : t) =
-  match c.cfg.Config.tsig_scheme with
-  | Config.Multi -> rsa_sign c
-  | Config.Shoup ->
-    let b = c.cfg.Config.model_rsa_bits in
-    full c ~bits:b;
-    exp c ~mod_bits:b ~exp_bits:(b + 512);
-    exp c ~mod_bits:b ~exp_bits:(b + 512)
+  spanned c "tsig_release" (fun () ->
+    match c.cfg.Config.tsig_scheme with
+    | Config.Multi -> rsa_sign c
+    | Config.Shoup ->
+      let b = c.cfg.Config.model_rsa_bits in
+      full c ~bits:b;
+      exp c ~mod_bits:b ~exp_bits:(b + 512);
+      exp c ~mod_bits:b ~exp_bits:(b + 512))
 
 (* Shoup share verification: recompute both commitments (z-bit exponents)
    and the two challenge exponentiations.  Multi: one RSA verification. *)
 let tsig_verify_share (c : t) =
-  match c.cfg.Config.tsig_scheme with
-  | Config.Multi -> rsa_verify c
-  | Config.Shoup ->
-    let b = c.cfg.Config.model_rsa_bits in
-    exp c ~mod_bits:b ~exp_bits:(b + 512);
-    exp c ~mod_bits:b ~exp_bits:(b + 512);
-    exp c ~mod_bits:b ~exp_bits:256;
-    exp c ~mod_bits:b ~exp_bits:256
+  spanned c "tsig_verify_share" (fun () ->
+    match c.cfg.Config.tsig_scheme with
+    | Config.Multi -> rsa_verify c
+    | Config.Shoup ->
+      let b = c.cfg.Config.model_rsa_bits in
+      exp c ~mod_bits:b ~exp_bits:(b + 512);
+      exp c ~mod_bits:b ~exp_bits:(b + 512);
+      exp c ~mod_bits:b ~exp_bits:256;
+      exp c ~mod_bits:b ~exp_bits:256)
 
 (* Shoup combination: k exponentiations with small (Lagrange) exponents plus
    the extended-GCD correction pair.  Multi: concatenation, free. *)
 let tsig_assemble (c : t) ~(k : int) =
-  match c.cfg.Config.tsig_scheme with
-  | Config.Multi -> ()
-  | Config.Shoup ->
-    let b = c.cfg.Config.model_rsa_bits in
-    for _ = 1 to k do exp c ~mod_bits:b ~exp_bits:64 done;
-    exp c ~mod_bits:b ~exp_bits:64;
-    exp c ~mod_bits:b ~exp_bits:64
+  spanned c "tsig_assemble" (fun () ->
+    match c.cfg.Config.tsig_scheme with
+    | Config.Multi -> ()
+    | Config.Shoup ->
+      let b = c.cfg.Config.model_rsa_bits in
+      for _ = 1 to k do exp c ~mod_bits:b ~exp_bits:64 done;
+      exp c ~mod_bits:b ~exp_bits:64;
+      exp c ~mod_bits:b ~exp_bits:64)
 
 (* Verifying an assembled signature: one RSA verification for Shoup (it is a
    standard RSA signature); k of them for a multi-signature. *)
 let tsig_verify (c : t) ~(k : int) =
-  match c.cfg.Config.tsig_scheme with
-  | Config.Multi -> for _ = 1 to k do rsa_verify c done
-  | Config.Shoup -> rsa_verify c
+  spanned c "tsig_verify" (fun () ->
+    match c.cfg.Config.tsig_scheme with
+    | Config.Multi -> for _ = 1 to k do rsa_verify c done
+    | Config.Shoup -> rsa_verify c)
 
 (* --- the threshold coin --- *)
 
@@ -74,32 +106,42 @@ let dl_exp (c : t) =
 (* Release: hash-to-group cofactor power (~full-size exponent), the share
    itself, and two DLEQ commitments. *)
 let coin_release (c : t) =
-  exp c ~mod_bits:c.cfg.Config.model_dl_pbits
-    ~exp_bits:(c.cfg.Config.model_dl_pbits - c.cfg.Config.model_dl_qbits);
-  dl_exp c; dl_exp c; dl_exp c
+  spanned c "coin_release" (fun () ->
+    exp c ~mod_bits:c.cfg.Config.model_dl_pbits
+      ~exp_bits:(c.cfg.Config.model_dl_pbits - c.cfg.Config.model_dl_qbits);
+    dl_exp c; dl_exp c; dl_exp c)
 
 (* Verify: DLEQ verification is four exponentiations. *)
-let coin_verify_share (c : t) = dl_exp c; dl_exp c; dl_exp c; dl_exp c
+let coin_verify_share (c : t) =
+  spanned c "coin_verify_share" (fun () ->
+    dl_exp c; dl_exp c; dl_exp c; dl_exp c)
 
 (* Assemble: k Lagrange exponentiations. *)
-let coin_assemble (c : t) ~(k : int) = for _ = 1 to k do dl_exp c done
+let coin_assemble (c : t) ~(k : int) =
+  spanned c "coin_assemble" (fun () -> for _ = 1 to k do dl_exp c done)
 
 (* --- threshold encryption (TDH2) --- *)
 
 let enc_encrypt (c : t) ~(bytes : int) =
-  for _ = 1 to 5 do dl_exp c done;
-  Sim.Cost.symmetric c.meter ~bytes
+  spanned c "enc_encrypt" (fun () ->
+    for _ = 1 to 5 do dl_exp c done;
+    Sim.Cost.symmetric c.meter ~bytes)
 
-let enc_ct_valid (c : t) = for _ = 1 to 4 do dl_exp c done
+let enc_ct_valid (c : t) =
+  spanned c "enc_ct_valid" (fun () -> for _ = 1 to 4 do dl_exp c done)
 
 (* Decryption share: ciphertext check + share + DLEQ proof. *)
-let enc_dec_share (c : t) = enc_ct_valid c; dl_exp c; dl_exp c; dl_exp c
+let enc_dec_share (c : t) =
+  spanned c "enc_dec_share" (fun () ->
+    enc_ct_valid c; dl_exp c; dl_exp c; dl_exp c)
 
-let enc_verify_share (c : t) = coin_verify_share c
+let enc_verify_share (c : t) =
+  spanned c "enc_verify_share" (fun () -> coin_verify_share c)
 
 let enc_combine (c : t) ~(k : int) ~(bytes : int) =
-  for _ = 1 to k do dl_exp c done;
-  Sim.Cost.symmetric c.meter ~bytes
+  spanned c "enc_combine" (fun () ->
+    for _ = 1 to k do dl_exp c done;
+    Sim.Cost.symmetric c.meter ~bytes)
 
 (* --- symmetric / hashing --- *)
 

@@ -8,6 +8,7 @@
 type t = {
   meter : Sim.Cost.meter;
   cfg : Config.t;
+  trace : Trace.Ctx.t;
 }
 
 val rsa_sign : t -> unit

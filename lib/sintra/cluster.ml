@@ -53,3 +53,22 @@ let clear_intercept (c : t) = Sim.Net.clear_intercept c.net
 
 let honest_indices (c : t) ~(corrupted : int list) : int list =
   List.filter (fun i -> not (List.mem i corrupted)) (List.init c.cfg.Config.n (fun i -> i))
+
+(* Observability. *)
+
+let set_sink (c : t) (s : Trace.Sink.t) : unit = Sim.Engine.set_sink c.engine s
+
+let metrics (c : t) : Trace.Metrics.t = Sim.Engine.metrics c.engine
+
+(* Flush the network/CPU counters into the registry and return it. *)
+let publish_metrics (c : t) : Trace.Metrics.t =
+  Sim.Net.publish_metrics c.net;
+  Array.iter
+    (fun rt ->
+      if rt.Runtime.dropped_orphans > 0 then
+        Trace.Metrics.set
+          (Trace.Metrics.counter (Sim.Engine.metrics c.engine)
+             (Printf.sprintf "p%d/runtime.dropped_orphans" rt.Runtime.me))
+          (float_of_int rt.Runtime.dropped_orphans))
+    c.runtimes;
+  Sim.Engine.metrics c.engine

@@ -35,3 +35,13 @@ val set_intercept : t -> (src:int -> dst:int -> string -> Sim.Net.action) -> uni
 val clear_intercept : t -> unit
 
 val honest_indices : t -> corrupted:int list -> int list
+
+val set_sink : t -> Trace.Sink.t -> unit
+(** Install a trace sink on the cluster's engine; every party's
+    instrumentation reports through it. *)
+
+val metrics : t -> Trace.Metrics.t
+
+val publish_metrics : t -> Trace.Metrics.t
+(** Flush per-node network/CPU counters (and orphan-drop counts) into the
+    registry and return it.  Idempotent. *)

@@ -41,6 +41,13 @@ let tag_final = 2
 let statement ~(pid : string) (payload : string) : string =
   "cbc-ready|" ^ pid ^ "|" ^ payload
 
+let trace (t : t) : Trace.Ctx.t = t.rt.Runtime.trace
+
+let trace_deliver (t : t) : unit =
+  if t.echoed && t.rt.Runtime.me <> t.sender then
+    Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"bcast" "echo";
+  Trace.Ctx.instant (trace t) ~pid:t.pid ~cat:"bcast" "deliver"
+
 let handle (t : t) ~src body =
   if not t.aborted then begin
     let cfg = t.rt.Runtime.cfg in
@@ -55,6 +62,8 @@ let handle (t : t) ~src body =
         | None -> ()
         | Some payload ->
           t.echoed <- true;
+          if t.rt.Runtime.me <> t.sender then
+            Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"bcast" "echo";
           Charge.tsig_release charge;
           let share =
             Tsig.release ~drbg:t.rt.Runtime.drbg t.rt.Runtime.keys.Dealer.bc_tsig
@@ -87,6 +96,7 @@ let handle (t : t) ~src body =
                  t.shares <- share :: t.shares;
                  if Hashtbl.length t.share_origins >= Config.echo_quorum cfg then begin
                    t.final_sent <- true;
+                   Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"bcast" "send";
                    Charge.tsig_assemble charge ~k:(Config.echo_quorum cfg);
                    let signature =
                      Tsig.assemble pub ~ctx:t.pid (statement ~pid:t.pid payload) t.shares
@@ -118,6 +128,7 @@ let handle (t : t) ~src body =
           then begin
             t.delivered <- true;
             t.closing <- Some (payload, signature);
+            trace_deliver t;
             t.on_deliver payload
           end
       end
@@ -144,6 +155,7 @@ let send (t : t) (payload : string) : unit =
   if t.rt.Runtime.me <> t.sender then invalid_arg "Consistent_broadcast.send: not the sender";
   if t.sent_payload <> None then invalid_arg "Consistent_broadcast.send: already sent";
   t.sent_payload <- Some payload;
+  Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"bcast" "send";
   let body =
     Wire.encode (fun b ->
       Wire.Enc.u8 b tag_send;
@@ -194,6 +206,7 @@ let deliver_closing (t : t) (v : string) : bool =
       if closing_valid t.rt ~pid:t.pid v then begin
         t.delivered <- true;
         t.closing <- Some (payload, signature);
+        trace_deliver t;
         t.on_deliver payload;
         true
       end

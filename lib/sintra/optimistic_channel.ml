@@ -69,6 +69,7 @@ type t = {
   mutable stats_fast : int;
   mutable stats_recovered : int;
   mutable epochs_started : int;
+  mutable rec_span_open : bool;        (* a "recovery" trace span is open *)
 }
 
 let tag_request = 0
@@ -84,6 +85,8 @@ let recovery_pid (t : t) ~(epoch : int) : string = Printf.sprintf "%s/rec.%d" t.
 let leader (t : t) : int = t.epoch mod t.rt.Runtime.cfg.Config.n
 
 let quorum (t : t) : int = Config.vote_quorum t.rt.Runtime.cfg
+
+let trace (t : t) : Trace.Ctx.t = t.rt.Runtime.trace
 
 let enc_request (b : Wire.Enc.t) (rq : request) : unit =
   Wire.Enc.int b rq.rq_orig;
@@ -176,6 +179,12 @@ and deliver_request (t : t) (rq : request) ~(fast : bool) : unit =
     Hashtbl.remove t.requests id;
     if fast then t.stats_fast <- t.stats_fast + 1
     else t.stats_recovered <- t.stats_recovered + 1;
+    Trace.Ctx.incr (trace t)
+      (if fast then "opt.fast_deliveries" else "opt.recovered_deliveries");
+    if Trace.Ctx.enabled (trace t) then
+      Trace.Ctx.instant (trace t) ~pid:t.pid ~cat:"opt"
+        ~args:[ ("sender", Trace.Event.Int rq.rq_orig) ]
+        (if fast then "deliver_fast" else "deliver_recovered");
     t.on_deliver ~sender:rq.rq_orig rq.rq_payload
   end
 
@@ -225,6 +234,10 @@ and watch_request (t : t) (id : int * int) : unit =
 and complain (t : t) : unit =
   if not t.complained && not t.in_recovery then begin
     t.complained <- true;
+    if Trace.Ctx.enabled (trace t) then
+      Trace.Ctx.instant (trace t) ~pid:t.pid ~cat:"opt" ~level:Trace.Event.Warn
+        ~args:[ ("epoch", Trace.Event.Int t.epoch) ]
+        "complain";
     let body =
       Wire.encode (fun b ->
         Wire.Enc.u8 b tag_complain;
@@ -245,6 +258,12 @@ and on_complain (t : t) ~(src : int) ~(epoch : int) : unit =
 and start_recovery (t : t) : unit =
   if not t.in_recovery then begin
     t.in_recovery <- true;
+    if Trace.Ctx.enabled (trace t) then begin
+      t.rec_span_open <- true;
+      Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"opt"
+        ~args:[ ("epoch", Trace.Event.Int t.epoch) ]
+        (Printf.sprintf "recovery %d" t.epoch)
+    end;
     Det.iter t.insts ~compare:Det.by_int (fun _ inst -> Consistent_broadcast.abort inst);
     Hashtbl.reset t.insts;
     let epoch = t.epoch in
@@ -383,6 +402,12 @@ and finish_recovery (t : t) ~(epoch : int) (decided : string) : unit =
            | None -> ())
          best);
     (* Move to the next epoch under the next leader. *)
+    if t.rec_span_open then begin
+      t.rec_span_open <- false;
+      Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"opt"
+        (Printf.sprintf "recovery %d" epoch)
+    end;
+    Trace.Ctx.incr (trace t) "opt.recoveries";
     (match t.recovery_mvba with Some m -> Array_agreement.abort m | None -> ());
     t.recovery_mvba <- None;
     t.epoch <- epoch + 1;
@@ -497,6 +522,7 @@ let create ?(timeout = 5.0) (rt : Runtime.t) ~(pid : string)
     stats_fast = 0;
     stats_recovered = 0;
     epochs_started = 1;
+    rec_span_open = false;
   }
   in
   Runtime.register rt ~pid (fun ~src body -> handle t ~src body);

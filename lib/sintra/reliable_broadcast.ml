@@ -41,6 +41,8 @@ let digest (t : t) (payload : string) : string =
   Charge.hash t.rt.Runtime.charge ~bytes:(String.length payload);
   Hashes.Sha256.digest_list [ "rbc|"; t.pid; "|"; payload ]
 
+let trace (t : t) : Trace.Ctx.t = t.rt.Runtime.trace
+
 let tally tbl key src =
   let set =
     match Hashtbl.find_opt tbl key with
@@ -67,6 +69,7 @@ let rec handle (t : t) ~src body =
       Invariant.sender_in_range inv src;
       if tag = tag_send && src = t.sender && not t.echo_sent then begin
         t.echo_sent <- true;
+        Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"bcast" "echo";
         Runtime.broadcast t.rt ~pid:t.pid (encode ~tag:tag_echo payload)
       end
       else if tag = tag_echo then begin
@@ -100,6 +103,9 @@ let rec handle (t : t) ~src body =
         if count >= cfg.Config.t + 1 then send_ready t dg;
         if count >= Config.ready_quorum cfg && not t.delivered then begin
           t.delivered <- true;
+          if t.ready_sent then
+            Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"bcast" "ready";
+          Trace.Ctx.instant (trace t) ~pid:t.pid ~cat:"bcast" "deliver";
           t.on_deliver payload
         end
       end
@@ -107,6 +113,9 @@ let rec handle (t : t) ~src body =
 and send_ready (t : t) (dg : string) =
   if not t.ready_sent then begin
     t.ready_sent <- true;
+    if t.echo_sent then
+      Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"bcast" "echo";
+    Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"bcast" "ready";
     match Hashtbl.find_opt t.payloads dg with
     | Some payload -> Runtime.broadcast t.rt ~pid:t.pid (encode ~tag:tag_ready payload)
     | None -> ()

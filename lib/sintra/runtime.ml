@@ -17,6 +17,7 @@ type t = {
   drbg : Hashes.Drbg.t;
   charge : Charge.t;
   inv : Invariant.t option;
+  trace : Trace.Ctx.t;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;
@@ -34,6 +35,7 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
   let me = keys.Dealer.index in
   let inv = Invariant.create cfg in
   if Invariant.enabled inv then Invariant.check_quorums cfg;
+  let trace = Sim.Net.trace_ctx net me in
   let rt = {
     me;
     cfg;
@@ -41,8 +43,9 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
     net;
     engine;
     drbg = Hashes.Drbg.fork (Sim.Engine.drbg engine) (Printf.sprintf "party-%d" me);
-    charge = { Charge.meter = Sim.Net.meter net me; cfg };
+    charge = { Charge.meter = Sim.Net.meter net me; cfg; trace };
     inv;
+    trace;
     handlers = Hashtbl.create 64;
     orphans = Hashtbl.create 64;
     dropped_orphans = 0;
@@ -68,8 +71,18 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
              Hashtbl.add rt.orphans pid q;
              q
          in
-         if Queue.length q < orphan_cap_per_pid then Queue.push (src, body) q
-         else rt.dropped_orphans <- rt.dropped_orphans + 1));
+         if Queue.length q < orphan_cap_per_pid then begin
+           Queue.push (src, body) q;
+           Trace.Ctx.incr rt.trace "runtime.orphans_buffered"
+         end
+         else begin
+           rt.dropped_orphans <- rt.dropped_orphans + 1;
+           Trace.Ctx.incr rt.trace "runtime.dropped_orphans";
+           Trace.Ctx.instant rt.trace ~pid ~cat:"runtime"
+             ~level:Trace.Event.Warn
+             ~args:[ ("src", Trace.Event.Int src) ]
+             "orphan_dropped"
+         end));
   rt
 
 let register (rt : t) ~(pid : string) (h : src:int -> string -> unit) : unit =

@@ -16,6 +16,7 @@ type t = {
   drbg : Hashes.Drbg.t;
   charge : Charge.t;
   inv : Invariant.t option;
+  trace : Trace.Ctx.t;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;

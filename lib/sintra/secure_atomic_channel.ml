@@ -10,6 +10,7 @@
    cleartext, and cleartexts are delivered strictly in atomic order. *)
 
 type slot = {
+  sl_index : int;
   sl_sender : int;
   sl_ct : Crypto.Threshold_enc.ciphertext;
   shares : (int, Crypto.Threshold_enc.dec_share) Hashtbl.t;
@@ -35,6 +36,17 @@ let dec_pid (t : t) : string = t.pid ^ "/dec"
 
 let label (pid : string) : string = "sac|" ^ pid
 
+(* Tracing: one "decrypt" span per ordered slot on the channel's decryption
+   thread — the extra round of interaction the paper puts on the critical
+   path — plus an instant per in-order cleartext delivery. *)
+let trace_slot (t : t) (index : int) (ph : Trace.Event.phase) : unit =
+  let tr = t.rt.Runtime.trace in
+  if Trace.Ctx.enabled tr then
+    Trace.Ctx.emit_at tr ~time:(Trace.Ctx.now tr) ~pid:(dec_pid t) ~cat:"abc"
+      ~ph
+      ~args:[ ("index", Trace.Event.Int index) ]
+      (Printf.sprintf "decrypt %d" index)
+
 (* Encrypt a message for the channel; usable by non-members who know only
    the channel's public key (the paper's static encrypt). *)
 let encrypt ~(drbg : Hashes.Drbg.t) ~(enc_pub : Crypto.Threshold_enc.public)
@@ -58,6 +70,11 @@ let rec emit_ready (t : t) : unit =
        | Some m ->
          if not slot.emitted then begin
            slot.emitted <- true;
+           let tr = t.rt.Runtime.trace in
+           if Trace.Ctx.enabled tr then
+             Trace.Ctx.instant tr ~pid:(dec_pid t) ~cat:"abc"
+               ~args:[ ("sender", Trace.Event.Int slot.sl_sender) ]
+               "deliver_clear";
            t.next_emit <- t.next_emit + 1;
            t.on_deliver ~sender:slot.sl_sender m;
            emit_ready t
@@ -85,6 +102,7 @@ let try_combine (t : t) (slot : slot) : unit =
     | None -> ()
     | Some m ->
       slot.plaintext <- Some m;
+      trace_slot t slot.sl_index Trace.Event.Span_end;
       drain t
   end
 
@@ -133,7 +151,7 @@ let on_atomic_deliver (t : t) ~(sender : int) (ct_bytes : string) : unit =
        | Some f -> f ~sender ct_bytes
        | None -> ());
       let slot = {
-        sl_sender = sender; sl_ct = ct;
+        sl_index = index; sl_sender = sender; sl_ct = ct;
         shares = Hashtbl.create 8;
         plaintext = None;
         emitted = false;
@@ -151,6 +169,7 @@ let on_atomic_deliver (t : t) ~(sender : int) (ct_bytes : string) : unit =
         Hashtbl.remove t.slots index;
         invalid ()
       | Some share ->
+        trace_slot t index Trace.Event.Span_begin;
         Hashtbl.replace slot.shares t.rt.Runtime.me share;
         let body =
           Wire.encode (fun b ->

@@ -1,0 +1,48 @@
+(** A tracing context: the handle instrumentation sites hold.  Bundles the
+    shared sink slot (a ref, so a sink can be installed after construction),
+    the shared metrics registry, the virtual clock and the owning party.
+    Every helper is a no-op costing one dereference when the sink is null. *)
+
+type t
+
+val create :
+  sink:Sink.t ref -> metrics:Metrics.t -> now:(unit -> float) -> party:int ->
+  t
+
+val null : unit -> t
+(** A context that never records anything (private sink ref and registry). *)
+
+val enabled : t -> bool
+(** True when the sink is live.  Instrumentation sites with nontrivial
+    argument building should test this first. *)
+
+val metrics : t -> Metrics.t
+val party : t -> int
+val now : t -> float
+
+val emit_at :
+  t -> time:float -> pid:string -> cat:string -> ph:Event.phase ->
+  ?level:Event.level -> ?args:(string * Event.arg) list -> string -> unit
+(** Emit a record at an explicit virtual time (crypto spans are anchored at
+    charged-cost offsets rather than the current clock). *)
+
+val span_begin :
+  t -> pid:string -> cat:string -> ?args:(string * Event.arg) list ->
+  string -> unit
+
+val span_end :
+  t -> pid:string -> cat:string -> ?args:(string * Event.arg) list ->
+  string -> unit
+
+val instant :
+  t -> pid:string -> cat:string -> ?level:Event.level ->
+  ?args:(string * Event.arg) list -> string -> unit
+
+(** {2 Metrics conveniences}
+
+    Names are prefixed ["p<party>/"] so per-party tables fall out of a
+    plain sorted dump. *)
+
+val count : t -> string -> float -> unit
+val incr : t -> string -> unit
+val observe : t -> ?buckets:float array -> string -> float -> unit

@@ -1,0 +1,86 @@
+(* The structured trace-event model.
+
+   Every record carries the virtual clock, the party (the Chrome "process")
+   and the protocol instance pid (the Chrome "thread"), so a trace can be
+   cut per party, per protocol, or per phase.  Records are plain data; the
+   sinks decide how to render them.  Everything in a record is a pure
+   function of the simulation seed — no wall-clock, no hashes of addresses —
+   which is what makes traces byte-reproducible. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type phase =
+  | Span_begin                    (* Chrome "B" *)
+  | Span_end                      (* Chrome "E" *)
+  | Instant                       (* Chrome "i" *)
+  | Counter                       (* Chrome "C" *)
+
+type level = Info | Warn
+
+type t = {
+  time : float;                   (* virtual seconds *)
+  party : int;                    (* 0-based party id; -1 for global records *)
+  pid : string;                   (* protocol instance id; "" for party-level *)
+  cat : string;                   (* taxonomy: bcast | aba | abc | opt | crypto | net | runtime *)
+  name : string;
+  ph : phase;
+  level : level;
+  args : (string * arg) list;
+}
+
+let make ?(level = Info) ?(args = []) ~time ~party ~pid ~cat ~ph name : t =
+  { time; party; pid; cat; name; ph; level; args }
+
+let phase_letter = function
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Instant -> "i"
+  | Counter -> "C"
+
+let level_name = function Info -> "info" | Warn -> "warn"
+
+(* --- JSON rendering helpers shared by the sinks --- *)
+
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Deterministic float rendering: fixed-point with enough digits for
+   nanosecond-resolution virtual time.  %.9f of a float is locale-free and
+   reproducible, unlike %g across printf implementations. *)
+let float_str (f : float) : string =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.9f" f
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f -> float_str f
+  | Str s -> "\"" ^ escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let args_json (args : (string * arg) list) : string =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b ("\"" ^ escape k ^ "\":" ^ arg_json v))
+    args;
+  Buffer.add_char b '}';
+  Buffer.contents b

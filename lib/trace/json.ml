@@ -1,0 +1,208 @@
+(* A minimal JSON reader, used by the trace-check CLI and the tests to
+   validate that the sinks emit well-formed JSON.  Parse-only: numbers
+   become floats, objects keep field order.  No dependencies, no partial
+   stdlib functions — errors come back as [Error msg]. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+exception Fail of string
+
+type state = { src : string; mutable pos : int }
+
+let fail (st : state) (msg : string) : 'a =
+  raise (Fail (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek (st : state) : char option =
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance (st : state) : unit = st.pos <- st.pos + 1
+
+let skip_ws (st : state) : unit =
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance st
+    | Some _ | None -> continue := false
+  done
+
+let expect (st : state) (c : char) : unit =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %c, got %c" c c')
+  | None -> fail st (Printf.sprintf "expected %c, got end of input" c)
+
+let literal (st : state) (word : string) (v : value) : value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src
+     && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st ("expected " ^ word)
+
+let parse_string_body (st : state) : string =
+  let b = Buffer.create 16 in
+  let finished = ref false in
+  while not !finished do
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st; finished := true
+    | Some '\\' -> begin
+      advance st;
+      match peek st with
+      | None -> fail st "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then
+            fail st "truncated \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          st.pos <- st.pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | None -> fail st "bad \\u escape"
+          | Some code ->
+            (* Keep it simple: only BMP code points, encoded as UTF-8. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end)
+        | c -> fail st (Printf.sprintf "bad escape \\%c" c))
+    end
+    | Some c -> advance st; Buffer.add_char b c
+  done;
+  Buffer.contents b
+
+let parse_number (st : state) : float =
+  let start = st.pos in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> advance st
+    | Some _ | None -> continue := false
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail st ("bad number " ^ text)
+
+let rec parse_value (st : state) : value =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> advance st; Str (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some '{' -> advance st; parse_obj st
+  | Some '[' -> advance st; parse_list st
+  | Some ('0' .. '9' | '-') -> Num (parse_number st)
+  | Some c -> fail st (Printf.sprintf "unexpected %c" c)
+
+and parse_obj (st : state) : value =
+  skip_ws st;
+  match peek st with
+  | Some '}' -> advance st; Obj []
+  | _ ->
+    let fields = ref [] in
+    let continue = ref true in
+    while !continue do
+      skip_ws st;
+      expect st '"';
+      let key = parse_string_body st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st
+      | Some '}' -> advance st; continue := false
+      | _ -> fail st "expected , or } in object"
+    done;
+    Obj (List.rev !fields)
+
+and parse_list (st : state) : value =
+  skip_ws st;
+  match peek st with
+  | Some ']' -> advance st; List []
+  | _ ->
+    let items = ref [] in
+    let continue = ref true in
+    while !continue do
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st
+      | Some ']' -> advance st; continue := false
+      | _ -> fail st "expected , or ] in array"
+    done;
+    List (List.rev !items)
+
+let parse (s : string) : (value, string) result =
+  let st = { src = s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    (match peek st with
+    | Some _ -> fail st "trailing content"
+    | None -> ());
+    v
+  with
+  | v -> Ok v
+  | exception Fail msg -> Error msg
+
+(* Parse a JSONL document: one JSON value per non-empty line. *)
+let parse_lines (s : string) : (value list, string) result =
+  let lines = String.split_on_char '\n' s in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go acc (lineno + 1) rest
+      else (
+        match parse line with
+        | Ok v -> go (v :: acc) (lineno + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1 lines
+
+(* --- accessors --- *)
+
+let member (key : string) (v : value) : value option =
+  match v with
+  | Obj fields ->
+    (match List.find_opt (fun (k, _) -> String.equal k key) fields with
+    | Some (_, v) -> Some v
+    | None -> None)
+  | _ -> None
+
+let str_opt (v : value) : string option =
+  match v with Str s -> Some s | _ -> None
+
+let num_opt (v : value) : float option =
+  match v with Num f -> Some f | _ -> None
+
+let list_opt (v : value) : value list option =
+  match v with List l -> Some l | _ -> None

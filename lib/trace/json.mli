@@ -1,0 +1,22 @@
+(** A minimal JSON reader used to validate sink output (trace-check CLI,
+    tests).  Parse-only; numbers become floats; objects keep field order. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+val parse : string -> (value, string) result
+
+val parse_lines : string -> (value list, string) result
+(** Parse a JSONL document: one JSON value per non-empty line. *)
+
+val member : string -> value -> value option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val str_opt : value -> string option
+val num_opt : value -> float option
+val list_opt : value -> value list option

@@ -1,0 +1,66 @@
+(** The in-memory metrics registry: named counters and fixed-bucket latency
+    histograms, queryable at the end of a run.  Enumeration is sorted by
+    name, never by hashtable order, so reports are deterministic. *)
+
+type t
+type counter
+type hist
+
+val create : unit -> t
+
+val default_buckets : float array
+(** Latency bucket upper bounds (seconds) spanning the paper's measurement
+    range, from batch-mate deliveries to recovery epochs. *)
+
+(** {2 Counters} *)
+
+val counter : t -> string -> counter
+(** Get or create.  @raise Invalid_argument if the name is a histogram. *)
+
+val add : counter -> float -> unit
+val inc : counter -> unit
+val set : counter -> float -> unit
+val value : counter -> float
+val counter_name : counter -> string
+
+(** {2 Histograms} *)
+
+val histogram : ?buckets:float array -> t -> string -> hist
+(** Get or create a histogram with the given ascending bucket upper bounds
+    (default {!default_buckets}) plus an implicit overflow bucket.
+    @raise Invalid_argument if the name is a counter or bounds are not
+    strictly ascending. *)
+
+val observe : hist -> float -> unit
+(** Record a value: it lands in the first bucket whose bound is >= value,
+    or in the overflow bucket. *)
+
+val hist_count : hist -> int
+val hist_sum : hist -> float
+val hist_mean : hist -> float
+val hist_name : hist -> string
+
+val hist_buckets : hist -> (float * int) list
+(** (upper bound, count) pairs; the overflow bucket reports [infinity]. *)
+
+val hist_quantile : hist -> float -> float
+(** Approximate quantile: the upper bound of the bucket holding the q-th
+    observation.  Returns 0 on an empty histogram. *)
+
+val merge_into : into:hist -> hist -> unit
+(** Add [src]'s buckets into [into].
+    @raise Invalid_argument if bucket bounds differ. *)
+
+(** {2 Deterministic enumeration} *)
+
+val dump : t -> (string * float) list
+(** All counters, sorted by name. *)
+
+val hists : t -> hist list
+(** All histograms, sorted by name. *)
+
+val find_counter : t -> string -> counter option
+val find_hist : t -> string -> hist option
+
+val to_json : t -> string
+(** The whole registry as one deterministic JSON object. *)

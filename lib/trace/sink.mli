@@ -1,0 +1,40 @@
+(** Trace sinks: where event records go.
+
+    The null sink is the default; [enabled] lets instrumentation sites skip
+    all argument building when nothing is listening, so an untraced run
+    pays one pointer dereference per site.  The JSONL and Chrome sinks are
+    deterministic renderers — same seed, byte-identical output. *)
+
+type t =
+  | Null
+  | Fn of (Event.t -> unit)
+
+val null : t
+val enabled : t -> bool
+val emit : t -> Event.t -> unit
+
+val jsonl_line : Event.t -> string
+(** One event as a single-line JSON object (no trailing newline). *)
+
+val jsonl : Buffer.t -> t
+(** A sink appending one JSONL line per event to [buf]. *)
+
+val console : unit -> t
+(** A JSONL sink writing to stdout, for ad-hoc CLI use. *)
+
+(** {2 Chrome trace-event format} *)
+
+type chrome
+(** A buffering sink state for the Chrome trace-event JSON format
+    (chrome://tracing, Perfetto): parties are processes, protocol pids are
+    threads. *)
+
+val chrome : unit -> chrome
+val chrome_sink : chrome -> t
+val chrome_count : chrome -> int
+
+val chrome_contents : chrome -> string
+(** Render the buffered events as a complete Chrome trace JSON document.
+    Spans still open at the end of the run are closed at the final
+    timestamp (balanced B/E guaranteed), and process/thread naming
+    metadata records are appended. *)

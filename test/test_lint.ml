@@ -98,6 +98,27 @@ let test_debug_print () =
     "(* lint: allow debug-print — the CLI reporting path *)\n\
      let () = print_endline msg\n"
 
+(* lib/trace's console sink prints by design, via per-line allow directives;
+   protocol code reaching for Printf directly still fails the same rule. *)
+let test_trace_direct_print () =
+  let rule = "debug-print" in
+  (* the shape of Sink.console: each printing line carries its directive *)
+  expect_silent ~rule "lib/trace/sink.ml"
+    "let console () =\n\
+     \  Fn (fun ev ->\n\
+     \    (* lint: allow debug-print — the console sink's entire job is stdout *)\n\
+     \    print_string (jsonl_line ev);\n\
+     \    (* lint: allow debug-print — the console sink's entire job is stdout *)\n\
+     \    print_newline ())\n";
+  (* no blanket exemption for the trace library: an undirected print fires *)
+  expect_fires ~rule "lib/trace/sink.ml"
+    "let debug ev = print_endline (jsonl_line ev)\n";
+  (* protocol code must go through a Trace.Ctx, never stdout *)
+  expect_fires ~rule "lib/sintra/binary_agreement.ml"
+    "let () = Printf.printf \"round %d done\\n\" r\n";
+  expect_fires ~rule "lib/sintra/atomic_channel.ml"
+    "let () = Printf.eprintf \"deliver %s\\n\" m\n"
+
 (* --- L5: missing-mli --- *)
 
 let test_missing_mli () =
@@ -171,6 +192,8 @@ let suite =
     Alcotest.test_case "partial-fn fires/clears/allows" `Quick test_partial_fn;
     Alcotest.test_case "debug-print fires/clears/allows" `Quick
       test_debug_print;
+    Alcotest.test_case "trace-direct-print: sink allowed, protocol not" `Quick
+      test_trace_direct_print;
     Alcotest.test_case "missing-mli fires/clears/allows" `Quick
       test_missing_mli;
     Alcotest.test_case "allow directive scope" `Quick

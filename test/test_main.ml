@@ -19,5 +19,6 @@ let () =
       ("service", Test_service.suite);
       ("regression", Test_regression.suite);
       ("faults", Test_faults.suite);
+      ("trace", Test_trace.suite);
       ("lint", Test_lint.suite);
     ]
