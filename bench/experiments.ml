@@ -20,8 +20,9 @@ let kind_name = function
 
 (* Benchmark configuration: small real keys, paper-sized modeled keys. *)
 let bench_cfg ?batch_size ?(scheme = Config.Multi) ?(model_rsa_bits = 1024)
-    ~n ~t () : Config.t =
+    ?(fast_path = true) ~n ~t () : Config.t =
   Config.make ?batch_size ~tsig_scheme:scheme ~perm_mode:Config.Random_local
+    ~crypto_fast_path:fast_path
     ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96
     ~model_rsa_bits ~model_dl_pbits:1024 ~model_dl_qbits:160 ~n ~t ()
 
@@ -201,12 +202,13 @@ let write_csv ~(path : string) (ds : delivery list) =
   close_out oc;
   Printf.printf "  (full series written to %s)\n" path
 
-let fig4 ~(messages : int) () =
+let fig4 ?(fast_path = true) ~(messages : int) () =
   print_endline "=== Figure 4: AtomicChannel delivery times on the LAN ===";
   Printf.printf
     "setup: n=4 t=1 batch=t+1, senders P0/Linux P2/AIX P3/Win2k, %d messages,\n\
-     measured at P0; multi-signatures; modeled 1024-bit keys.\n\n" messages;
-  let cfg = bench_cfg ~n:4 ~t:1 () in
+     measured at P0; multi-signatures; modeled 1024-bit keys%s.\n\n" messages
+    (if fast_path then "" else "; fast-path cost accounting OFF");
+  let cfg = bench_cfg ~fast_path ~n:4 ~t:1 () in
   let per = messages / 3 in
   let ds =
     run_channel ~seed:"fig4" ~topo:Sim.Topology.lan ~cfg ~kind:Atomic
@@ -214,17 +216,18 @@ let fig4 ~(messages : int) () =
   in
   let names = Array.map (fun h -> h.Sim.Topology.name) Sim.Topology.lan.Sim.Topology.hosts in
   print_series_summary ~label:"LAN series" ds ~host_names:names;
-  write_csv ~path:"fig4.csv" ds;
+  write_csv ~path:(if fast_path then "fig4.csv" else "fig4-nofast.csv") ds;
   print_endline
     "\npaper: two bands - 0s (second message of each batch) and 0.5-1s (round\n\
      time); P0's messages delivered first, P3/Win2k (slowest host) last.\n"
 
-let fig5 ~(messages : int) () =
+let fig5 ?(fast_path = true) ~(messages : int) () =
   print_endline "=== Figure 5: AtomicChannel delivery times on the Internet ===";
   Printf.printf
     "setup: n=4 t=1 batch=t+1, senders Zurich Tokyo NewYork, %d messages,\n\
-     measured at Zurich; multi-signatures; modeled 1024-bit keys.\n\n" messages;
-  let cfg = bench_cfg ~n:4 ~t:1 () in
+     measured at Zurich; multi-signatures; modeled 1024-bit keys%s.\n\n" messages
+    (if fast_path then "" else "; fast-path cost accounting OFF");
+  let cfg = bench_cfg ~fast_path ~n:4 ~t:1 () in
   let per = messages / 3 in
   let ds =
     run_channel ~seed:"fig5" ~topo:Sim.Topology.internet ~cfg ~kind:Atomic
@@ -242,7 +245,7 @@ let fig5 ~(messages : int) () =
     (List.length lower_band) (List.length upper_band)
     (100.0 *. float_of_int (List.length upper_band)
      /. float_of_int (max 1 (List.length uppers)));
-  write_csv ~path:"fig5.csv" ds;
+  write_csv ~path:(if fast_path then "fig5.csv" else "fig5-nofast.csv") ds;
   print_endline
     "\npaper: bands at 2-2.5s and 3-3.5s (~1/4 of points need a second binary\n\
      agreement); NewYork delivered first, Tokyo (best CPU, worst connectivity)\n\

@@ -6,21 +6,29 @@
      dune exec bench/main.exe -- --full       - paper-scale message counts
      dune exec bench/main.exe -- fig4 table1  - a subset
      dune exec bench/main.exe -- micro        - bechamel crypto microbenches
+     dune exec bench/main.exe -- perf         - fast-path wall-clock comparison
+                                                (writes BENCH_perf.json; 512-bit
+                                                quick mode unless --full)
 
    Absolute numbers come from a simulator calibrated with the paper's host
    and network measurements; the claims to check are the *shapes* (see
    EXPERIMENTS.md). *)
 
-let known = [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "ablations" ]
+let known =
+  [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "perf"; "ablations" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let fast_path = not (List.mem "--no-fast-path" args) in
+  let args =
+    List.filter (fun a -> a <> "--full" && a <> "--no-fast-path") args
+  in
   List.iter
     (fun a ->
       if not (List.mem a known) then begin
-        Printf.eprintf "unknown experiment %S (known: %s, plus --full)\n" a
+        Printf.eprintf
+          "unknown experiment %S (known: %s, plus --full and --no-fast-path)\n" a
           (String.concat " " known);
         exit 2
       end)
@@ -35,16 +43,20 @@ let () =
     end
   in
   print_endline "SINTRA benchmark harness - reproducing DSN 2002, Section 4";
-  Printf.printf "mode: %s\n\n%!"
-    (if full then "full (paper-scale runs)" else "reduced (use --full for paper-scale)");
+  Printf.printf "mode: %s%s\n\n%!"
+    (if full then "full (paper-scale runs)" else "reduced (use --full for paper-scale)")
+    (if fast_path then "" else ", fast-path cost accounting OFF (fig4/fig5)");
   section "hosts" (fun () -> Experiments.hosts ());
   section "fig3" (fun () -> Experiments.fig3 ());
-  section "fig4" (fun () -> Experiments.fig4 ~messages:(if full then 999 else 150) ());
-  section "fig5" (fun () -> Experiments.fig5 ~messages:(if full then 999 else 150) ());
+  section "fig4" (fun () ->
+    Experiments.fig4 ~fast_path ~messages:(if full then 999 else 150) ());
+  section "fig5" (fun () ->
+    Experiments.fig5 ~fast_path ~messages:(if full then 999 else 150) ());
   section "table1" (fun () -> Experiments.table1 ~messages:(if full then 500 else 60) ());
   section "fig6" (fun () -> Experiments.fig6 ~messages:(if full then 100 else 25) ());
   section "ablations" (fun () -> Ablations.all ());
   section "micro" (fun () -> Micro.all ());
+  section "perf" (fun () -> Micro.perf ~quick:(not full) ());
   if Experiments.metrics_count () > 0 then begin
     let path = "BENCH_trace.json" in
     let oc = open_out path in

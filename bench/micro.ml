@@ -157,6 +157,119 @@ let run_group ~(name : string) (tests : Test.t list) : unit =
       | Some [] | None -> Printf.printf "  %-28s (no estimate)\n" test_name)
     (List.sort compare rows)
 
+(* --- fast-path wall-clock comparison, emitted as BENCH_perf.json ---
+
+   Honest end-to-end timings of the bignum fast path against the plain
+   algorithms it replaces: Barrett vs Montgomery powmod, two powmods vs one
+   simultaneous double exponentiation, plain powmod vs a fixed-base window
+   table, and DLEQ verification (reference: two inversions + four plain
+   exponentiations) vs the production path (two table hits + one double
+   exponentiation).  Quick mode uses a 512-bit group so `dune runtest` can
+   afford it; --full uses the paper's 1024 bits. *)
+
+(* Median of three runs of [iters] calls, where [iters] targets [budget]
+   wall seconds per run (calibrated by one warm-up call); ms/op. *)
+let time_ms ~(budget : float) (f : unit -> unit) : float =
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let warm = once () in
+  let iters = max 1 (min 2000 (int_of_float (budget /. (warm +. 1e-9)))) in
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do f () done;
+    (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int iters
+  in
+  let samples = List.sort compare [ sample (); sample (); sample () ] in
+  List.nth samples 1
+
+let perf ?(quick = true) ?(out = "BENCH_perf.json") () : unit =
+  let open Bignum in
+  let pbits = if quick then 512 else 1024 in
+  let qbits = 160 in
+  let budget = if quick then 0.1 else 0.5 in
+  let d = Hashes.Drbg.fork drbg "perf" in
+  let rb = Hashes.Drbg.random_bytes d in
+  Printf.printf
+    "=== Fast-path wall-clock comparison (%d-bit modulus, %d-bit group order) ===\n\n"
+    pbits qbits;
+  let results : (string * float) list ref = ref [] in
+  let bench name f =
+    let ms = time_ms ~budget f in
+    results := (name, ms) :: !results;
+    Printf.printf "  %-32s %12.4f ms/op\n%!" name ms;
+    ms
+  in
+  (* modular exponentiation: Barrett reference vs the Montgomery default *)
+  let m = Nat.add (Nat.random_bits ~random_bytes:rb pbits) Nat.one in
+  let m = if Nat.testbit m 0 then m else Nat.add m Nat.one in
+  let base = Nat.rem (Nat.random_bits ~random_bytes:rb pbits) m in
+  let e_full = Nat.random_bits ~random_bytes:rb pbits in
+  let plain = bench "powmod-barrett" (fun () -> ignore (Nat.powmod_barrett base e_full m)) in
+  let mont = bench "powmod-montgomery" (fun () -> ignore (Nat.powmod base e_full m)) in
+  (* simultaneous double exponentiation vs two separate exponentiations,
+     at the group-order exponent width of every DLEQ verification *)
+  let b2 = Nat.rem (Nat.random_bits ~random_bytes:rb pbits) m in
+  let e1 = Nat.random_bits ~random_bytes:rb qbits in
+  let e2 = Nat.random_bits ~random_bytes:rb qbits in
+  let two =
+    bench "two-powmods" (fun () ->
+      ignore (Nat.rem (Nat.mul (Nat.powmod base e1 m) (Nat.powmod b2 e2 m)) m))
+  in
+  let multi = bench "powmod2" (fun () -> ignore (Nat.powmod2 base e1 b2 e2 m)) in
+  (* fixed-base window table vs plain powmod, same base and width *)
+  let tbl = Nat.Fixed_base.create ~base ~modulus:m ~max_bits:qbits in
+  let single = bench "powmod-160bit" (fun () -> ignore (Nat.powmod base e1 m)) in
+  let fixed = bench "fixed-base-160bit" (fun () -> ignore (Nat.Fixed_base.pow tbl e1)) in
+  (* DLEQ verification: the hot path of coin and decryption shares *)
+  let grp = Crypto.Group.generate ~drbg:d ~pbits ~qbits in
+  let x = Crypto.Group.random_exponent grp ~drbg:d in
+  let g2 = Crypto.Group.hash_to_group grp "perf-dleq-base" in
+  let h1 = Crypto.Group.pow_g grp x in
+  let h2 = Crypto.Group.pow grp g2 x in
+  let h1_tbl = Crypto.Group.precompute grp h1 in
+  let proof =
+    Crypto.Dleq.prove grp ~drbg:d ~ctx:"perf" ~g1:grp.Crypto.Group.g ~h1 ~g2 ~h2 ~x
+  in
+  let dleq_ref =
+    bench "dleq-verify-reference" (fun () ->
+      ignore
+        (Crypto.Dleq.verify_reference grp ~ctx:"perf" ~g1:grp.Crypto.Group.g ~h1 ~g2 ~h2
+           proof))
+  in
+  let dleq_fast =
+    bench "dleq-verify-fast" (fun () ->
+      ignore
+        (Crypto.Dleq.verify grp ~ctx:"perf" ~h1_tbl ~g1:grp.Crypto.Group.g ~h1 ~g2 ~h2
+           proof))
+  in
+  let speedups =
+    [ ("montgomery", plain /. mont);
+      ("multi_exp", two /. multi);
+      ("fixed_base", single /. fixed);
+      ("dleq_verify", dleq_ref /. dleq_fast) ]
+  in
+  print_newline ();
+  List.iter (fun (n, s) -> Printf.printf "  speedup %-20s %6.2fx\n" n s) speedups;
+  let json =
+    Printf.sprintf
+      "{\n  \"schema\": \"sintra-bench-perf-v1\",\n  \"mod_bits\": %d,\n  \
+       \"qbits\": %d,\n  \"results\": [\n%s\n  ],\n  \"speedups\": {\n%s\n  }\n}\n"
+      pbits qbits
+      (String.concat ",\n"
+         (List.rev_map
+            (fun (n, ms) -> Printf.sprintf "    {\"name\": %S, \"ms_per_op\": %.6f}" n ms)
+            !results))
+      (String.concat ",\n"
+         (List.map (fun (n, s) -> Printf.sprintf "    %S: %.4f" n s) speedups))
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n\n" out
+
 let all () =
   print_endline "=== Micro-benchmarks (real wall-clock on this host, pure-OCaml bignum) ===\n";
   print_endline "host `exp' column (paper: 55-427 ms in Java on 2002 hardware):";

@@ -1,0 +1,58 @@
+(* sintra_doc: the repo's documentation build-and-check pass (the @doc
+   alias).  The container has no odoc binary, so "building the docs" here
+   means enforcing what odoc would: full doc coverage of the crypto and
+   bignum interfaces, and zero broken {!...} references anywhere in lib.
+
+     sintra_doc [LIB-ROOT]              default root: lib
+     sintra_doc --strict DIR ...        extra strict (full-coverage) dirs
+
+   Exit status 0 when clean, 1 on any finding. *)
+
+let default_strict = [ "bignum"; "crypto" ]
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
+  let rec parse root strict = function
+    | [] -> (root, strict)
+    | "--strict" :: d :: rest -> parse root (d :: strict) rest
+    | "--strict" :: [] ->
+      prerr_endline "sintra_doc: --strict needs a directory name";
+      exit 2
+    | r :: rest -> parse r strict rest
+  in
+  let root, strict = parse "lib" default_strict args in
+  if not (Sys.file_exists root) then begin
+    Printf.eprintf "sintra_doc: no such path: %s\n" root;
+    exit 2
+  end;
+  let mlis =
+    List.filter (fun p -> Filename.check_suffix p ".mli") (Lint.discover [ root ])
+  in
+  let files =
+    List.map
+      (fun path ->
+        (* lib/<dir>/<file>.mli: the dir is the wrapper library *)
+        let dir = Filename.basename (Filename.dirname path) in
+        {
+          Lint.Doccheck.library = String.capitalize_ascii dir;
+          path;
+          contents = read_file path;
+          strict = List.mem dir strict;
+        })
+      mlis
+  in
+  let findings = Lint.Doccheck.check files in
+  List.iter (fun f -> print_endline (Lint.Doccheck.render f)) findings;
+  let strict_count = List.length (List.filter (fun f -> f.Lint.Doccheck.strict) files) in
+  Printf.printf
+    "sintra_doc: %d interfaces scanned (%d strict), %d finding%s\n"
+    (List.length files) strict_count (List.length findings)
+    (if List.length findings = 1 then "" else "s");
+  if findings <> [] then exit 1

@@ -51,11 +51,19 @@ let int_list_arg name ~doc ~default =
 let faults_t (topo : Sim.Topology.t) : int =
   (Sim.Topology.n topo - 1) / 3
 
-let make_cluster ~seed ~scheme (topo : Sim.Topology.t) : Cluster.t =
+let no_fast_path_arg =
+  Arg.(value & flag
+       & info [ "no-fast-path" ]
+           ~doc:"Charge virtual CPU as plain square-and-multiply \
+                 exponentiations (the paper's cost tables) instead of the \
+                 multi-exponentiation / fixed-base fast path.")
+
+let make_cluster ~seed ~scheme ?(no_fast_path = false) (topo : Sim.Topology.t) : Cluster.t =
   let n = Sim.Topology.n topo in
   let t = faults_t topo in
   let cfg =
     Config.make ~tsig_scheme:scheme ~perm_mode:Config.Random_local
+      ~crypto_fast_path:(not no_fast_path)
       ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()
   in
   Cluster.create ~seed ~topo cfg
@@ -115,14 +123,15 @@ let print_stats (c : Cluster.t) : unit =
   in
   let n = Cluster.n c in
   Printf.printf "\nper-party metrics:\n";
-  Printf.printf "  %5s %10s %12s %10s %9s %7s\n"
-    "party" "sent_msgs" "sent_bytes" "recv_msgs" "cpu_s" "exps";
+  Printf.printf "  %5s %10s %12s %10s %9s %7s %7s %7s\n"
+    "party" "sent_msgs" "sent_bytes" "recv_msgs" "cpu_s" "exps" "exp2s" "fixed";
   for i = 0 to n - 1 do
     let p fmt = Printf.sprintf fmt i in
-    Printf.printf "  %5d %10.0f %12.0f %10.0f %9.2f %7.0f\n" i
+    Printf.printf "  %5d %10.0f %12.0f %10.0f %9.2f %7.0f %7.0f %7.0f\n" i
       (get (p "p%d/net.sent_msgs")) (get (p "p%d/net.sent_bytes"))
       (get (p "p%d/net.recv_msgs")) (get (p "p%d/cpu.charged_s"))
-      (get (p "p%d/crypto.exps"))
+      (get (p "p%d/crypto.exps")) (get (p "p%d/crypto.exp2s"))
+      (get (p "p%d/crypto.fixed"))
   done;
   (* Everything else (protocol counters, drops), minus the table columns
      and the per-link detail. *)
@@ -132,7 +141,7 @@ let print_stats (c : Cluster.t) : unit =
       && String.sub name (String.length name - String.length suffix)
            (String.length suffix) = suffix)
       [ "/net.sent_msgs"; "/net.sent_bytes"; "/net.recv_msgs";
-        "/cpu.charged_s"; "/crypto.exps" ]
+        "/cpu.charged_s"; "/crypto.exps"; "/crypto.exp2s"; "/crypto.fixed" ]
     || (String.length name >= 5 && String.sub name 0 5 = "link/")
   in
   let rest = List.filter (fun (name, _) -> not (tabled name)) (Trace.Metrics.dump m) in
@@ -167,9 +176,9 @@ let channel_arg =
        & info [ "channel" ] ~docv:"KIND" ~doc:"atomic, secure, reliable or consistent.")
 
 let run_cmd =
-  let run channel topo seed scheme senders messages crashes verbose
+  let run channel topo seed scheme no_fast_path senders messages crashes verbose
       trace_file trace_format stats =
-    let c = make_cluster ~seed ~scheme topo in
+    let c = make_cluster ~seed ~scheme ~no_fast_path topo in
     let finish_trace = setup_trace c trace_file trace_format in
     let n = Cluster.n c in
     let senders = List.filter (fun s -> s >= 0 && s < n) senders in
@@ -252,7 +261,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive a broadcast channel over a simulated test-bed.")
     Term.(const run $ channel_arg $ topology_arg $ seed_arg $ scheme_arg
-          $ senders $ messages $ crashes_arg $ verbose
+          $ no_fast_path_arg $ senders $ messages $ crashes_arg $ verbose
           $ trace_file_arg $ trace_format_arg $ stats_arg)
 
 (* --- agree: one multi-valued or binary agreement --- *)
@@ -472,9 +481,87 @@ let trace_check_cmd =
        ~doc:"Validate a trace file (chrome: JSON + balanced spans; jsonl: parses).")
     Term.(const run $ file)
 
+(* --- perf-check: validate BENCH_perf.json written by `bench/main.exe perf` --- *)
+
+let perf_check_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let check (doc : Trace.Json.value) : (string, string) result =
+    let str f = Option.bind (Trace.Json.member f doc) Trace.Json.str_opt in
+    let num v f = Option.bind (Trace.Json.member f v) Trace.Json.num_opt in
+    match str "schema" with
+    | Some "sintra-bench-perf-v1" ->
+      (match num doc "mod_bits", Option.bind (Trace.Json.member "results" doc) Trace.Json.list_opt with
+       | None, _ -> Error "missing numeric \"mod_bits\""
+       | _, None -> Error "missing \"results\" array"
+       | Some bits, Some results ->
+         let bad_result =
+           List.exists
+             (fun r ->
+               Option.bind (Trace.Json.member "name" r) Trace.Json.str_opt = None
+               || num r "ms_per_op" = None)
+             results
+         in
+         if results = [] then Error "empty \"results\" array"
+         else if bad_result then
+           Error "a result lacks \"name\" or numeric \"ms_per_op\""
+         else begin
+           match Trace.Json.member "speedups" doc with
+           | None -> Error "missing \"speedups\" object"
+           | Some sp ->
+             let missing =
+               List.filter
+                 (fun k -> num sp k = None)
+                 [ "montgomery"; "multi_exp"; "fixed_base"; "dleq_verify" ]
+             in
+             if missing <> [] then
+               Error ("speedups missing: " ^ String.concat ", " missing)
+             else begin
+               match num sp "dleq_verify" with
+               | Some s when s >= 1.5 ->
+                 Ok (Printf.sprintf
+                       "%d results at %.0f-bit modulus; DLEQ verify speedup %.2fx"
+                       (List.length results) bits s)
+               | Some s ->
+                 Error (Printf.sprintf
+                          "DLEQ verify speedup %.2fx is below the 1.5x floor" s)
+               | None -> Error "speedups.dleq_verify is not a number"
+             end
+         end)
+    | Some other -> Error (Printf.sprintf "unknown schema %S" other)
+    | None -> Error "missing \"schema\" field"
+  in
+  let run file =
+    match Trace.Json.parse (read_file file) with
+    | Error e ->
+      Printf.eprintf "%s: INVALID: not JSON: %s\n" file e;
+      exit 1
+    | Ok doc ->
+      (match check doc with
+       | Ok msg -> Printf.printf "%s: valid perf report, %s\n" file msg
+       | Error msg ->
+         Printf.eprintf "%s: INVALID perf report: %s\n" file msg;
+         exit 1)
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"BENCH_perf.json file to validate.")
+  in
+  Cmd.v
+    (Cmd.info "perf-check"
+       ~doc:"Validate a BENCH_perf.json fast-path report (shape + the 1.5x \
+             DLEQ-verification speedup floor).")
+    Term.(const run $ file)
+
 let () =
   let doc = "SINTRA: secure intrusion-tolerant replication (DSN 2002), simulated" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sintra_sim" ~doc)
-          [ run_cmd; agree_cmd; topologies_cmd; crypto_cmd; trace_check_cmd ]))
+          [ run_cmd; agree_cmd; topologies_cmd; crypto_cmd; trace_check_cmd;
+            perf_check_cmd ]))

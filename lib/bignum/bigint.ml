@@ -114,6 +114,14 @@ let powmod (base : t) (e : t) (m : t) : t =
   if is_neg e then invalid_arg "Bigint.powmod: negative exponent; use powmod_signed";
   of_nat (Nat.powmod (to_nat (erem base m)) e.mag (to_nat (abs m)))
 
+(* Simultaneous double exponentiation (Shamir's trick) via Nat.powmod2. *)
+let powmod2 (b1 : t) (e1 : t) (b2 : t) (e2 : t) (m : t) : t =
+  if is_neg e1 || is_neg e2 then
+    invalid_arg "Bigint.powmod2: negative exponent; invert the base instead";
+  of_nat
+    (Nat.powmod2 (to_nat (erem b1 m)) e1.mag (to_nat (erem b2 m)) e2.mag
+       (to_nat (abs m)))
+
 (* Exponentiation with a possibly negative exponent: requires the base to be
    invertible modulo m. *)
 let powmod_signed (base : t) (e : t) (m : t) : t =

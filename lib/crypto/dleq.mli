@@ -19,8 +19,25 @@ val prove :
     domain-separation string [ctx]. *)
 
 val verify :
+  Group.t -> ctx:string -> ?h1_tbl:Group.table ->
+  g1:Group.elt -> h1:Group.elt -> g2:Group.elt -> h2:Group.elt -> t -> bool
+(** Verify a proof.  Fast path: each commitment is recomputed as
+    [g_i^z * h_i^(q-c)] by one {!Group.mul_exp2} (no inversion — [h_i] is
+    order-[q], so [h_i^(q-c) = h_i^(-c)]); passing [h1_tbl] (the
+    verification key's fixed-base table) turns the first pair into two
+    table hits, and [g1 = g] hits the group's generator table
+    automatically.  ~2-3x faster than {!verify_reference}; accepts exactly
+    the same proofs. *)
+
+val verify_reference :
   Group.t -> ctx:string ->
   g1:Group.elt -> h1:Group.elt -> g2:Group.elt -> h2:Group.elt -> t -> bool
+(** The plain verifier (two exponentiations + one inversion per pair),
+    kept as the semantic reference for equivalence tests and as the
+    benchmark baseline. *)
 
 val to_bytes : Group.t -> t -> string
+(** Serialize as [challenge || response], each [ceil(|q|/8)] bytes. *)
+
 val of_bytes : Group.t -> string -> t option
+(** Inverse of {!to_bytes}; [None] on wrong length. *)

@@ -4,11 +4,14 @@
    threshold encryption) use a 1024-bit prime p such that p - 1 has a 160-bit
    prime factor q; this module provides those groups for arbitrary sizes. *)
 
+type table = Bignum.Nat.Fixed_base.ctx
+
 type t = {
   p : Bignum.Nat.t;         (* field prime *)
   q : Bignum.Nat.t;         (* subgroup order, prime, q | p-1 *)
   g : Bignum.Nat.t;         (* generator of the order-q subgroup *)
   cofactor : Bignum.Nat.t;  (* (p-1)/q *)
+  g_tbl : table;            (* fixed-base window table for g *)
 }
 
 type elt = Bignum.Nat.t  (* element of the subgroup, in [1, p) *)
@@ -16,11 +19,17 @@ type exponent = Bignum.Nat.t  (* in [0, q) *)
 
 let make ~p ~q ~g =
   let open Bignum in
+  (* Odd p means the Montgomery fast path is statically known-taken for
+     every operation in this group (p is prime > 2 in all real uses). *)
+  if not (Nat.testbit p 0) then invalid_arg "Group.make: modulus must be odd";
   let p_minus_1 = Nat.sub p Nat.one in
   if not (Nat.is_zero (Nat.rem p_minus_1 q)) then invalid_arg "Group.make: q does not divide p-1";
   if not (Nat.equal (Nat.powmod g q p) Nat.one) then invalid_arg "Group.make: g not of order q";
   if Nat.equal g Nat.one then invalid_arg "Group.make: trivial generator";
-  { p; q; g; cofactor = Nat.div p_minus_1 q }
+  (* Exponents run over [0, q] (q itself appears as q - c when c = 0), so
+     the table covers the full |q| bit width. *)
+  let g_tbl = Nat.Fixed_base.create ~base:g ~modulus:p ~max_bits:(Nat.numbits q) in
+  { p; q; g; cofactor = Nat.div p_minus_1 q; g_tbl }
 
 let generate ~(drbg : Hashes.Drbg.t) ~pbits ~qbits : t =
   let random_bytes = Hashes.Drbg.random_bytes drbg in
@@ -31,9 +40,29 @@ let one (_ : t) : elt = Bignum.Nat.one
 
 let mul (grp : t) (a : elt) (b : elt) : elt = Bignum.Nat.rem (Bignum.Nat.mul a b) grp.p
 
-let pow (grp : t) (a : elt) (e : exponent) : elt = Bignum.Nat.powmod a e grp.p
+(* Power: generator powers hit the precomputed window table (no squarings);
+   everything else takes the Montgomery-windowed powmod. *)
+let pow (grp : t) (a : elt) (e : exponent) : elt =
+  if Bignum.Nat.equal a grp.g then Bignum.Nat.Fixed_base.pow grp.g_tbl e
+  else Bignum.Nat.powmod a e grp.p
 
-let pow_g (grp : t) (e : exponent) : elt = pow grp grp.g e
+let pow_g (grp : t) (e : exponent) : elt = Bignum.Nat.Fixed_base.pow grp.g_tbl e
+
+(* Fixed-base tables for long-lived non-generator bases (party verification
+   keys, TDH2's gbar and h), built once at dealer setup. *)
+let precompute ?max_bits (grp : t) (a : elt) : table =
+  let mb = match max_bits with
+    | Some b -> b
+    | None -> Bignum.Nat.numbits grp.q
+  in
+  Bignum.Nat.Fixed_base.create ~base:a ~modulus:grp.p ~max_bits:mb
+
+let pow_table (tbl : table) (e : exponent) : elt = Bignum.Nat.Fixed_base.pow tbl e
+
+(* Simultaneous double exponentiation a^ea * b^eb (Shamir's trick) — the
+   shape of every share verification. *)
+let mul_exp2 (grp : t) (a : elt) (ea : exponent) (b : elt) (eb : exponent) : elt =
+  Bignum.Nat.powmod2 a ea b eb grp.p
 
 let inv (grp : t) (a : elt) : elt =
   let open Bignum in

@@ -28,17 +28,21 @@ type keys = { public : public; shares : secret_share array }
 val deal :
   drbg:Hashes.Drbg.t -> modulus_bits:int -> nparties:int -> k:int -> t:int ->
   unit -> keys
+(** The trusted dealer: one independent RSA key pair per party.
+    @raise Invalid_argument unless [t < k <= nparties - t]. *)
 
 val release : public -> secret_share -> ctx:string -> string -> share
 (** One ordinary (CRT) RSA signature. *)
 
 val verify_share : public -> ctx:string -> string -> share -> bool
+(** One RSA verification against the origin's public key. *)
 
 val assemble : public -> ctx:string -> string -> share list -> string
 (** Concatenate [k] shares from distinct origins (length-prefixed).
     @raise Invalid_argument with fewer than [k] distinct origins. *)
 
 val parse_assembled : string -> share list option
+(** Decode {!assemble}'s framing; [None] on malformed input. *)
 
 val verify : public -> ctx:string -> signature:string -> string -> bool
 (** At least [k] valid signatures from distinct parties, no duplicates. *)

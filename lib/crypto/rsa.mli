@@ -39,6 +39,8 @@ val sign : secret -> ctx:string -> string -> string
 (** FDH signature, as a fixed-width byte string. *)
 
 val verify : public -> ctx:string -> signature:string -> string -> bool
+(** FDH verification: one short exponentiation ([e = 65537] is 17
+    multiplications). *)
 
 val signature_bytes : public -> int
 (** Signature size, for wire-cost accounting. *)

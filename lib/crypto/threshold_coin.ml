@@ -17,6 +17,7 @@ type public = {
   t : int;                       (* corruption bound *)
   global_vk : Group.elt;         (* g^x *)
   share_vks : Group.elt array;   (* VK_i = g^{x_i}, index i-1 *)
+  share_vk_tbls : Group.table array;  (* fixed-base tables for the VK_i *)
 }
 
 type secret_share = {
@@ -39,8 +40,11 @@ let deal ~(drbg : Hashes.Drbg.t) ~(group : Group.t) ~n ~k ~t : keys =
     Shamir.share_secret ~drbg ~modulus:group.Group.q ~secret:x ~n ~k
   in
   let share_vks = Array.map (fun s -> Group.pow_g group s.Shamir.value) shamir in
+  (* Precompute each verification key's window table once, at dealing time:
+     every later share verification becomes table-driven. *)
+  let share_vk_tbls = Array.map (fun vk -> Group.precompute group vk) share_vks in
   {
-    public = { group; n; k; t; global_vk = Group.pow_g group x; share_vks };
+    public = { group; n; k; t; global_vk = Group.pow_g group x; share_vks; share_vk_tbls };
     shares = Array.map (fun s -> { index = s.Shamir.index; key = s.Shamir.value }) shamir;
   }
 
@@ -65,6 +69,7 @@ let verify_share (pub : public) ~(name : string) (s : share) : bool =
     let grp = pub.group in
     let gtilde = coin_base pub name in
     Dleq.verify grp ~ctx:("coin-share|" ^ name ^ "|" ^ string_of_int s.origin)
+      ~h1_tbl:pub.share_vk_tbls.(s.origin - 1)
       ~g1:grp.Group.g ~h1:pub.share_vks.(s.origin - 1)
       ~g2:gtilde ~h2:s.value s.proof
   end

@@ -17,6 +17,9 @@ type public = {
   t : int;
   global_vk : Group.elt;         (** [g^x] *)
   share_vks : Group.elt array;   (** [VK_i = g^(x_i)], index [i-1] *)
+  share_vk_tbls : Group.table array;
+  (** fixed-base window tables for the [VK_i], built by {!deal} so that
+      every {!verify_share} is table-driven (see {!Dleq.verify}) *)
 }
 
 type secret_share = {
@@ -42,6 +45,8 @@ val release : drbg:Hashes.Drbg.t -> public -> secret_share -> name:string -> sha
 (** Party [share.index]'s share of the coin [name], with its proof. *)
 
 val verify_share : public -> name:string -> share -> bool
+(** Check the share's DLEQ proof against [VK_origin] — table-driven on the
+    [g] side via {!share_vk_tbls} (see {!Dleq.verify}). *)
 
 val assemble : public -> name:string -> share list -> len:int -> string
 (** Combine [k] distinct verified shares into [len] pseudo-random bytes.

@@ -29,6 +29,9 @@ type public = {
   t : int;
   h : Group.elt;                 (* g^x *)
   hks : Group.elt array;         (* h_i = g^{x_i} *)
+  gbar_tbl : Group.table;        (* fixed-base table for gbar *)
+  h_tbl : Group.table;           (* fixed-base table for h *)
+  hk_tbls : Group.table array;   (* fixed-base tables for the h_i *)
 }
 
 type secret_share = {
@@ -60,11 +63,16 @@ let deal ~(drbg : Hashes.Drbg.t) ~(group : Group.t) ~n ~k ~t : keys =
   in
   let x = Group.random_exponent group ~drbg in
   let shamir = Shamir.share_secret ~drbg ~modulus:group.Group.q ~secret:x ~n ~k in
+  let h = Group.pow_g group x in
+  let hks = Array.map (fun s -> Group.pow_g group s.Shamir.value) shamir in
   {
     public = {
-      group; gbar; n; k; t;
-      h = Group.pow_g group x;
-      hks = Array.map (fun s -> Group.pow_g group s.Shamir.value) shamir;
+      group; gbar; n; k; t; h; hks;
+      (* Window tables built once at dealing time: every exponentiation in
+         encrypt/ciphertext_valid/verify_dec_share becomes table-driven. *)
+      gbar_tbl = Group.precompute group gbar;
+      h_tbl = Group.precompute group h;
+      hk_tbls = Array.map (fun hk -> Group.precompute group hk) hks;
     };
     shares = Array.map (fun s -> { index = s.Shamir.index; key = s.Shamir.value }) shamir;
   }
@@ -95,25 +103,31 @@ let encrypt ~(drbg : Hashes.Drbg.t) (pub : public) ~(label : string) (msg : stri
   let grp = pub.group in
   let r = Group.random_exponent grp ~drbg in
   let s = Group.random_exponent grp ~drbg in
-  let hr = Group.pow grp pub.h r in
+  (* All five exponentiations hit fixed-base tables (g, h, gbar). *)
+  let hr = Group.pow_table pub.h_tbl r in
   let c = stream_xor ~key:(session_key pub hr) msg in
   let u = Group.pow_g grp r in
   let w = Group.pow_g grp s in
-  let ubar = Group.pow grp pub.gbar r in
-  let wbar = Group.pow grp pub.gbar s in
+  let ubar = Group.pow_table pub.gbar_tbl r in
+  let wbar = Group.pow_table pub.gbar_tbl s in
   let e = hash2 pub ~c ~label ~u ~w ~ubar ~wbar in
   let f = Nat.rem (Nat.add s (Nat.mul r e)) grp.Group.q in
   { c; label; u; ubar; e; f }
 
 (* Public ciphertext validity: recompute w = g^f * u^{-e} and
-   wbar = gbar^f * ubar^{-e} and check the challenge. *)
+   wbar = gbar^f * ubar^{-e} and check the challenge.  u^{-e} is computed
+   as u^{q-e} (u passed the order-q membership test), so each pair costs
+   one table hit plus one exponentiation — no inversions. *)
 let ciphertext_valid (pub : public) (ct : ciphertext) : bool =
   let grp = pub.group in
-  Group.is_member grp ct.u && Group.is_member grp ct.ubar
+  (* e >= q cannot have come from hash2; reject before forming q - e. *)
+  Nat.compare ct.e grp.Group.q < 0
+  && Group.is_member grp ct.u && Group.is_member grp ct.ubar
   && begin
-    let w = Group.div grp (Group.pow_g grp ct.f) (Group.pow grp ct.u ct.e) in
+    let neg_e = Nat.sub grp.Group.q ct.e in
+    let w = Group.mul grp (Group.pow_g grp ct.f) (Group.pow grp ct.u neg_e) in
     let wbar =
-      Group.div grp (Group.pow grp pub.gbar ct.f) (Group.pow grp ct.ubar ct.e)
+      Group.mul grp (Group.pow_table pub.gbar_tbl ct.f) (Group.pow grp ct.ubar neg_e)
     in
     let e = hash2 pub ~c:ct.c ~label:ct.label ~u:ct.u ~w ~ubar:ct.ubar ~wbar in
     Nat.equal e ct.e
@@ -135,6 +149,7 @@ let dec_share ~(drbg : Hashes.Drbg.t) (pub : public) (sk : secret_share) (ct : c
 let verify_dec_share (pub : public) (ct : ciphertext) (s : dec_share) : bool =
   s.origin >= 1 && s.origin <= pub.n
   && Dleq.verify pub.group ~ctx:("tdh2-share|" ^ string_of_int s.origin)
+       ~h1_tbl:pub.hk_tbls.(s.origin - 1)
        ~g1:pub.group.Group.g ~h1:pub.hks.(s.origin - 1) ~g2:ct.u ~h2:s.u_i s.proof
 
 let combine (pub : public) (ct : ciphertext) (shares : dec_share list) : string option =

@@ -17,6 +17,12 @@ type public = {
   t : int;
   h : Group.elt;                 (** public key [g^x] *)
   hks : Group.elt array;         (** [h_i = g^(x_i)] *)
+  gbar_tbl : Group.table;        (** fixed-base table for [gbar] *)
+  h_tbl : Group.table;           (** fixed-base table for [h] *)
+  hk_tbls : Group.table array;
+  (** fixed-base tables for the [h_i]; with these and the group's own
+      generator table, all five exponentiations of {!encrypt} and the first
+      verification pair of every {!verify_dec_share} are table-driven *)
 }
 
 type secret_share = {
@@ -42,6 +48,9 @@ type dec_share = {
 }
 
 val deal : drbg:Hashes.Drbg.t -> group:Group.t -> n:int -> k:int -> t:int -> keys
+(** The trusted dealer: Shamir-share [x], derive [gbar] and the per-party
+    [h_i], and precompute all fixed-base tables.
+    @raise Invalid_argument unless [t < k <= n-t]. *)
 
 val encrypt : drbg:Hashes.Drbg.t -> public -> label:string -> string -> ciphertext
 (** Hybrid encryption: a SHA-256 counter-mode stream cipher keyed by
@@ -56,6 +65,8 @@ val dec_share : drbg:Hashes.Drbg.t -> public -> secret_share -> ciphertext -> de
     ciphertext is invalid (honest servers refuse to touch it). *)
 
 val verify_dec_share : public -> ciphertext -> dec_share -> bool
+(** Ciphertext validity plus the share's DLEQ proof against [h_origin]
+    (table-driven via {!hk_tbls}). *)
 
 val combine : public -> ciphertext -> dec_share list -> string option
 (** Recover the plaintext from [k] distinct verified shares. *)
@@ -64,4 +75,8 @@ val stream_xor : key:string -> string -> string
 (** The bulk cipher (exposed for testing). *)
 
 val ciphertext_to_bytes : public -> ciphertext -> string
+(** Canonical fixed-width wire encoding (what travels in broadcast
+    payloads, and what the cost model charges for). *)
+
 val ciphertext_of_bytes : string -> ciphertext option
+(** Inverse of {!ciphertext_to_bytes}; [None] on malformed input. *)

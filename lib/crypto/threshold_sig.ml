@@ -26,6 +26,7 @@ type public = {
   t : int;
   v : Nat.t;                    (* verification base, generator of QR_n *)
   vks : Nat.t array;            (* v_i = v^{s_i}, index i-1 *)
+  v_tbl : Nat.Fixed_base.ctx;   (* fixed-base table for v, covering z = s_i*c + r *)
 }
 
 type secret_share = {
@@ -68,9 +69,16 @@ let deal ?(e = Nat.of_int 65537) ~(drbg : Hashes.Drbg.t) ~(modulus_bits : int) ~
     let r = Nat.add Nat.two (Nat.random_below ~random_bytes (Nat.sub n_mod (Nat.of_int 4))) in
     Nat.rem (Nat.sqr r) n_mod
   in
-  let vks = Array.map (fun s -> Nat.powmod v s.Shamir.value n_mod) shamir in
+  (* Proof exponents reach z = s_i*c + r < 2^(|n| + 2*challenge_bits + 1);
+     build v's window table wide enough that every v-power in release and
+     verify_share is a table hit. *)
+  let v_tbl =
+    Nat.Fixed_base.create ~base:v ~modulus:n_mod
+      ~max_bits:(Nat.numbits n_mod + (2 * challenge_bits) + 1)
+  in
+  let vks = Array.map (fun s -> Nat.Fixed_base.pow v_tbl s.Shamir.value) shamir in
   {
-    public = { n_mod; e; nparties; k; t; v; vks };
+    public = { n_mod; e; nparties; k; t; v; vks; v_tbl };
     shares = Array.map (fun s -> { index = s.Shamir.index; s_i = s.Shamir.value }) shamir;
   }
 
@@ -102,7 +110,7 @@ let release ~(drbg : Hashes.Drbg.t) (pub : public) (sk : secret_share) ~(ctx : s
      statistically hides s_i * c. *)
   let rbits = Nat.numbits pub.n_mod + 2 * challenge_bits in
   let r = Nat.random_bits ~random_bytes:(Hashes.Drbg.random_bytes drbg) rbits in
-  let v' = Nat.powmod pub.v r pub.n_mod in
+  let v' = Nat.Fixed_base.pow pub.v_tbl r in
   let x' = Nat.powmod xtilde r pub.n_mod in
   let c = hash_challenge [ pub.v; xtilde; pub.vks.(sk.index - 1); x_i_sq; v'; x' ] in
   let z = Nat.add (Nat.mul sk.s_i c) r in
@@ -118,19 +126,20 @@ let verify_share (pub : public) ~(ctx : string) (msg : string) (s : share) : boo
     let xtilde = Nat.powmod x (Nat.shift_left dlt 2) pub.n_mod in
     let x_i_sq = Nat.rem (Nat.sqr s.x_i) pub.n_mod in
     let v_i = pub.vks.(s.origin - 1) in
-    (* Recompute commitments: v^z * v_i^{-c} and xtilde^z * (x_i^2)^{-c}. *)
+    (* Recompute commitments: v^z * v_i^{-c} and xtilde^z * (x_i^2)^{-c}.
+       The negative exponents become one modular inversion each followed by
+       a short c-exponentiation; v^z hits v's fixed-base table (no
+       squarings over the |n|+512-bit z), and the xtilde pair runs as one
+       simultaneous double exponentiation. *)
     let nb = Bigint.of_nat pub.n_mod in
-    let exp_combo base inv_base =
-      let fwd = Nat.powmod base s.proof_z pub.n_mod in
-      let bwd =
-        Bigint.to_nat
-          (Bigint.powmod_signed (Bigint.of_nat inv_base)
-             (Bigint.neg (Bigint.of_nat s.proof_c)) nb)
-      in
-      Nat.rem (Nat.mul fwd bwd) pub.n_mod
+    let invmod_n a = Bigint.to_nat (Bigint.invmod (Bigint.of_nat a) nb) in
+    let v' =
+      Nat.rem
+        (Nat.mul (Nat.Fixed_base.pow pub.v_tbl s.proof_z)
+           (Nat.powmod (invmod_n v_i) s.proof_c pub.n_mod))
+        pub.n_mod
     in
-    let v' = exp_combo pub.v v_i in
-    let x' = exp_combo xtilde x_i_sq in
+    let x' = Nat.powmod2 xtilde s.proof_z (invmod_n x_i_sq) s.proof_c pub.n_mod in
     let c = hash_challenge [ pub.v; xtilde; v_i; x_i_sq; v'; x' ] in
     Nat.equal c s.proof_c
   end

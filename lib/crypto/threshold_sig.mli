@@ -17,6 +17,11 @@ type public = {
   t : int;
   v : Bignum.Nat.t;             (** verification base, generates [QR_n] *)
   vks : Bignum.Nat.t array;     (** [v_i = v^(s_i)], index [i-1] *)
+  v_tbl : Bignum.Nat.Fixed_base.ctx;
+  (** fixed-base window table for [v], wide enough for the integer proof
+      response [z = s_i*c + r] ([|n| + 2*256 + 1] bits), built by {!deal};
+      makes the [v]-power of every {!release} and {!verify_share} a
+      squaring-free table walk *)
 }
 
 type secret_share = {
@@ -43,7 +48,15 @@ val message_rep : public -> ctx:string -> string -> Bignum.Nat.t
 (** The full-domain hash actually signed. *)
 
 val release : drbg:Hashes.Drbg.t -> public -> secret_share -> ctx:string -> string -> share
+(** Party [i]'s signature share [x^(2*Delta*s_i)] with its proof of
+    correctness; the proof commitment [v^r] rides the {!v_tbl}
+    fixed-base table. *)
+
 val verify_share : public -> ctx:string -> string -> share -> bool
+(** Check the share's equality-of-logs proof.  The two proof checks are a
+    fixed-base [v]-power ({!v_tbl}) and one simultaneous double
+    exponentiation ([Bignum.Nat.powmod2]) — the Montgomery/multi-exp fast
+    path for the hot verification loop. *)
 
 val assemble : public -> ctx:string -> string -> share list -> string
 (** Combine [k] distinct verified shares into the standard RSA signature
@@ -54,3 +67,5 @@ val verify : public -> ctx:string -> signature:string -> string -> bool
 (** Plain RSA verification — usable by anyone holding only [(n, e)]. *)
 
 val signature_bytes : public -> int
+(** Size of an assembled signature ([|n|] bytes), for wire-cost
+    accounting. *)

@@ -1,0 +1,35 @@
+(** Documentation checker backing the [@doc] alias (the odoc binary is not
+    part of the build environment, so this is what "building the docs" means
+    here).
+
+    Two kinds of findings:
+
+    - {b doc-coverage}: every [val] declared in a {e strict} interface must
+      carry an odoc comment — [(** ... *)] ending on the line directly above
+      the declaration, or starting after it and before the next item.
+    - {b doc-ref}: every [\{!...\}] reference in any scanned interface must
+      resolve against the symbol table built from the whole scanned set
+      (library wrapper modules, file modules, nested modules, and their
+      [val]/[type]/[exception] members).
+
+    This library never prints; the [sintra_doc] executable renders. *)
+
+type finding = {
+  file : string;
+  line : int;        (** 1-based *)
+  rule : string;     (** ["doc-coverage"] or ["doc-ref"] *)
+  message : string;
+}
+
+type file = {
+  library : string;  (** wrapper module name, e.g. ["Bignum"]; [""] for none *)
+  path : string;
+  contents : string;
+  strict : bool;     (** require a doc comment on every [val] *)
+}
+
+val check : file list -> finding list
+(** Findings sorted by file, then line. *)
+
+val render : finding -> string
+(** ["file:line: [rule] message"]. *)

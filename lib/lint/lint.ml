@@ -53,6 +53,8 @@ let check_paths (paths : string list) : finding list =
 let render (f : finding) : string =
   Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
 
+module Doccheck = Doccheck
+
 let summary ~(files : int) (findings : finding list) : string =
   if findings = [] then
     Printf.sprintf "sintra-lint: OK — %d files, %d rules, 0 violations"

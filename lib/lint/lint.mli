@@ -26,4 +26,8 @@ val check_paths : string list -> finding list
 val render : finding -> string
 (** ["file:line: [rule] message"]. *)
 
+module Doccheck : module type of Doccheck
+(** The documentation checker behind the [@doc] alias (doc coverage of the
+    strict interfaces, [\{!...\}] reference resolution). *)
+
 val summary : files:int -> finding list -> string

@@ -12,6 +12,8 @@ type meter = {
   mutable total_ms : float;     (** accumulated over the whole run *)
   exp_ms : float;               (** host calibration *)
   mutable exp_count : int;      (** modular exponentiations performed *)
+  mutable exp2_count : int;     (** simultaneous double exponentiations *)
+  mutable fixed_count : int;    (** fixed-base table-driven exponentiations *)
 }
 
 val create_meter : exp_ms:float -> meter
@@ -29,6 +31,27 @@ val exp_full : meter -> bits:int -> unit
 (** One full exponentiation at [bits]-bit modulus and exponent. *)
 
 val exp : meter -> mod_bits:int -> exp_bits:int -> unit
+
+val multi_exp_factor : float
+(** Cost of one simultaneous double exponentiation relative to ONE plain
+    exponentiation at the wider exponent (Shamir's trick shares the
+    squaring chain: ~1.47 vs 1.5 multiplications per exponent bit). *)
+
+val fixed_base_factor : float
+(** Cost of a fixed-base table-driven power relative to a plain
+    exponentiation of the same width (4-bit windows, no squarings:
+    ~0.234 vs 1.5 multiplications per bit). *)
+
+val exp2 : meter -> mod_bits:int -> exp_bits:int -> unit
+(** One simultaneous double exponentiation ([Bignum.Nat.powmod2]);
+    [exp_bits] is the wider of the two exponents.  Charged at
+    {!multi_exp_factor} of a plain exponentiation and counted in
+    [exp2_count]. *)
+
+val exp_fixed : meter -> mod_bits:int -> exp_bits:int -> unit
+(** One fixed-base table hit ([Bignum.Nat.Fixed_base.pow]).  Charged at
+    {!fixed_base_factor} of a plain exponentiation and counted in
+    [fixed_count]. *)
 
 val rsa_sign : meter -> bits:int -> unit
 (** CRT signing: a quarter of a full exponentiation. *)

@@ -312,7 +312,9 @@ let publish_metrics (t : t) : unit =
       setc (Printf.sprintf "p%d/net.sent_bytes" i) (float_of_int nd.sent_bytes);
       setc (Printf.sprintf "p%d/net.recv_msgs" i) (float_of_int nd.received_msgs);
       setc (Printf.sprintf "p%d/cpu.charged_s" i) (nd.meter.Cost.total_ms /. 1000.0);
-      setc (Printf.sprintf "p%d/crypto.exps" i) (float_of_int nd.meter.Cost.exp_count))
+      setc (Printf.sprintf "p%d/crypto.exps" i) (float_of_int nd.meter.Cost.exp_count);
+      setc (Printf.sprintf "p%d/crypto.exp2s" i) (float_of_int nd.meter.Cost.exp2_count);
+      setc (Printf.sprintf "p%d/crypto.fixed" i) (float_of_int nd.meter.Cost.fixed_count))
     t.nodes;
   Array.iteri
     (fun src row ->

@@ -17,6 +17,17 @@ type t = {
 
 let exp (c : t) ~mod_bits ~exp_bits = Sim.Cost.exp c.meter ~mod_bits ~exp_bits
 let full (c : t) ~bits = Sim.Cost.exp_full c.meter ~bits
+let exp2 (c : t) ~mod_bits ~exp_bits = Sim.Cost.exp2 c.meter ~mod_bits ~exp_bits
+let fixed (c : t) ~mod_bits ~exp_bits = Sim.Cost.exp_fixed c.meter ~mod_bits ~exp_bits
+
+(* With [cfg.crypto_fast_path] the per-scheme operation counts below follow
+   the real implementations exactly: powers of a base with a precomputed
+   window table (the group generator, verification keys, public keys)
+   charge [fixed]; the paired commitment recomputations of the DLEQ /
+   Shoup proofs charge one [exp2] instead of two [exp]s; powers of
+   message-dependent bases stay plain [exp]s.  Off, every operation is a
+   plain exponentiation — the paper's accounting. *)
+let fast (c : t) = c.cfg.Config.crypto_fast_path
 
 (* Record [f]'s work as a span on the party's "crypto" pseudo-thread.  The
    virtual clock does not advance inside a handler, so the span is anchored
@@ -54,7 +65,9 @@ let rsa_verify (c : t) =
 
 (* Shoup release: x_i = x^{2 Delta s_i} (full-size exponent), x~ (tiny),
    plus the correctness proof's two commitments with an exponent ~ |n|+512
-   bits.  Multi release: one CRT RSA signature. *)
+   bits.  Fast path: the v-commitment v^r hits v's fixed-base table; the
+   x~-commitment has a message-dependent base and stays plain.  Multi
+   release: one CRT RSA signature. *)
 let tsig_release (c : t) =
   spanned c "tsig_release" (fun () ->
     match c.cfg.Config.tsig_scheme with
@@ -62,21 +75,36 @@ let tsig_release (c : t) =
     | Config.Shoup ->
       let b = c.cfg.Config.model_rsa_bits in
       full c ~bits:b;
-      exp c ~mod_bits:b ~exp_bits:(b + 512);
-      exp c ~mod_bits:b ~exp_bits:(b + 512))
+      if fast c then begin
+        fixed c ~mod_bits:b ~exp_bits:(b + 512);
+        exp c ~mod_bits:b ~exp_bits:(b + 512)
+      end
+      else begin
+        exp c ~mod_bits:b ~exp_bits:(b + 512);
+        exp c ~mod_bits:b ~exp_bits:(b + 512)
+      end)
 
 (* Shoup share verification: recompute both commitments (z-bit exponents)
-   and the two challenge exponentiations.  Multi: one RSA verification. *)
+   and the two challenge exponentiations.  Fast path: v^z is a table hit,
+   v_i^{-c} a short plain exponentiation, and the x~ pair one simultaneous
+   double exponentiation at the z width.  Multi: one RSA verification. *)
 let tsig_verify_share (c : t) =
   spanned c "tsig_verify_share" (fun () ->
     match c.cfg.Config.tsig_scheme with
     | Config.Multi -> rsa_verify c
     | Config.Shoup ->
       let b = c.cfg.Config.model_rsa_bits in
-      exp c ~mod_bits:b ~exp_bits:(b + 512);
-      exp c ~mod_bits:b ~exp_bits:(b + 512);
-      exp c ~mod_bits:b ~exp_bits:256;
-      exp c ~mod_bits:b ~exp_bits:256)
+      if fast c then begin
+        fixed c ~mod_bits:b ~exp_bits:(b + 512);
+        exp c ~mod_bits:b ~exp_bits:256;
+        exp2 c ~mod_bits:b ~exp_bits:(b + 512)
+      end
+      else begin
+        exp c ~mod_bits:b ~exp_bits:(b + 512);
+        exp c ~mod_bits:b ~exp_bits:(b + 512);
+        exp c ~mod_bits:b ~exp_bits:256;
+        exp c ~mod_bits:b ~exp_bits:256
+      end)
 
 (* Shoup combination: k exponentiations with small (Lagrange) exponents plus
    the extended-GCD correction pair.  Multi: concatenation, free. *)
@@ -103,18 +131,30 @@ let tsig_verify (c : t) ~(k : int) =
 let dl_exp (c : t) =
   exp c ~mod_bits:c.cfg.Config.model_dl_pbits ~exp_bits:c.cfg.Config.model_dl_qbits
 
+let dl_exp2 (c : t) =
+  exp2 c ~mod_bits:c.cfg.Config.model_dl_pbits ~exp_bits:c.cfg.Config.model_dl_qbits
+
+let dl_fixed (c : t) =
+  fixed c ~mod_bits:c.cfg.Config.model_dl_pbits ~exp_bits:c.cfg.Config.model_dl_qbits
+
 (* Release: hash-to-group cofactor power (~full-size exponent), the share
-   itself, and two DLEQ commitments. *)
+   itself (coin-dependent base), and two DLEQ commitments — of which g^w
+   hits the generator table on the fast path. *)
 let coin_release (c : t) =
   spanned c "coin_release" (fun () ->
     exp c ~mod_bits:c.cfg.Config.model_dl_pbits
       ~exp_bits:(c.cfg.Config.model_dl_pbits - c.cfg.Config.model_dl_qbits);
-    dl_exp c; dl_exp c; dl_exp c)
+    dl_exp c;
+    if fast c then begin dl_fixed c; dl_exp c end
+    else begin dl_exp c; dl_exp c end)
 
-(* Verify: DLEQ verification is four exponentiations. *)
+(* Verify: DLEQ verification is four exponentiations; the fast path is two
+   table hits (g^z, VK_i^{q-c}) plus one simultaneous double
+   exponentiation for the coin-base pair. *)
 let coin_verify_share (c : t) =
   spanned c "coin_verify_share" (fun () ->
-    dl_exp c; dl_exp c; dl_exp c; dl_exp c)
+    if fast c then begin dl_fixed c; dl_fixed c; dl_exp2 c end
+    else begin dl_exp c; dl_exp c; dl_exp c; dl_exp c end)
 
 (* Assemble: k Lagrange exponentiations. *)
 let coin_assemble (c : t) ~(k : int) =
@@ -122,18 +162,29 @@ let coin_assemble (c : t) ~(k : int) =
 
 (* --- threshold encryption (TDH2) --- *)
 
+(* Encrypt: five exponentiations — all of g, h or gbar, so on the fast
+   path all five are table hits. *)
 let enc_encrypt (c : t) ~(bytes : int) =
   spanned c "enc_encrypt" (fun () ->
-    for _ = 1 to 5 do dl_exp c done;
+    if fast c then for _ = 1 to 5 do dl_fixed c done
+    else for _ = 1 to 5 do dl_exp c done;
     Sim.Cost.symmetric c.meter ~bytes)
 
+(* Validity: recompute (w, wbar) — g^f and gbar^f are table hits, the
+   u^{-e} / ubar^{-e} halves have ciphertext-dependent bases. *)
 let enc_ct_valid (c : t) =
-  spanned c "enc_ct_valid" (fun () -> for _ = 1 to 4 do dl_exp c done)
+  spanned c "enc_ct_valid" (fun () ->
+    if fast c then begin dl_fixed c; dl_fixed c; dl_exp c; dl_exp c end
+    else for _ = 1 to 4 do dl_exp c done)
 
-(* Decryption share: ciphertext check + share + DLEQ proof. *)
+(* Decryption share: ciphertext check + share u^{x_i} + DLEQ proof whose
+   g^w commitment is a table hit on the fast path. *)
 let enc_dec_share (c : t) =
   spanned c "enc_dec_share" (fun () ->
-    enc_ct_valid c; dl_exp c; dl_exp c; dl_exp c)
+    enc_ct_valid c;
+    dl_exp c;
+    if fast c then begin dl_fixed c; dl_exp c end
+    else begin dl_exp c; dl_exp c end)
 
 let enc_verify_share (c : t) =
   spanned c "enc_verify_share" (fun () -> coin_verify_share c)

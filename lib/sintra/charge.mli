@@ -3,7 +3,14 @@
     Protocols run real cryptography at the configured {e actual} key sizes
     but charge the simulated clock according to the {e model} key sizes;
     the per-scheme operation counts (exponentiations by exponent width) are
-    spelled out in the implementation. *)
+    spelled out in the implementation.
+
+    When [cfg.crypto_fast_path] is set (the default), operations that the
+    real bignum layer serves from a precomputed fixed-base window table or
+    as a simultaneous double exponentiation charge the cheaper
+    [Sim.Cost.exp_fixed] / [Sim.Cost.exp2] classes, mirroring the actual
+    algorithms; when clear, everything is priced as plain
+    square-and-multiply, as in the paper's cost tables. *)
 
 type t = {
   meter : Sim.Cost.meter;

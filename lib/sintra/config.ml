@@ -35,6 +35,13 @@ type t = {
      raise, remote misbehaviour (equivocation) is recorded for inspection.
      Off by default; the simulator and the fault tests switch it on. *)
   check_invariants : bool;
+  (* Charge virtual CPU for the multi-exponentiation / fixed-base fast path
+     the real bignum layer always uses (Nat.powmod2, Nat.Fixed_base); when
+     off, every operation is priced as a plain square-and-multiply
+     exponentiation, as in the paper's cost tables.  On by default;
+     `sintra_sim run --no-fast-path` and the benchmarks can switch it off
+     to measure what the fast path buys. *)
+  crypto_fast_path : bool;
 }
 
 let validate (c : t) : unit =
@@ -57,14 +64,14 @@ let dec_threshold (c : t) : int = c.t + 1
 let make ?(batch_size : int option) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
     ?(rsa_bits = 512) ?(tsig_bits = 512) ?(dl_pbits = 512) ?(dl_qbits = 160)
     ?(model_rsa_bits = 1024) ?(model_dl_pbits = 1024) ?(model_dl_qbits = 160)
-    ?(check_invariants = false)
+    ?(check_invariants = false) ?(crypto_fast_path = true)
     ~n ~t () : t =
   let batch_size = match batch_size with Some b -> b | None -> t + 1 in
   let c = {
     n; t; batch_size; tsig_scheme; perm_mode;
     rsa_bits; tsig_bits; dl_pbits; dl_qbits;
     model_rsa_bits; model_dl_pbits; model_dl_qbits;
-    check_invariants;
+    check_invariants; crypto_fast_path;
   }
   in
   validate c;
@@ -72,6 +79,6 @@ let make ?(batch_size : int option) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
 
 (* A small fast configuration for unit tests: tiny real keys. *)
 let test ?(n = 4) ?(t = 1) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
-    ?(batch_size : int option) ?check_invariants () : t =
-  make ?batch_size ?check_invariants ~tsig_scheme ~perm_mode
+    ?(batch_size : int option) ?check_invariants ?crypto_fast_path () : t =
+  make ?batch_size ?check_invariants ?crypto_fast_path ~tsig_scheme ~perm_mode
     ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()

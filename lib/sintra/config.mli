@@ -32,6 +32,11 @@ type t = {
   (** Run the {!Invariant} checker inside protocol handlers: local
       invariant violations raise, remote equivocation is recorded.  Off by
       default. *)
+  crypto_fast_path : bool;
+  (** Charge virtual CPU for the multi-exponentiation / fixed-base fast
+      path the real bignum layer always uses; off prices everything as
+      plain square-and-multiply, as in the paper's cost tables.  On by
+      default. *)
 }
 
 val validate : t -> unit
@@ -56,12 +61,14 @@ val make :
   ?batch_size:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
   ?rsa_bits:int -> ?tsig_bits:int -> ?dl_pbits:int -> ?dl_qbits:int ->
   ?model_rsa_bits:int -> ?model_dl_pbits:int -> ?model_dl_qbits:int ->
-  ?check_invariants:bool ->
+  ?check_invariants:bool -> ?crypto_fast_path:bool ->
   n:int -> t:int -> unit -> t
 (** Defaults: batch [t+1], multi-signatures, fixed candidate order, modest
-    real key sizes, modeled 1024-bit RSA and 1024/160-bit discrete logs. *)
+    real key sizes, modeled 1024-bit RSA and 1024/160-bit discrete logs,
+    fast-path cost accounting on. *)
 
 val test :
   ?n:int -> ?t:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
-  ?batch_size:int -> ?check_invariants:bool -> unit -> t
+  ?batch_size:int -> ?check_invariants:bool -> ?crypto_fast_path:bool ->
+  unit -> t
 (** A fast configuration for unit tests (tiny real keys; default n=4, t=1). *)

@@ -269,4 +269,158 @@ let property_tests = [
       jab = ja * jb);
 ]
 
-let suite = unit_tests @ property_tests
+(* Fast-path equivalence: the Montgomery, multi-exponentiation and
+   fixed-base paths must agree with the plain Barrett [powmod] on every
+   input shape, including the edge cases each path special-cases. *)
+let fastpath_tests = [
+  Alcotest.test_case "powmod edge cases (both parities)" `Quick (fun () ->
+    let n = Nat.of_int in
+    List.iter
+      (fun m ->
+        let m = n m in
+        (* zero exponent *)
+        Alcotest.check nat "b^0 = 1" Nat.one (Nat.powmod (n 5) Nat.zero m);
+        (* one exponent *)
+        Alcotest.check nat "b^1 = b mod m" (Nat.rem (n 123456789) m)
+          (Nat.powmod (n 123456789) Nat.one m);
+        (* base >= modulus *)
+        Alcotest.check nat "base >= m"
+          (Nat.powmod_barrett (n 1_000_003) (n 77) m)
+          (Nat.powmod (n 1_000_003) (n 77) m);
+        (* zero base *)
+        Alcotest.check nat "0^e = 0" Nat.zero (Nat.powmod Nat.zero (n 9) m))
+      [ 97; 98; 65537; 65536 ];
+    (* modulus one collapses everything *)
+    Alcotest.check nat "mod 1" Nat.zero (Nat.powmod (n 5) (n 3) Nat.one);
+    Alcotest.check nat "b^0 mod 1" Nat.zero (Nat.powmod (n 5) Nat.zero Nat.one);
+    Alcotest.check_raises "mod 0" Division_by_zero (fun () ->
+      ignore (Nat.powmod (n 5) (n 3) Nat.zero)));
+
+  Alcotest.test_case "even modulus takes the Barrett fallback" `Quick (fun () ->
+    let rb = Util.random_bytes ~seed:"even-mod" () in
+    for _ = 1 to 50 do
+      let m = Nat.shift_left (Nat.add (Nat.random_bits ~random_bytes:rb 120) Nat.one) 1 in
+      let b = Nat.random_bits ~random_bytes:rb 140 in
+      let e = Nat.random_bits ~random_bytes:rb 90 in
+      Alcotest.check nat "even m" (Nat.powmod_barrett b e m) (Nat.powmod b e m)
+    done);
+
+  Alcotest.test_case "Montgomery rejects even modulus" `Quick (fun () ->
+    Alcotest.check_raises "even" (Invalid_argument "Nat.Montgomery.create: even modulus")
+      (fun () -> ignore (Nat.Montgomery.create (Nat.of_int 100))));
+
+  Alcotest.test_case "Montgomery roundtrip and products" `Quick (fun () ->
+    let rb = Util.random_bytes ~seed:"mont-mul" () in
+    for _ = 1 to 100 do
+      let m = Nat.add (Nat.shift_left (Nat.random_bits ~random_bytes:rb 200) 1) Nat.one in
+      let ctx = Nat.Montgomery.create m in
+      let a = Nat.rem (Nat.random_bits ~random_bytes:rb 220) m in
+      let b = Nat.rem (Nat.random_bits ~random_bytes:rb 220) m in
+      let am = Nat.Montgomery.to_mont ctx a in
+      Alcotest.check nat "roundtrip" a (Nat.Montgomery.of_mont ctx am);
+      let bm = Nat.Montgomery.to_mont ctx b in
+      Alcotest.check nat "product"
+        (Nat.rem (Nat.mul a b) m)
+        (Nat.Montgomery.of_mont ctx (Nat.Montgomery.mul ctx am bm));
+      Alcotest.check nat "square"
+        (Nat.rem (Nat.sqr a) m)
+        (Nat.Montgomery.of_mont ctx (Nat.Montgomery.sqr ctx am))
+    done);
+
+  Alcotest.test_case "powmod2 edge cases" `Quick (fun () ->
+    let n = Nat.of_int in
+    let m = n 1009 in
+    Alcotest.check nat "both exps zero" Nat.one
+      (Nat.powmod2 (n 3) Nat.zero (n 4) Nat.zero m);
+    Alcotest.check nat "left exp zero" (Nat.powmod (n 4) (n 9) m)
+      (Nat.powmod2 (n 3) Nat.zero (n 4) (n 9) m);
+    Alcotest.check nat "right exp zero" (Nat.powmod (n 3) (n 9) m)
+      (Nat.powmod2 (n 3) (n 9) (n 4) Nat.zero m);
+    Alcotest.check nat "mod 1" Nat.zero (Nat.powmod2 (n 3) (n 5) (n 4) (n 7) Nat.one);
+    Alcotest.check_raises "mod 0" Division_by_zero (fun () ->
+      ignore (Nat.powmod2 (n 3) (n 5) (n 4) (n 7) Nat.zero));
+    (* bases >= modulus *)
+    Alcotest.check nat "bases above m"
+      (Nat.rem (Nat.mul (Nat.powmod (n 5000) (n 11) m) (Nat.powmod (n 7000) (n 13) m)) m)
+      (Nat.powmod2 (n 5000) (n 11) (n 7000) (n 13) m));
+
+  Alcotest.test_case "powmod2 with differing exponent widths" `Quick (fun () ->
+    let rb = Util.random_bytes ~seed:"powmod2-widths" () in
+    List.iter
+      (fun (bits1, bits2) ->
+        let m = Nat.add (Nat.shift_left (Nat.random_bits ~random_bytes:rb 180) 1) Nat.one in
+        let b1 = Nat.random_bits ~random_bytes:rb 200 in
+        let b2 = Nat.random_bits ~random_bytes:rb 200 in
+        let e1 = Nat.random_bits ~random_bytes:rb bits1 in
+        let e2 = Nat.random_bits ~random_bytes:rb bits2 in
+        let expect =
+          Nat.rem (Nat.mul (Nat.powmod_barrett b1 e1 m) (Nat.powmod_barrett b2 e2 m)) m
+        in
+        Alcotest.check nat
+          (Printf.sprintf "%d-bit vs %d-bit exponents" bits1 bits2)
+          expect (Nat.powmod2 b1 e1 b2 e2 m))
+      [ (1, 300); (300, 1); (7, 160); (160, 7); (64, 65); (256, 256); (2, 2) ]);
+
+  Alcotest.test_case "fixed-base table edge cases" `Quick (fun () ->
+    let n = Nat.of_int in
+    let tbl = Nat.Fixed_base.create ~base:(n 5) ~modulus:(n 1009) ~max_bits:64 in
+    Alcotest.(check int) "max_bits" 64 (Nat.Fixed_base.max_bits tbl);
+    Alcotest.check nat "e = 0" Nat.one (Nat.Fixed_base.pow tbl Nat.zero);
+    Alcotest.check nat "e = 1" (n 5) (Nat.Fixed_base.pow tbl Nat.one);
+    (* oversized exponent falls back to powmod *)
+    let big_e = Nat.shift_left Nat.one 100 in
+    Alcotest.check nat "oversized exponent"
+      (Nat.powmod (n 5) big_e (n 1009)) (Nat.Fixed_base.pow tbl big_e);
+    Alcotest.check_raises "max_bits 0"
+      (Invalid_argument "Nat.Fixed_base.create: max_bits must be positive")
+      (fun () -> ignore (Nat.Fixed_base.create ~base:(n 5) ~modulus:(n 7) ~max_bits:0));
+    (* base >= modulus and even modulus *)
+    let tbl2 = Nat.Fixed_base.create ~base:(n 5000) ~modulus:(n 1024) ~max_bits:32 in
+    Alcotest.check nat "even modulus, big base"
+      (Nat.powmod_barrett (n 5000) (n 123456) (n 1024))
+      (Nat.Fixed_base.pow tbl2 (n 123456)));
+
+  Alcotest.test_case "randomized cross-check: all fast paths vs plain powmod" `Quick
+    (fun () ->
+      (* A few hundred DRBG-seeded cases over mixed sizes and parities:
+         Montgomery powmod, powmod2 and fixed-base tables must all agree
+         with the Barrett reference. *)
+      let rb = Util.random_bytes ~seed:"fastpath-crosscheck" () in
+      let rand_int n =
+        1 + (Char.code (rb 1).[0] * 256 + Char.code (rb 1).[0]) mod n
+      in
+      for _ = 1 to 300 do
+        let m = Nat.add (Nat.random_bits ~random_bytes:rb (2 + rand_int 380)) Nat.one in
+        let b1 = Nat.random_bits ~random_bytes:rb (1 + rand_int 400) in
+        let b2 = Nat.random_bits ~random_bytes:rb (1 + rand_int 400) in
+        let e1 = Nat.random_bits ~random_bytes:rb (rand_int 300) in
+        let e2 = Nat.random_bits ~random_bytes:rb (rand_int 300) in
+        Alcotest.check nat "powmod vs barrett"
+          (Nat.powmod_barrett b1 e1 m) (Nat.powmod b1 e1 m);
+        Alcotest.check nat "powmod2 vs product"
+          (Nat.rem (Nat.mul (Nat.powmod_barrett b1 e1 m) (Nat.powmod_barrett b2 e2 m)) m)
+          (Nat.powmod2 b1 e1 b2 e2 m);
+        let maxb = 1 + rand_int 320 in
+        let tbl = Nat.Fixed_base.create ~base:b1 ~modulus:m ~max_bits:maxb in
+        let e3 = Nat.random_bits ~random_bytes:rb (rand_int (maxb + 40)) in
+        Alcotest.check nat "fixed-base vs powmod"
+          (Nat.powmod_barrett b1 e3 m) (Nat.Fixed_base.pow tbl e3)
+      done);
+
+  Alcotest.test_case "Bigint.powmod2" `Quick (fun () ->
+    let bi = Bigint.of_int in
+    let m = bi 1009 in
+    Alcotest.check bigint "values"
+      (Bigint.erem (Bigint.mul (Bigint.powmod (bi 17) (bi 100) m)
+                      (Bigint.powmod (bi 23) (bi 77) m)) m)
+      (Bigint.powmod2 (bi 17) (bi 100) (bi 23) (bi 77) m);
+    (* negative bases enter via the euclidean remainder *)
+    Alcotest.check bigint "negative base"
+      (Bigint.powmod2 (Bigint.erem (bi (-17)) m) (bi 3) (bi 23) (bi 5) m)
+      (Bigint.powmod2 (bi (-17)) (bi 3) (bi 23) (bi 5) m);
+    Alcotest.check_raises "negative exponent"
+      (Invalid_argument "Bigint.powmod2: negative exponent; invert the base instead")
+      (fun () -> ignore (Bigint.powmod2 (bi 2) (bi (-1)) (bi 3) (bi 1) m)));
+]
+
+let suite = unit_tests @ property_tests @ fastpath_tests

@@ -84,6 +84,74 @@ let group_tests = [
     Alcotest.check nat "same" e (Group.elt_of_bytes (Group.elt_to_bytes g e)));
 ]
 
+let fastpath_tests = [
+  Alcotest.test_case "mul_exp2 equals product of powers" `Quick (fun () ->
+    let g = Lazy.force group in
+    let d = Hashes.Drbg.fork drbg "exp2" in
+    for _ = 1 to 10 do
+      let a = Group.pow_g g (Group.random_exponent g ~drbg:d) in
+      let b = Group.pow_g g (Group.random_exponent g ~drbg:d) in
+      let ea = Group.random_exponent g ~drbg:d in
+      let eb = Group.random_exponent g ~drbg:d in
+      Alcotest.check nat "a^ea * b^eb"
+        (Group.mul g (Group.pow g a ea) (Group.pow g b eb))
+        (Group.mul_exp2 g a ea b eb)
+    done);
+
+  Alcotest.test_case "precompute table matches plain pow" `Quick (fun () ->
+    let g = Lazy.force group in
+    let d = Hashes.Drbg.fork drbg "tbl" in
+    let a = Group.pow_g g (Group.random_exponent g ~drbg:d) in
+    let tbl = Group.precompute g a in
+    for _ = 1 to 10 do
+      let e = Group.random_exponent g ~drbg:d in
+      Alcotest.check nat "a^e" (Group.pow g a e) (Group.pow_table tbl e)
+    done;
+    (* the group's own generator table agrees with pow_g *)
+    let e = Group.random_exponent g ~drbg:d in
+    Alcotest.check nat "g table" (Group.pow_g g e) (Group.pow_table g.Group.g_tbl e));
+
+  Alcotest.test_case "dleq fast verify == reference verify" `Quick (fun () ->
+    let g = Lazy.force group in
+    let d = Hashes.Drbg.fork drbg "dleq-eq" in
+    for i = 1 to 10 do
+      let x = Group.random_exponent g ~drbg:d in
+      let g2 = Group.hash_to_group g (Printf.sprintf "base-%d" i) in
+      let h1 = Group.pow_g g x and h2 = Group.pow g g2 x in
+      let h1_tbl = Group.precompute g h1 in
+      let ctx = Printf.sprintf "ctx-%d" i in
+      let pf = Dleq.prove g ~drbg:d ~ctx ~g1:g.Group.g ~h1 ~g2 ~h2 ~x in
+      (* honest proofs: both verifiers accept *)
+      List.iter
+        (fun (label, ok) -> Alcotest.(check bool) label true ok)
+        [ "fast", Dleq.verify g ~ctx ~g1:g.Group.g ~h1 ~g2 ~h2 pf;
+          "fast+tbl", Dleq.verify g ~ctx ~h1_tbl ~g1:g.Group.g ~h1 ~g2 ~h2 pf;
+          "reference", Dleq.verify_reference g ~ctx ~g1:g.Group.g ~h1 ~g2 ~h2 pf ];
+      (* forged proofs: both verifiers agree (and reject) *)
+      let tweak = Bignum.Nat.rem (Bignum.Nat.add pf.Dleq.response Bignum.Nat.one) g.Group.q in
+      let forged = [
+        { pf with Dleq.response = tweak };
+        { pf with Dleq.challenge = Bignum.Nat.rem (Bignum.Nat.add pf.Dleq.challenge Bignum.Nat.one) g.Group.q };
+        { Dleq.challenge = Bignum.Nat.zero; response = Bignum.Nat.zero };
+      ] in
+      List.iter
+        (fun bad ->
+          let fast = Dleq.verify g ~ctx ~h1_tbl ~g1:g.Group.g ~h1 ~g2 ~h2 bad in
+          let slow = Dleq.verify_reference g ~ctx ~g1:g.Group.g ~h1 ~g2 ~h2 bad in
+          Alcotest.(check bool) "verifiers agree" slow fast;
+          Alcotest.(check bool) "forgery rejected" false fast)
+        forged
+    done);
+
+  Alcotest.test_case "make rejects an even modulus" `Quick (fun () ->
+    (* Montgomery arithmetic needs gcd(p, 2^64) = 1; Group.make must refuse
+       an even p before any table is built on top of it. *)
+    let even_p = Bignum.Nat.of_int 22 and q = Bignum.Nat.of_int 7 in
+    Alcotest.check_raises "even p"
+      (Invalid_argument "Group.make: modulus must be odd")
+      (fun () -> ignore (Group.make ~p:even_p ~q ~g:(Bignum.Nat.of_int 2))));
+]
+
 let shamir_tests = [
   Alcotest.test_case "interpolation recovers secret" `Quick (fun () ->
     let q = (Lazy.force group).Group.q in
@@ -482,5 +550,5 @@ let enc_tests =
   ]
 
 let suite =
-  group_tests @ shamir_tests @ dleq_tests @ coin_tests @ rsa_tests @ tsig_tests
-  @ msig_tests @ enc_tests
+  group_tests @ fastpath_tests @ shamir_tests @ dleq_tests @ coin_tests
+  @ rsa_tests @ tsig_tests @ msig_tests @ enc_tests

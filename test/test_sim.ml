@@ -190,6 +190,34 @@ let suite = [
     let e160 = Sim.Cost.modexp_ms ~exp_ms:100.0 ~mod_bits:1024 ~exp_bits:160 in
     Alcotest.(check (float 1e-6)) "short exponent" (100.0 *. 160.0 /. 1024.0) e160);
 
+  Alcotest.test_case "fast-path charges undercut the exps they replace" `Quick (fun () ->
+    let charge f =
+      let m = Sim.Cost.create_meter ~exp_ms:100.0 in
+      f m; m.Sim.Cost.charged_ms
+    in
+    let two_exps = charge (fun m ->
+      Sim.Cost.exp m ~mod_bits:1024 ~exp_bits:160;
+      Sim.Cost.exp m ~mod_bits:1024 ~exp_bits:160) in
+    let one_exp2 = charge (fun m -> Sim.Cost.exp2 m ~mod_bits:1024 ~exp_bits:160) in
+    (* one double exponentiation replaces TWO plain exps at ~2x their
+       single cost times the multi-exp factor — strictly cheaper *)
+    Alcotest.(check bool) "exp2 < 2 exps" true (one_exp2 < two_exps);
+    Alcotest.(check (float 1e-9)) "exp2 factor"
+      (Sim.Cost.multi_exp_factor *. Sim.Cost.modexp_ms ~exp_ms:100.0 ~mod_bits:1024 ~exp_bits:160)
+      one_exp2;
+    let plain = charge (fun m -> Sim.Cost.exp m ~mod_bits:1024 ~exp_bits:160) in
+    let fixed = charge (fun m -> Sim.Cost.exp_fixed m ~mod_bits:1024 ~exp_bits:160) in
+    Alcotest.(check bool) "fixed-base < plain" true (fixed < plain);
+    Alcotest.(check (float 1e-9)) "fixed factor"
+      (Sim.Cost.fixed_base_factor *. plain) fixed;
+    (* the op counters classify charges correctly *)
+    let m = Sim.Cost.create_meter ~exp_ms:100.0 in
+    Sim.Cost.exp m ~mod_bits:1024 ~exp_bits:160;
+    Sim.Cost.exp2 m ~mod_bits:1024 ~exp_bits:160;
+    Sim.Cost.exp_fixed m ~mod_bits:1024 ~exp_bits:160;
+    Alcotest.(check (list int)) "counters" [ 1; 1; 1 ]
+      [ m.Sim.Cost.exp_count; m.Sim.Cost.exp2_count; m.Sim.Cost.fixed_count ]);
+
   Alcotest.test_case "paper topologies are well-formed" `Quick (fun () ->
     Alcotest.(check int) "lan n" 4 (Sim.Topology.n Sim.Topology.lan);
     Alcotest.(check int) "internet n" 4 (Sim.Topology.n Sim.Topology.internet);
