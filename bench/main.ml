@@ -15,7 +15,8 @@
    EXPERIMENTS.md). *)
 
 let known =
-  [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "perf"; "ablations" ]
+  [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "perf";
+    "ablations"; "vopr" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -57,6 +58,7 @@ let () =
   section "ablations" (fun () -> Ablations.all ());
   section "micro" (fun () -> Micro.all ());
   section "perf" (fun () -> Micro.perf ~quick:(not full) ());
+  section "vopr" (fun () -> Vopr_bench.run ~quick:(not full) ());
   if Experiments.metrics_count () > 0 then begin
     let path = "BENCH_trace.json" in
     let oc = open_out path in

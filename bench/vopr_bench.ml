@@ -1,0 +1,61 @@
+(* Schedule-explorer throughput: sweep a batch of seeds per workload and
+   report seeds/sec, emitted as BENCH_vopr.json.  The sweep doubles as a
+   bench-time regression check — any oracle failure on trunk fails the
+   experiment loudly. *)
+
+let workloads =
+  [ Vopr.Oracle.Reliable; Vopr.Oracle.Consistent; Vopr.Oracle.Aba;
+    Vopr.Oracle.Mvba; Vopr.Oracle.Atomic; Vopr.Oracle.Secure ]
+
+let run ?(quick = true) ?(out = "BENCH_vopr.json") () : unit =
+  let seeds = if quick then 20 else 200 in
+  Printf.printf "=== Schedule explorer throughput (%d seeds per workload) ===\n\n"
+    seeds;
+  let rows =
+    List.map
+      (fun kind ->
+        let runner ~seed sched = Vopr.Workload.run ~kind ~seed sched in
+        let oracles = Vopr.Oracle.all kind in
+        let t0 = Unix.gettimeofday () in
+        let report =
+          Vopr.Explorer.explore ~runner ~oracles
+            ~generate:(fun ~run_seed ->
+              Vopr.Explorer.schedule_of ~run_seed ~n:4 ~max_faulty:1
+                ~allow_equiv:(Vopr.Workload.byz_supported kind))
+            ~seed:"bench-vopr" ~seeds ()
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        let rate = float_of_int seeds /. (dt +. 1e-9) in
+        let failures = List.length report.Vopr.Explorer.failures in
+        Printf.printf "  %-12s %4d runs  %d failure(s)  %8.1f seeds/sec\n%!"
+          (Vopr.Oracle.kind_to_string kind)
+          report.Vopr.Explorer.runs failures rate;
+        (kind, report.Vopr.Explorer.runs, failures, rate))
+      workloads
+  in
+  let total_failures =
+    List.fold_left (fun acc (_, _, f, _) -> acc + f) 0 rows
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"schema\": \"sintra-bench-vopr-v1\",\n  \"seeds_per_workload\": \
+       %d,\n  \"failures\": %d,\n  \"results\": [\n%s\n  ]\n}\n"
+      seeds total_failures
+      (String.concat ",\n"
+         (List.map
+            (fun (kind, runs, failures, rate) ->
+              Printf.sprintf
+                "    {\"workload\": %S, \"runs\": %d, \"failures\": %d, \
+                 \"seeds_per_sec\": %.2f}"
+                (Vopr.Oracle.kind_to_string kind)
+                runs failures rate)
+            rows))
+  in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n\n" out;
+  if total_failures > 0 then begin
+    Printf.eprintf "vopr bench: %d oracle failure(s) on trunk\n" total_failures;
+    exit 1
+  end

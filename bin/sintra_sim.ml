@@ -481,6 +481,187 @@ let trace_check_cmd =
        ~doc:"Validate a trace file (chrome: JSON + balanced spans; jsonl: parses).")
     Term.(const run $ file)
 
+(* --- explore: the vopr seed-sweeping schedule explorer --- *)
+
+let explore_cmd =
+  let print_failure ~kind ~base_seed (f : Vopr.Explorer.failure) : unit =
+    Printf.printf "seed #%d (%s): oracle=%s: %s\n" f.Vopr.Explorer.index
+      f.Vopr.Explorer.run_seed f.Vopr.Explorer.outcome.Vopr.Explorer.oracle
+      f.Vopr.Explorer.outcome.Vopr.Explorer.reason;
+    Printf.printf "  schedule: %s\n"
+      (match Vopr.Schedule.to_string f.Vopr.Explorer.schedule with
+       | "" -> "(empty)"
+       | s -> s);
+    Printf.printf "  shrunk (%d runs): %s -> oracle=%s: %s\n"
+      f.Vopr.Explorer.shrink_runs
+      (match Vopr.Schedule.to_string f.Vopr.Explorer.shrunk with
+       | "" -> "(empty)"
+       | s -> s)
+      f.Vopr.Explorer.shrunk_outcome.Vopr.Explorer.oracle
+      f.Vopr.Explorer.shrunk_outcome.Vopr.Explorer.reason;
+    Printf.printf "  repro: %s\n"
+      (Vopr.Explorer.repro ~workload:kind ~base_seed f)
+  in
+  let print_obs (o : Vopr.Oracle.obs) : unit =
+    Printf.printf
+      "  run: %d events, %.3f virtual seconds, quiesced=%b, degraded=[%s], corrupted=[%s]\n"
+      o.Vopr.Oracle.events o.Vopr.Oracle.vtime o.Vopr.Oracle.quiesced
+      (String.concat ";" (List.map string_of_int o.Vopr.Oracle.degraded))
+      (String.concat ";" (List.map string_of_int o.Vopr.Oracle.corrupted));
+    Printf.printf "  sent: %d\n" (List.length o.Vopr.Oracle.sent);
+    Array.iteri
+      (fun p log ->
+        Printf.printf "  party %d: %d delivered%s%s%s\n" p (List.length log)
+          (match o.Vopr.Oracle.decisions.(p) with
+           | Some d -> Printf.sprintf ", decided %s" d
+           | None -> "")
+          (match o.Vopr.Oracle.proposals.(p) with
+           | Some v -> Printf.sprintf ", proposed %s" v
+           | None -> "")
+          (match o.Vopr.Oracle.flagged.(p) with
+           | [] -> ""
+           | fl ->
+             Printf.sprintf ", flagged [%s]"
+               (String.concat "; "
+                  (List.map
+                     (fun (off, why) -> Printf.sprintf "%d: %s" off why)
+                     fl)));
+        List.iter
+          (fun (sender, m) -> Printf.printf "    %d: %S\n" sender m)
+          log)
+      o.Vopr.Oracle.delivered
+  in
+  let run kind seeds seed index mutations max_failures shrink_budget progress
+      verbose =
+    let runner ~seed sched = Vopr.Workload.run ~kind ~seed sched in
+    let oracles = Vopr.Oracle.all kind in
+    let generate ~run_seed =
+      Vopr.Explorer.schedule_of ~run_seed ~n:4 ~max_faulty:1
+        ~allow_equiv:(Vopr.Workload.byz_supported kind)
+    in
+    match (mutations, index) with
+    | Some muts, _ ->
+      (* Replay one run under an explicit schedule (a repro line). *)
+      let idx = Option.value index ~default:0 in
+      let run_seed = Vopr.Explorer.run_seed_of ~base:seed idx in
+      (match Vopr.Schedule.of_string muts with
+       | None ->
+         Printf.eprintf "malformed --mutations %S\n" muts;
+         exit 2
+       | Some sched ->
+         if verbose then (
+           match runner ~seed:run_seed sched with
+           | obs -> print_obs obs
+           | exception e ->
+             Printf.printf "  run raised: %s\n" (Printexc.to_string e));
+         (match Vopr.Explorer.eval ~runner ~oracles ~seed:run_seed sched with
+          | Vopr.Explorer.Clean ->
+            Printf.printf "replay %s [%s]: clean\n" run_seed
+              (Vopr.Schedule.to_string sched)
+          | Vopr.Explorer.Failed f ->
+            Printf.printf "replay %s [%s]: FAIL oracle=%s: %s\n" run_seed
+              (Vopr.Schedule.to_string sched) f.Vopr.Explorer.oracle
+              f.Vopr.Explorer.reason;
+            exit 1))
+    | None, Some idx ->
+      (* Re-run one sweep index with its generated schedule. *)
+      let run_seed = Vopr.Explorer.run_seed_of ~base:seed idx in
+      let sched = generate ~run_seed in
+      Printf.printf "seed #%d (%s): schedule %s\n" idx run_seed
+        (match Vopr.Schedule.to_string sched with "" -> "(empty)" | s -> s);
+      (match Vopr.Explorer.eval ~runner ~oracles ~seed:run_seed sched with
+       | Vopr.Explorer.Clean -> Printf.printf "clean\n"
+       | Vopr.Explorer.Failed f ->
+         Printf.printf "FAIL oracle=%s: %s\n" f.Vopr.Explorer.oracle
+           f.Vopr.Explorer.reason;
+         exit 1)
+    | None, None ->
+      let t0 = Sys.time () in
+      let progress_fn =
+        if progress then
+          Some
+            (fun k ->
+              if k > 0 && k mod 50 = 0 then (
+                Printf.printf "  ... %d seeds\n" k;
+                flush stdout))
+        else None
+      in
+      let report =
+        Vopr.Explorer.explore ?progress:progress_fn ~max_failures
+          ~shrink_budget ~runner ~oracles ~generate ~seed ~seeds ()
+      in
+      let dt = Sys.time () -. t0 in
+      List.iter (print_failure ~kind ~base_seed:seed)
+        report.Vopr.Explorer.failures;
+      Printf.printf
+        "explore workload=%s seed=%s: %d seeds, %d runs, %d failure(s)%s\n"
+        (Vopr.Oracle.kind_to_string kind)
+        seed seeds report.Vopr.Explorer.runs
+        (List.length report.Vopr.Explorer.failures)
+        (if dt > 0.0 then
+           Printf.sprintf " (%.1f seeds/sec)" (float_of_int seeds /. dt)
+         else "");
+      if report.Vopr.Explorer.failures <> [] then exit 1
+  in
+  let workload =
+    let workload_conv =
+      Arg.enum
+        [ ("reliable", Vopr.Oracle.Reliable);
+          ("consistent", Vopr.Oracle.Consistent); ("aba", Vopr.Oracle.Aba);
+          ("mvba", Vopr.Oracle.Mvba); ("atomic", Vopr.Oracle.Atomic);
+          ("secure", Vopr.Oracle.Secure) ]
+    in
+    Arg.(value & opt workload_conv Vopr.Oracle.Atomic
+         & info [ "workload" ] ~docv:"KIND"
+             ~doc:"reliable, consistent, aba, mvba, atomic or secure.")
+  in
+  let seeds =
+    Arg.(value & opt int 100
+         & info [ "seeds" ] ~docv:"N" ~doc:"Seed indices to sweep.")
+  in
+  let base_seed =
+    Arg.(value & opt string "vopr"
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed of the sweep.")
+  in
+  let index =
+    Arg.(value & opt (some int) None
+         & info [ "index" ] ~docv:"K"
+             ~doc:"Run only sweep index $(docv) (with its generated \
+                   schedule, or --mutations if given).")
+  in
+  let mutations =
+    Arg.(value & opt (some string) None
+         & info [ "mutations" ] ~docv:"LIST"
+             ~doc:"Replay an explicit comma-separated mutation list (from a \
+                   repro line) instead of generating one.")
+  in
+  let max_failures =
+    Arg.(value & opt int 1
+         & info [ "max-failures" ] ~docv:"N"
+             ~doc:"Stop the sweep after $(docv) failing seeds.")
+  in
+  let shrink_budget =
+    Arg.(value & opt int 200
+         & info [ "shrink-budget" ] ~docv:"N"
+             ~doc:"Extra runs the shrinker may spend per failure.")
+  in
+  let progress =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Print sweep progress.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"With --mutations: dump the full observation record \
+                   (per-party deliveries, decisions, flags).")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Sweep seeded adversarial schedules over a protocol workload, \
+             check the protocol oracles, and shrink any counterexample to \
+             a minimal replayable schedule.")
+    Term.(const run $ workload $ seeds $ base_seed $ index $ mutations
+          $ max_failures $ shrink_budget $ progress $ verbose)
+
 (* --- perf-check: validate BENCH_perf.json written by `bench/main.exe perf` --- *)
 
 let perf_check_cmd =
@@ -563,5 +744,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sintra_sim" ~doc)
-          [ run_cmd; agree_cmd; topologies_cmd; crypto_cmd; trace_check_cmd;
-            perf_check_cmd ]))
+          [ run_cmd; agree_cmd; explore_cmd; topologies_cmd; crypto_cmd;
+            trace_check_cmd; perf_check_cmd ]))

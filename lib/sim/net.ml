@@ -17,6 +17,8 @@ type action =
   | Drop
   | Delay of float               (* extra seconds *)
   | Replace of string            (* tamper with the payload in flight *)
+  | Duplicate                    (* deliver twice, back to back *)
+  | Replay of float              (* deliver now and again after the delay *)
 
 type node = {
   id : int;
@@ -164,10 +166,39 @@ and transmit_reliable (t : t) ~(src : int) ~(dst : int) ~(depart : float)
         else t.mac_failures <- t.mac_failures + 1
       end)
   in
+  (* Re-inject a recorded copy of [payload] after [d] extra seconds.  Like
+     [Replace], the copy bypasses the FIFO clamp: the adversary is not bound
+     by the link's stream order when it replays old frames.  The MAC is the
+     genuine one, so honest receivers accept the copy — deduplication is the
+     protocol's job, which is exactly what replay schedules probe. *)
+  let replay_copy ~extra_delay payload =
+    let tag = mac_tag t ~src ~dst payload in
+    let size = String.length payload + String.length tag + 28 in
+    let latency = t.topo.Topology.one_way src dst size t.latency_drbg in
+    let arrival = depart +. latency +. extra_delay in
+    let nd = t.nodes.(dst) in
+    Engine.schedule_at t.engine ~time:arrival (fun () ->
+      if not nd.crashed then begin
+        if Hashes.Hmac.verify ~algo:Hashes.Hmac.SHA1
+             ~key:t.mac_keys.(min src dst).(max src dst)
+             ~tag (Printf.sprintf "%d>%d|%s" src dst payload)
+        then begin
+          Queue.push (src, payload) nd.inbox;
+          wake t nd (Stdlib.max arrival nd.busy_until)
+        end
+        else t.mac_failures <- t.mac_failures + 1
+      end)
+  in
   match decide with
   | Deliver -> deliver ~extra_delay:0.0 payload
   | Drop -> ()
   | Delay d -> deliver ~extra_delay:d payload
+  | Duplicate ->
+    deliver ~extra_delay:0.0 payload;
+    deliver ~extra_delay:0.0 payload
+  | Replay d ->
+    deliver ~extra_delay:0.0 payload;
+    replay_copy ~extra_delay:d payload
   | Replace p ->
     (* The tag is computed over the original payload, so honest receivers
        detect tampering; used to test robustness of link authentication. *)
@@ -240,6 +271,17 @@ let set_intercept (t : t) (f : src:int -> dst:int -> string -> action) : unit =
 let clear_intercept (t : t) = t.intercept <- None
 
 let crash (t : t) (i : int) = t.nodes.(i).crashed <- true
+
+(* Bring a crashed node back: messages that arrived while it was down were
+   dropped at arrival time (crash = power-off, volatile buffers lost), but
+   frames still in flight or queued before the crash are processed again. *)
+let recover (t : t) (i : int) : unit =
+  let nd = t.nodes.(i) in
+  if nd.crashed then begin
+    nd.crashed <- false;
+    if not (Queue.is_empty nd.inbox) then
+      wake t nd (Stdlib.max (Engine.now t.engine) nd.busy_until)
+  end
 
 
 (* Public constructors: reliable FIFO links (the default, like the

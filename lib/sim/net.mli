@@ -17,6 +17,11 @@ type action =
   | Drop
   | Delay of float               (** extra seconds *)
   | Replace of string            (** tamper with the payload in flight *)
+  | Duplicate                    (** deliver two copies, back to back *)
+  | Replay of float
+      (** deliver normally, then re-inject a recorded copy after the given
+          extra delay — the copy carries a genuine MAC and bypasses the
+          FIFO clamp, so protocols must deduplicate *)
 
 type node
 
@@ -48,7 +53,12 @@ val set_intercept : t -> (src:int -> dst:int -> string -> action) -> unit
 val clear_intercept : t -> unit
 
 val crash : t -> int -> unit
-(** Silence a node permanently: it neither sends nor processes. *)
+(** Silence a node: it neither sends nor processes until {!recover}. *)
+
+val recover : t -> int -> unit
+(** Undo {!crash}: the node resumes sending and processing.  Messages that
+    arrived while it was down are lost (dropped at arrival time); frames
+    queued before the crash are processed on wake-up. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
 (** Transmit bytes.  Inside a handler the message departs when the charged

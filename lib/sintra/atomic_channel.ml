@@ -19,7 +19,21 @@
    Termination: [close] broadcasts a termination request as a regular
    payload; the channel closes after the round in which t+1 distinct
    parties' requests have been delivered (so it terminates iff at least one
-   honest party asked). *)
+   honest party asked).
+
+   Catch-up: a party whose round-r agreement messages were delayed past the
+   point where its peers garbage-collected the round-r instance can never
+   finish round r through the agreement itself.  (The schedule explorer
+   found exactly this: delay one link long enough and the victim stalls
+   forever, losing its own payloads.)  Three extra message kinds repair it:
+   - REQUEST(r): broadcast when we see a validly signed INIT for a round
+     ahead of ours — proof that someone finished our current round;
+   - DECIDED(r, batch): sent point-to-point in reply to a REQUEST or to a
+     stale INIT, carrying the batch we decided in round r;
+   - a straggler adopts a batch for its current round once t+1 distinct
+     parties claim the same one — any t+1 set contains an honest party, so
+     the batch really is the round's decision and agreement is preserved
+     without re-verifying its signatures. *)
 
 type item = {
   it_orig : int;          (* original sender, 0-based *)
@@ -57,9 +71,27 @@ type t = {
      removed ... the channel will stall"). *)
   mutable gate : unit -> bool;
   enqueued_at : (int, float) Hashtbl.t;   (* seq -> enqueue virtual time *)
+  (* Catch-up state.  [decided_batches] keeps every decided batch so we can
+     serve stragglers arbitrarily far behind (a rebuilt party restarts at
+     round 0); bounding it would need snapshot-based state transfer, out of
+     scope for the simulator.  [claims] tallies DECIDED messages for rounds
+     we have not finished: round -> batch -> claiming senders. *)
+  decided_batches : (int, string) Hashtbl.t;
+  claims : (int, (string, (int, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
+  mutable requested_for : int;   (* highest future round that triggered a REQUEST *)
 }
 
 let tag_init = 0
+let tag_decided = 1
+let tag_request = 2
+
+(* DECIDED batches sent per stale INIT or REQUEST; the straggler re-INITs
+   (or re-REQUESTs) as it advances, so a small window still converges. *)
+let catchup_window = 8
+
+(* Future-round DECIDED claims kept at most this far ahead, bounding what a
+   Byzantine flood can make us store. *)
+let max_claim_lead = 256
 
 (* Payload framing: 0x01 = application payload, 0x00 = termination request. *)
 let frame_payload (s : string) : string = "\x01" ^ s
@@ -129,6 +161,34 @@ let round_inits (t : t) (round : int) : (int, int * item) Hashtbl.t =
     let tbl = Hashtbl.create 8 in
     Hashtbl.add t.inits round tbl;
     tbl
+
+type msg =
+  | Init of int * item
+  | Decided of int * string
+  | Request of int
+
+let decode_msg (body : string) : msg option =
+  Wire.decode body (fun d ->
+    let tag = Wire.Dec.u8 d in
+    let round = Wire.Dec.int d in
+    if tag = tag_init then Init (round, dec_item d)
+    else if tag = tag_decided then Decided (round, Wire.Dec.bytes d)
+    else if tag = tag_request then Request round
+    else Wire.fail "abc: unknown tag %d" tag)
+
+(* Reply to a straggler with the batches it is missing, oldest first. *)
+let send_backlog (t : t) ~(dst : int) ~(from_round : int) : unit =
+  let upto = min (from_round + catchup_window - 1) (t.round - 1) in
+  for r = from_round to upto do
+    match Hashtbl.find_opt t.decided_batches r with
+    | Some batch ->
+      Runtime.send t.rt ~dst ~pid:t.pid
+        (Wire.encode (fun b ->
+          Wire.Enc.u8 b tag_decided;
+          Wire.Enc.int b r;
+          Wire.Enc.bytes b batch))
+    | None -> ()
+  done
 
 (* Sign and broadcast an INIT for the current round carrying (orig, seq,
    payload). *)
@@ -243,6 +303,7 @@ and try_propose (t : t) : unit =
 
 and finish_round (t : t) (round : int) (batch : string) : unit =
   if round = t.round && not t.closed then begin
+    Hashtbl.replace t.decided_batches round batch;
     if t.proposed then trace_phase t "agree" round Trace.Event.Span_end;
     (match Wire.decode batch (fun d -> Wire.Dec.list d dec_item) with
      | None -> ()   (* cannot happen: validator enforced the format *)
@@ -279,7 +340,9 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
                  (String.sub it.it_payload 1 (String.length it.it_payload - 1))
            end)
          items);
-    trace_phase t "round" round Trace.Event.Span_end;
+    (* Rounds adopted through catch-up never opened a round span. *)
+    if Hashtbl.mem t.my_init round then
+      trace_phase t "round" round Trace.Event.Span_end;
     (* Close once t+1 distinct parties asked. *)
     if Hashtbl.length t.term_requests >= t.rt.Runtime.cfg.Config.t + 1 then begin
       t.closed <- true;
@@ -292,9 +355,10 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
       (* Keep the decided agreement registered for a grace period: lagging
          parties may still need our (already broadcast) messages replayed
          from their orphan buffers, but instances two rounds back are dead
-         weight - every party that matters has moved on (we saw a full
-         batch of round-(r) signatures, i.e. n-t parties reached round r,
-         and all their round-(r-2) traffic is already on the wire). *)
+         weight.  This GC is what makes catch-up necessary: a party whose
+         round-r traffic was delayed past this point can no longer finish
+         round r through the agreement, and recovers by adopting DECIDED
+         claims instead. *)
       (match t.mvba with
        | Some m -> Hashtbl.replace t.past_mvba round m
        | None -> ());
@@ -306,25 +370,38 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
        | None -> ());
       Hashtbl.remove t.inits round;
       Hashtbl.remove t.my_init round;
+      Hashtbl.remove t.claims round;
       try_send_init t;
-      try_propose t
+      try_propose t;
+      try_adopt_claims t
     end
   end
 
+(* Adopt the current round's batch once t+1 distinct parties claim the same
+   one; cascades through [finish_round] until the claims run out. *)
+and try_adopt_claims (t : t) : unit =
+  if not t.closed then
+    match Hashtbl.find_opt t.claims t.round with
+    | None -> ()
+    | Some by_batch ->
+      let quorum = t.rt.Runtime.cfg.Config.t + 1 in
+      let winner = ref None in
+      Det.iter by_batch ~compare:String.compare (fun batch senders ->
+        if !winner = None && Hashtbl.length senders >= quorum then
+          winner := Some batch);
+      (match !winner with
+       | Some batch -> finish_round t t.round batch
+       | None -> ())
+
 let handle (t : t) ~src body =
   if not t.closed then begin
-    match
-      Wire.decode body (fun d ->
-        let tag = Wire.Dec.u8 d in
-        let round = Wire.Dec.int d in
-        let it = dec_item d in
-        (tag, round, it))
-    with
+    match decode_msg body with
     | None -> ()
-    | Some (tag, round, it) ->
+    | Some m ->
       let inv = t.rt.Runtime.inv in
       Invariant.sender_in_range inv src;
-      if tag = tag_init && round >= t.round && it.it_signer = src then begin
+      match m with
+      | Init (round, it) when it.it_signer = src && round >= t.round ->
         let tbl = round_inits t round in
         (* A conflicting, validly signed INIT from a signer we already hold
            one from is Byzantine evidence — record it, drop the duplicate. *)
@@ -343,12 +420,60 @@ let handle (t : t) ~src body =
         then begin
           Invariant.fresh_sender inv tbl src "INIT pool";
           Hashtbl.add tbl src (Hashtbl.length tbl, it);
+          (* An INIT for a round ahead of ours proves its signer finished
+             our current round: ask everyone for the decided batches. *)
+          if round > t.round && round > t.requested_for then begin
+            t.requested_for <- round;
+            Runtime.broadcast t.rt ~pid:t.pid
+              (Wire.encode (fun b ->
+                Wire.Enc.u8 b tag_request;
+                Wire.Enc.int b t.round))
+          end;
           if round = t.round then begin
             try_send_init t;
             try_propose t
           end
         end
-      end
+      | Init (round, it) when it.it_signer = src ->
+        (* Stale INIT: the sender is behind — help it catch up. *)
+        send_backlog t ~dst:src ~from_round:round
+      | Init _ -> ()
+      | Request round ->
+        if round >= 0 && round < t.round then
+          send_backlog t ~dst:src ~from_round:round
+      | Decided (round, batch) ->
+        if round >= t.round && round <= t.round + max_claim_lead then begin
+          let by_batch =
+            match Hashtbl.find_opt t.claims round with
+            | Some m -> m
+            | None ->
+              let m = Hashtbl.create 4 in
+              Hashtbl.add t.claims round m;
+              m
+          in
+          (* One claim per (round, sender); a second claim with a different
+             batch is Byzantine evidence. *)
+          let conflicting = ref false and already = ref false in
+          Det.iter by_batch ~compare:String.compare (fun b srcs ->
+            if Hashtbl.mem srcs src then
+              if b = batch then already := true else conflicting := true);
+          if !conflicting then
+            Invariant.flag inv ~offender:src
+              (Printf.sprintf "abc %s: conflicting DECIDED for round %d" t.pid
+                 round)
+          else if not !already then begin
+            let srcs =
+              match Hashtbl.find_opt by_batch batch with
+              | Some s -> s
+              | None ->
+                let s = Hashtbl.create 4 in
+                Hashtbl.add by_batch batch s;
+                s
+            in
+            Hashtbl.replace srcs src ();
+            if round = t.round then try_adopt_claims t
+          end
+        end
   end
 
 let create (rt : Runtime.t) ~(pid : string)
@@ -371,12 +496,21 @@ let create (rt : Runtime.t) ~(pid : string)
     deliveries = 0;
     gate = (fun () -> true);
     enqueued_at = Hashtbl.create 16;
+    decided_batches = Hashtbl.create 32;
+    claims = Hashtbl.create 8;
+    requested_for = -1;
   }
   in
   Runtime.register rt ~pid (fun ~src body -> handle t ~src body);
   t
 
 let enqueue (t : t) (framed : string) : unit =
+  (* A rebuilt party restarts its counter at 0 but learns its own pre-crash
+     deliveries through catch-up; skip those sequence numbers, or the fresh
+     payload would be mistaken for an already-delivered one and dropped. *)
+  while Hashtbl.mem t.delivered (t.rt.Runtime.me, t.next_seq) do
+    t.next_seq <- t.next_seq + 1
+  done;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   Queue.push (seq, framed) t.queue;

@@ -292,6 +292,17 @@ let rec prevote_valid (t : t) ~(sender : int) (pv : prevote) : bool =
       (match pv.pv_proof with
        | Some proof -> store_proof t pv.pv_value proof
        | None -> ());
+      (* Equivocation: this pre-vote is fully valid, so if we already hold a
+         conflicting valid pre-vote from the same sender the sender signed
+         both bits.  Checking here (not only in [handle]) also catches
+         selective equivocation, where the conflicting vote reaches us only
+         embedded in another party's abstain justification. *)
+      (match Hashtbl.find_opt (round_state t pv.pv_round).prevotes sender with
+       | Some prev when prev.pv_value <> pv.pv_value ->
+         Invariant.flag t.rt.Runtime.inv ~offender:sender
+           (Printf.sprintf "aba %s: equivocating pre-vote in round %d"
+              t.pid pv.pv_round)
+       | Some _ | None -> ());
       true
     end
     else false
@@ -532,31 +543,41 @@ let handle (t : t) ~src body =
           Invariant.sender_in_range inv src;
           let st = round_state t pv.pv_round in
           (* Equivocation: a second, conflicting, validly signed pre-vote
-             from the same sender is Byzantine evidence — record it, then
-             ignore the duplicate as usual. *)
+             from the same sender is Byzantine evidence — [prevote_valid]
+             records it, then the duplicate is ignored as usual. *)
           (match Hashtbl.find_opt st.prevotes src with
            | Some prev
-             when Invariant.enabled inv && prev.pv_value <> pv.pv_value
-                  && prevote_valid t ~sender:src pv ->
-             Invariant.flag inv ~offender:src
-               (Printf.sprintf "aba %s: equivocating pre-vote in round %d"
-                  t.pid pv.pv_round)
+             when Invariant.enabled inv && prev.pv_value <> pv.pv_value ->
+             ignore (prevote_valid t ~sender:src pv)
            | Some _ | None -> ());
           if not (Hashtbl.mem st.prevotes src) && prevote_valid t ~sender:src pv
           then begin
             Invariant.share_index inv (Tsig.share_origin pv.pv_share);
             Invariant.fresh_sender inv st.prevotes src "pre-vote tally";
             Hashtbl.add st.prevotes src pv;
-            (* A coin-justified pre-vote reveals the previous round's coin. *)
+            (* A coin-justified pre-vote reveals the previous round's coin.
+               Keep its embedded shares (already verified by
+               [check_coin_just]) too: our own coin-justified pre-vote for
+               this round must cite a full threshold of shares, and we may
+               never receive that many directly — e.g. when one link is
+               slow and the sender's share is the only one to reach us. *)
             (match pv.pv_just with
-             | J_coin (_, _) when pv.pv_round > 1 ->
+             | J_coin (_, shares) when pv.pv_round > 1 ->
                let prev = round_state t (pv.pv_round - 1) in
+               List.iter
+                 (fun s ->
+                   let sender = s.Crypto.Threshold_coin.origin - 1 in
+                   if not (Hashtbl.mem prev.coin_shares sender) then
+                     Hashtbl.add prev.coin_shares sender s)
+                 shares;
                if prev.coin_value = None then begin
                  prev.coin_value <- Some pv.pv_value;
                  if prev.released_coin then
                    trace_coin t (pv.pv_round - 1) Trace.Event.Span_end
                      [ ("value", Trace.Event.Bool pv.pv_value) ]
-               end
+               end;
+               (* The reveal may be what a finished round was waiting on. *)
+               if not t.halted then try_advance t (pv.pv_round - 1)
              | J_initial | J_hard _ | J_coin _ -> ());
             if not t.halted then begin
               try_send_mainvote t pv.pv_round;

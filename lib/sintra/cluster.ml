@@ -47,6 +47,7 @@ let at (c : t) ~(time : float) (f : unit -> unit) : unit =
 
 (* Fault injection. *)
 let crash (c : t) (i : int) : unit = Sim.Net.crash c.net i
+let recover (c : t) (i : int) : unit = Sim.Net.recover c.net i
 
 let set_intercept (c : t) f = Sim.Net.set_intercept c.net f
 let clear_intercept (c : t) = Sim.Net.clear_intercept c.net

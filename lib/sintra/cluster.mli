@@ -31,6 +31,11 @@ val inject : t -> int -> (unit -> unit) -> unit
 val at : t -> time:float -> (unit -> unit) -> unit
 
 val crash : t -> int -> unit
+
+val recover : t -> int -> unit
+(** Net-level recovery of a crashed party (protocol state intact — a pause,
+    not a power failure; see {!Runtime.crash} for the state-losing kind). *)
+
 val set_intercept : t -> (src:int -> dst:int -> string -> Sim.Net.action) -> unit
 val clear_intercept : t -> unit
 

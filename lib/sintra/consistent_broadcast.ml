@@ -24,6 +24,7 @@ type t = {
   sender : int;
   on_deliver : string -> unit;
   mutable echoed : bool;                  (* this party already sent a share *)
+  mutable echoed_payload : string option; (* what we signed, for equivocation checks *)
   mutable shares : Tsig.share list;       (* sender only *)
   share_origins : (int, unit) Hashtbl.t;
   mutable sent_payload : string option;   (* sender only *)
@@ -57,11 +58,20 @@ let handle (t : t) ~src body =
     match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
     | None -> ()
     | Some (tag, d) ->
-      if tag = tag_send && src = t.sender && not t.echoed then begin
+      if tag = tag_send && src = t.sender then begin
         match (try Some (Wire.Dec.bytes d) with Wire.Decode _ -> None) with
         | None -> ()
+        | Some payload when t.echoed ->
+          (* A second SEND carrying a different payload is direct evidence
+             of an equivocating sender (we sign only the first). *)
+          (match t.echoed_payload with
+           | Some p when p <> payload ->
+             Invariant.flag inv ~offender:t.sender
+               (Printf.sprintf "cbc %s: equivocating SEND" t.pid)
+           | Some _ | None -> ())
         | Some payload ->
           t.echoed <- true;
+          t.echoed_payload <- Some payload;
           if t.rt.Runtime.me <> t.sender then
             Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"bcast" "echo";
           Charge.tsig_release charge;
@@ -126,6 +136,16 @@ let handle (t : t) ~src body =
           Charge.tsig_verify charge ~k:(Tsig.k pub);
           if Tsig.verify pub ~ctx:t.pid ~signature (statement ~pid:t.pid payload)
           then begin
+            (* A valid closing for a payload other than the one we signed
+               means the sender showed different payloads to different
+               parties.  Consistency still holds (only one payload can ever
+               gather a quorum of shares), so we deliver — but we record the
+               equivocator. *)
+            (match t.echoed_payload with
+             | Some p when p <> payload ->
+               Invariant.flag inv ~offender:t.sender
+                 (Printf.sprintf "cbc %s: FINAL differs from echoed payload" t.pid)
+             | Some _ | None -> ());
             t.delivered <- true;
             t.closing <- Some (payload, signature);
             trace_deliver t;
@@ -139,6 +159,7 @@ let create (rt : Runtime.t) ~(pid : string) ~(sender : int)
   let t = {
     rt; pid; sender; on_deliver;
     echoed = false;
+    echoed_payload = None;
     shares = [];
     share_origins = Hashtbl.create 8;
     sent_payload = None;

@@ -29,6 +29,28 @@ let drop_every (nth : int) : spec =
     incr counter;
     if !counter mod nth = 0 then Sim.Net.Drop else Sim.Net.Deliver
 
+(* Duplicate every [nth] message globally: both copies carry valid MACs, so
+   deduplication is the protocols' job. *)
+let duplicate_every (nth : int) : spec =
+  let counter = ref 0 in
+  fun ~src:_ ~dst:_ _ ->
+    incr counter;
+    if !counter mod nth = 0 then Sim.Net.Duplicate else Sim.Net.Deliver
+
+(* Replay every [nth] message after [delay] extra seconds; the copy bypasses
+   the FIFO clamp, modelling an adversary re-injecting recorded frames. *)
+let replay_every (nth : int) ~(delay : float) : spec =
+  let counter = ref 0 in
+  fun ~src:_ ~dst:_ _ ->
+    incr counter;
+    if !counter mod nth = 0 then Sim.Net.Replay delay else Sim.Net.Deliver
+
+(* Byzantine selective send: [party] silently omits its messages to the
+   [victims], who must reconstruct the protocol state from the others. *)
+let selective_send (party : int) ~(victims : int list) : spec =
+ fun ~src ~dst _ ->
+  if src = party && List.mem dst victims then Sim.Net.Drop else Sim.Net.Deliver
+
 (* Split the group into components: traffic inside a component flows,
    traffic across components is held back until [heal_at] (virtual time),
    after which everything is delivered.  With n <= 3t parties on each side
@@ -50,3 +72,104 @@ let partition (c : Cluster.t) ~(groups : int list list) ~(heal_at : float) : spe
            allows. *)
         Sim.Net.Delay (heal_at -. now +. 0.001)
       | _ -> Sim.Net.Deliver
+
+(* --- Byzantine party harnesses ---
+
+   These run a *corrupted* party: instead of an honest protocol instance it
+   emits hand-crafted frames under its genuine keys.  The wire layouts are
+   deliberately duplicated from the protocol modules (a real attacker does
+   not link against our implementation); the formats are part of each
+   protocol's external interface. *)
+
+(* Send a broadcast SEND frame (tag 0) for instance [pid] from [party]:
+   payload [a] to the parties in [to_a], payload [b] to everyone else.
+   Reliable and consistent broadcast share this opening frame layout, so the
+   same equivocation works against both. *)
+let equivocate_send (c : Cluster.t) ~(party : int) ~(pid : string)
+    ~(to_a : int list) ~(a : string) ~(b : string) : unit =
+  let rt = Cluster.runtime c party in
+  let frame payload =
+    Wire.encode (fun buf ->
+      Wire.Enc.u8 buf 0;                 (* tag_send *)
+      Wire.Enc.bytes buf payload)
+  in
+  Cluster.inject c party (fun () ->
+    for dst = 0 to Cluster.n c - 1 do
+      if dst <> party then
+        Runtime.send rt ~dst ~pid (frame (if List.mem dst to_a then a else b))
+    done)
+
+(* The statement consistent broadcast binds into its threshold signature;
+   must match Consistent_broadcast.statement. *)
+let cbc_statement ~(pid : string) (payload : string) : string =
+  "cbc-ready|" ^ pid ^ "|" ^ payload
+
+(* A full equivocating consistent-broadcast sender: split SEND payloads as
+   in {!equivocate_send}, then collect echo shares for [a] (contributing our
+   own share) and broadcast the assembled closing message to everyone —
+   including the parties that were shown [b], who deliver [a] anyway
+   (consistency) and can flag the sender. *)
+let equivocating_cbc_sender (c : Cluster.t) ~(party : int) ~(pid : string)
+    ~(to_a : int list) ~(a : string) ~(b : string) : unit =
+  let rt = Cluster.runtime c party in
+  let cfg = rt.Runtime.cfg in
+  let pub = Tsig.public_of_secret rt.Runtime.keys.Dealer.bc_tsig in
+  let stmt = cbc_statement ~pid a in
+  let shares = ref [] in
+  let origins = Hashtbl.create 8 in
+  let final_sent = ref false in
+  Runtime.register rt ~pid (fun ~src body ->
+    match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
+    | Some (1, d) when not !final_sent ->    (* tag_echo *)
+      (match (try Some (Tsig.dec_share d) with Wire.Decode _ -> None) with
+       | Some share
+         when Tsig.share_origin share = src + 1
+              && not (Hashtbl.mem origins (src + 1))
+              && Tsig.verify_share pub ~ctx:pid stmt share ->
+         Hashtbl.replace origins (src + 1) ();
+         shares := share :: !shares;
+         if Hashtbl.length origins >= Config.echo_quorum cfg then begin
+           final_sent := true;
+           let signature = Tsig.assemble pub ~ctx:pid stmt !shares in
+           Runtime.broadcast rt ~pid
+             (Wire.encode (fun buf ->
+                Wire.Enc.u8 buf 2;          (* tag_final *)
+                Wire.Enc.bytes buf a;
+                Wire.Enc.bytes buf signature))
+         end
+       | Some _ | None -> ())
+    | Some _ | None -> ());
+  (* Our own echo share for [a] counts toward the quorum. *)
+  let own =
+    Tsig.release ~drbg:rt.Runtime.drbg rt.Runtime.keys.Dealer.bc_tsig ~ctx:pid stmt
+  in
+  Hashtbl.replace origins (party + 1) ();
+  shares := own :: !shares;
+  equivocate_send c ~party ~pid ~to_a ~a ~b
+
+(* An equivocating binary-agreement party: validly signed round-1 pre-votes
+   for [true] to the parties in [to_true] and for [false] to everyone else.
+   No single honest party sees both directly; the conflict surfaces through
+   abstain justifications. *)
+let equivocating_aba (c : Cluster.t) ~(party : int) ~(pid : string)
+    ~(to_true : int list) : unit =
+  let rt = Cluster.runtime c party in
+  let forged (value : bool) : string =
+    let stmt = Printf.sprintf "aba-pre|%s|%d|%b" pid 1 value in
+    let share =
+      Tsig.release ~drbg:rt.Runtime.drbg rt.Runtime.keys.Dealer.ag_tsig
+        ~ctx:pid stmt
+    in
+    Wire.encode (fun buf ->
+      Wire.Enc.u8 buf 0;                     (* tag_prevote *)
+      Wire.Enc.int buf 1;                    (* round *)
+      Wire.Enc.bool buf value;
+      Tsig.enc_share buf share;
+      Wire.Enc.u8 buf 0;                     (* J_initial *)
+      Wire.Enc.option buf Wire.Enc.bytes None)
+  in
+  Cluster.inject c party (fun () ->
+    for dst = 0 to Cluster.n c - 1 do
+      if dst <> party then
+        Runtime.send rt ~dst ~pid (forged (List.mem dst to_true))
+    done)

@@ -21,6 +21,7 @@ type t = {
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;
+  mutable rebuild : (unit -> unit) list;   (* newest first *)
 }
 
 let orphan_cap_per_pid = 4096
@@ -49,6 +50,7 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
     handlers = Hashtbl.create 64;
     orphans = Hashtbl.create 64;
     dropped_orphans = 0;
+    rebuild = [];
   }
   in
   Sim.Net.set_handler net me (fun ~src payload ->
@@ -122,3 +124,29 @@ let broadcast (rt : t) ~(pid : string) (body : string) : unit =
   done
 
 let now (rt : t) : float = Sim.Engine.now rt.engine
+
+(* Crash/recovery.  A crash models a power failure: the party stops sending
+   and processing (at the network layer) and loses all volatile protocol
+   state — registered handlers and buffered orphans.  Durable state is
+   whatever the application chooses to rebuild on recovery: [on_rebuild]
+   registers a hook (e.g. "re-create my atomic channel instance") that runs
+   on the party's virtual CPU when [recover] is called, so reconstruction
+   cost is charged like any other computation. *)
+
+let on_rebuild (rt : t) (f : unit -> unit) : unit =
+  rt.rebuild <- f :: rt.rebuild
+
+let crash (rt : t) : unit =
+  Sim.Net.crash rt.net rt.me;
+  Hashtbl.reset rt.handlers;
+  Hashtbl.reset rt.orphans;
+  Trace.Ctx.instant rt.trace ~pid:"runtime" ~cat:"runtime"
+    ~level:Trace.Event.Warn "crash"
+
+let recover (rt : t) : unit =
+  Sim.Net.recover rt.net rt.me;
+  Trace.Ctx.instant rt.trace ~pid:"runtime" ~cat:"runtime"
+    ~level:Trace.Event.Warn "recover";
+  let hooks = List.rev rt.rebuild in
+  if hooks <> [] then
+    Sim.Net.inject rt.net rt.me (fun () -> List.iter (fun f -> f ()) hooks)

@@ -20,6 +20,7 @@ type t = {
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;
+  mutable rebuild : (unit -> unit) list;
 }
 
 val create :
@@ -39,3 +40,19 @@ val broadcast : t -> pid:string -> string -> unit
     network, keeping protocol code uniform). *)
 
 val now : t -> float
+
+val on_rebuild : t -> (unit -> unit) -> unit
+(** Register a durable-state reconstruction hook, run (in registration
+    order, on the party's virtual CPU) when {!recover} is called after a
+    {!crash}.  Typically re-creates protocol instances from persisted
+    application state. *)
+
+val crash : t -> unit
+(** Power-fail this party: it stops sending and processing at the network
+    layer, and all volatile protocol state (registered handlers, buffered
+    orphans) is discarded. *)
+
+val recover : t -> unit
+(** Restart a crashed party: the network endpoint resumes and the
+    {!on_rebuild} hooks run to reconstruct protocol instances.  Messages
+    that arrived during the outage are lost. *)

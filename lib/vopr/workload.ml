@@ -1,0 +1,219 @@
+(* Workloads: one seeded, schedule-mutated run of a protocol family over a
+   fresh 4-party cluster, producing the observation record the oracles
+   consume.
+
+   Dealer key material is memoized (it dominates start-up cost and is
+   independent of the run seed); the engine — and with it every latency
+   draw and protocol coin — is seeded per run, so a run is a pure function
+   of [(kind, tweaks, seed, schedule)].
+
+   Corrupted parties (Byz_equivocate mutations) are replaced by the
+   Byzantine harnesses from {!Sintra.Faults}; all other mutations act at
+   the network layer via {!Schedule.arm}. *)
+
+open Sintra
+
+type chan = { send : string -> unit }
+
+type tweaks = {
+  make_channel :
+    (Runtime.t -> party:int -> on_deliver:(sender:int -> string -> unit) ->
+     chan)
+      option;
+  wrap_deliver : (party:int -> (int * string -> unit) -> int * string -> unit) option;
+  unanimous : bool option;
+  flip_decisions : bool;
+  spurious_flag : bool;
+}
+
+let no_tweaks : tweaks =
+  {
+    make_channel = None;
+    wrap_deliver = None;
+    unanimous = None;
+    flip_decisions = false;
+    spurious_flag = false;
+  }
+
+let byz_supported (k : Oracle.kind) : bool =
+  match k with
+  | Oracle.Reliable | Oracle.Consistent | Oracle.Aba -> true
+  | Oracle.Mvba | Oracle.Atomic | Oracle.Secure -> false
+
+(* Key material is independent of the run seed; share it across the sweep. *)
+let dealer_cache : (string, Dealer.t) Hashtbl.t = Hashtbl.create 4
+
+let make_cluster ~(run_seed : string) ~(n : int) ~(t : int) : Cluster.t =
+  let cfg = Config.test ~n ~t ~check_invariants:true () in
+  let topo = Sim.Topology.uniform ~count:n () in
+  let key = Printf.sprintf "%d|%d" n t in
+  let dealer =
+    match Hashtbl.find_opt dealer_cache key with
+    | Some d -> d
+    | None ->
+      let d = Dealer.deal ~seed:"vopr-dealer" cfg in
+      Hashtbl.replace dealer_cache key d;
+      d
+  in
+  let engine = Sim.Engine.create ~seed:("engine|" ^ run_seed) () in
+  let net =
+    Sim.Net.create ~engine ~topo ~mac_keys:(Dealer.net_mac_keys dealer)
+  in
+  let runtimes =
+    Array.init n (fun i ->
+      Runtime.create ~engine ~net ~cfg ~keys:dealer.Dealer.parties.(i))
+  in
+  { Cluster.engine; net; cfg; dealer; runtimes }
+
+(* Broadcast_channel frames payloads with a leading 0x01; the Byzantine
+   sender harnesses speak the inner-instance wire format directly. *)
+let framed (s : string) : string = "\x01" ^ s
+
+let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
+    ~(kind : Oracle.kind) ~(seed : string) (sched : Schedule.t) : Oracle.obs =
+  let n = 4 and t = 1 in
+  let c = make_cluster ~run_seed:seed ~n ~t in
+  let corrupted =
+    if byz_supported kind then Schedule.equivocators sched else []
+  in
+  let honest = List.filter (fun p -> not (List.mem p corrupted)) (List.init n Fun.id) in
+  Schedule.arm c ~run_seed:seed sched;
+  let sent : (int * string) list ref = ref [] in
+  let delivered : (int * string) list array = Array.make n [] in
+  let decisions : string option array = Array.make n None in
+  let proposals : string option array = Array.make n None in
+  let recorder (p : int) : int * string -> unit =
+    let base (entry : int * string) = delivered.(p) <- entry :: delivered.(p) in
+    match tweaks.wrap_deliver with Some w -> w ~party:p base | None -> base
+  in
+  if tweaks.spurious_flag then
+    Invariant.flag (Cluster.runtime c 0).Runtime.inv ~offender:1
+      "vopr planted spurious flag";
+  (match kind with
+   | Oracle.Reliable | Oracle.Consistent | Oracle.Atomic | Oracle.Secure ->
+     let chans : chan option array = Array.make n None in
+     List.iter
+       (fun p ->
+         let rt = Cluster.runtime c p in
+         let record = recorder p in
+         let on_deliver ~sender m = record (sender, m) in
+         let ch =
+           match tweaks.make_channel with
+           | Some mk -> mk rt ~party:p ~on_deliver
+           | None ->
+             (match kind with
+              | Oracle.Reliable ->
+                let ch = Reliable_channel.create rt ~pid:"vopr" ~on_deliver () in
+                { send = (fun m -> Reliable_channel.send ch m) }
+              | Oracle.Consistent ->
+                let ch =
+                  Consistent_channel.create rt ~pid:"vopr" ~on_deliver ()
+                in
+                { send = (fun m -> Consistent_channel.send ch m) }
+              | Oracle.Atomic ->
+                let ch = Atomic_channel.create rt ~pid:"vopr" ~on_deliver () in
+                { send = (fun m -> Atomic_channel.send ch m) }
+              | Oracle.Secure ->
+                let ch =
+                  Secure_atomic_channel.create rt ~pid:"vopr" ~on_deliver ()
+                in
+                { send = (fun m -> Secure_atomic_channel.send ch m) }
+              | Oracle.Aba | Oracle.Mvba -> { send = (fun _ -> ()) })
+         in
+         chans.(p) <- Some ch)
+       honest;
+     (* Two payloads per honest party, one burst at t=0 and one at t=2
+        virtual seconds, so destructive mutations land mid-traffic. *)
+     List.iter
+       (fun p ->
+         List.iteri
+           (fun j time ->
+             let payload = Printf.sprintf "p%d.m%d" p j in
+             let submit () =
+               Cluster.inject c p (fun () ->
+                 match chans.(p) with
+                 | Some ch ->
+                   sent := (p, payload) :: !sent;
+                   ch.send payload
+                 | None -> ())
+             in
+             if time <= 0.0 then submit ()
+             else Cluster.at c ~time submit)
+           [ 0.0; 2.0 ])
+       honest;
+     List.iter
+       (fun p ->
+         let ipid = Printf.sprintf "vopr/%d.0" p in
+         match kind with
+         | Oracle.Consistent ->
+           (* The closing needs echo_quorum - 1 = 2 honest shares for a. *)
+           let to_a =
+             match honest with q0 :: q1 :: _ -> [ q0; q1 ] | rest -> rest
+           in
+           Faults.equivocating_cbc_sender c ~party:p ~pid:ipid ~to_a
+             ~a:(framed "equiv-a") ~b:(framed "equiv-b")
+         | Oracle.Reliable | Oracle.Atomic | Oracle.Secure | Oracle.Aba
+         | Oracle.Mvba ->
+           let to_a = match honest with q0 :: _ -> [ q0 ] | [] -> [] in
+           Faults.equivocate_send c ~party:p ~pid:ipid ~to_a
+             ~a:(framed "equiv-a") ~b:(framed "equiv-b"))
+       corrupted
+   | Oracle.Aba ->
+     let prop_drbg = Hashes.Drbg.create ~seed:("prop|" ^ seed) in
+     List.iter
+       (fun p ->
+         let rt = Cluster.runtime c p in
+         let aba =
+           Binary_agreement.create rt ~pid:"vopr-aba"
+             ~on_decide:(fun v _proof ->
+               let v = if tweaks.flip_decisions then not v else v in
+               decisions.(p) <- Some (string_of_bool v))
+         in
+         let v =
+           match tweaks.unanimous with
+           | Some u -> u
+           | None -> Hashes.Drbg.bool prop_drbg
+         in
+         Cluster.inject c p (fun () ->
+           proposals.(p) <- Some (string_of_bool v);
+           Binary_agreement.propose aba v))
+       honest;
+     List.iter
+       (fun p ->
+         let to_true = match honest with q0 :: _ -> [ q0 ] | [] -> [] in
+         Faults.equivocating_aba c ~party:p ~pid:"vopr-aba" ~to_true)
+       corrupted
+   | Oracle.Mvba ->
+     List.iter
+       (fun p ->
+         let rt = Cluster.runtime c p in
+         let ag =
+           Array_agreement.create rt ~pid:"vopr-mvba"
+             ~validator:(fun _ -> true)
+             ~on_decide:(fun v ->
+               decisions.(p) <-
+                 Some (if tweaks.flip_decisions then v ^ "!" else v))
+         in
+         let v = Printf.sprintf "mv%d" p in
+         Cluster.inject c p (fun () ->
+           proposals.(p) <- Some v;
+           Array_agreement.propose ag v))
+       honest);
+  let events = Cluster.run ~until ~max_events c in
+  {
+    Oracle.kind;
+    n;
+    t;
+    degraded = Schedule.degraded sched;
+    corrupted;
+    sent = List.rev !sent;
+    delivered = Array.map List.rev delivered;
+    decisions;
+    proposals;
+    flagged =
+      Array.init n (fun p ->
+        Invariant.flagged (Cluster.runtime c p).Runtime.inv);
+    quiesced = Sim.Engine.pending c.Cluster.engine = 0;
+    events;
+    vtime = Cluster.now c;
+  }

@@ -21,4 +21,5 @@ let () =
       ("faults", Test_faults.suite);
       ("trace", Test_trace.suite);
       ("lint", Test_lint.suite);
+      ("vopr", Test_vopr.suite);
     ]
