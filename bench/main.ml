@@ -9,6 +9,10 @@
      dune exec bench/main.exe -- perf         - fast-path wall-clock comparison
                                                 (writes BENCH_perf.json; 512-bit
                                                 quick mode unless --full)
+     dune exec bench/main.exe -- throughput   - batched vs unbatched atomic
+                                                broadcast sweep (writes
+                                                BENCH_throughput.json; smoke
+                                                size unless --full)
 
    Absolute numbers come from a simulator calibrated with the paper's host
    and network measurements; the claims to check are the *shapes* (see
@@ -16,7 +20,7 @@
 
 let known =
   [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "perf";
-    "ablations"; "vopr" ]
+    "ablations"; "vopr"; "throughput" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -59,6 +63,7 @@ let () =
   section "micro" (fun () -> Micro.all ());
   section "perf" (fun () -> Micro.perf ~quick:(not full) ());
   section "vopr" (fun () -> Vopr_bench.run ~quick:(not full) ());
+  section "throughput" (fun () -> Throughput_bench.run ~quick:(not full) ());
   if Experiments.metrics_count () > 0 then begin
     let path = "BENCH_trace.json" in
     let oc = open_out path in

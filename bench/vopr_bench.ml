@@ -5,7 +5,8 @@
 
 let workloads =
   [ Vopr.Oracle.Reliable; Vopr.Oracle.Consistent; Vopr.Oracle.Aba;
-    Vopr.Oracle.Mvba; Vopr.Oracle.Atomic; Vopr.Oracle.Secure ]
+    Vopr.Oracle.Mvba; Vopr.Oracle.Atomic; Vopr.Oracle.Secure;
+    Vopr.Oracle.Throughput ]
 
 let run ?(quick = true) ?(out = "BENCH_vopr.json") () : unit =
   let seeds = if quick then 20 else 200 in

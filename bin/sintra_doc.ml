@@ -8,7 +8,7 @@
 
    Exit status 0 when clean, 1 on any finding. *)
 
-let default_strict = [ "bignum"; "crypto"; "vopr" ]
+let default_strict = [ "bignum"; "crypto"; "vopr"; "sim"; "trace"; "load" ]
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in

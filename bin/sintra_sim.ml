@@ -58,12 +58,21 @@ let no_fast_path_arg =
                  exponentiations (the paper's cost tables) instead of the \
                  multi-exponentiation / fixed-base fast path.")
 
-let make_cluster ~seed ~scheme ?(no_fast_path = false) (topo : Sim.Topology.t) : Cluster.t =
+let no_batching_arg =
+  Arg.(value & flag
+       & info [ "no-batching" ]
+           ~doc:"Force max_batch = 1: one payload per party per atomic \
+                 round, the pre-batching baseline of the throughput \
+                 benchmarks.")
+
+let make_cluster ~seed ~scheme ?(no_fast_path = false) ?(no_batching = false)
+    (topo : Sim.Topology.t) : Cluster.t =
   let n = Sim.Topology.n topo in
   let t = faults_t topo in
   let cfg =
     Config.make ~tsig_scheme:scheme ~perm_mode:Config.Random_local
       ~crypto_fast_path:(not no_fast_path)
+      ~max_batch:(if no_batching then 1 else 256)
       ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()
   in
   Cluster.create ~seed ~topo cfg
@@ -176,9 +185,9 @@ let channel_arg =
        & info [ "channel" ] ~docv:"KIND" ~doc:"atomic, secure, reliable or consistent.")
 
 let run_cmd =
-  let run channel topo seed scheme no_fast_path senders messages crashes verbose
-      trace_file trace_format stats =
-    let c = make_cluster ~seed ~scheme ~no_fast_path topo in
+  let run channel topo seed scheme no_fast_path no_batching senders messages
+      crashes verbose trace_file trace_format stats =
+    let c = make_cluster ~seed ~scheme ~no_fast_path ~no_batching topo in
     let finish_trace = setup_trace c trace_file trace_format in
     let n = Cluster.n c in
     let senders = List.filter (fun s -> s >= 0 && s < n) senders in
@@ -261,8 +270,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive a broadcast channel over a simulated test-bed.")
     Term.(const run $ channel_arg $ topology_arg $ seed_arg $ scheme_arg
-          $ no_fast_path_arg $ senders $ messages $ crashes_arg $ verbose
-          $ trace_file_arg $ trace_format_arg $ stats_arg)
+          $ no_fast_path_arg $ no_batching_arg $ senders $ messages
+          $ crashes_arg $ verbose $ trace_file_arg $ trace_format_arg
+          $ stats_arg)
 
 (* --- agree: one multi-valued or binary agreement --- *)
 
@@ -609,11 +619,13 @@ let explore_cmd =
         [ ("reliable", Vopr.Oracle.Reliable);
           ("consistent", Vopr.Oracle.Consistent); ("aba", Vopr.Oracle.Aba);
           ("mvba", Vopr.Oracle.Mvba); ("atomic", Vopr.Oracle.Atomic);
-          ("secure", Vopr.Oracle.Secure) ]
+          ("secure", Vopr.Oracle.Secure);
+          ("throughput", Vopr.Oracle.Throughput) ]
     in
     Arg.(value & opt workload_conv Vopr.Oracle.Atomic
          & info [ "workload" ] ~docv:"KIND"
-             ~doc:"reliable, consistent, aba, mvba, atomic or secure.")
+             ~doc:"reliable, consistent, aba, mvba, atomic, secure or \
+                   throughput.")
   in
   let seeds =
     Arg.(value & opt int 100
@@ -739,10 +751,162 @@ let perf_check_cmd =
              DLEQ-verification speedup floor).")
     Term.(const run $ file)
 
+(* --- bench-throughput: the latency-vs-offered-load sweep --- *)
+
+let bench_throughput_cmd =
+  let run smoke out duration seed =
+    let report = Load.Sweep.run ~smoke ?duration ~seed () in
+    List.iter
+      (fun (s : Load.Sweep.series) ->
+        Printf.printf
+          "n=%d %-9s saturation %7.1f req/s  (%d rounds, %d delivered)\n"
+          s.Load.Sweep.n
+          (if s.Load.Sweep.batched then "batched" else "unbatched")
+          s.Load.Sweep.saturation.Load.Sweep.throughput_per_s
+          s.Load.Sweep.rounds s.Load.Sweep.saturation.Load.Sweep.delivered)
+      report.Load.Sweep.series;
+    (match
+       ( Load.Sweep.saturation_throughput report ~n:4 ~batched:true,
+         Load.Sweep.saturation_throughput report ~n:4 ~batched:false )
+     with
+     | Some b, Some u when u > 0.0 ->
+       Printf.printf "n=4 batched/unbatched saturation ratio: %.2fx\n" (b /. u)
+     | _ -> ());
+    write_file out (Load.Sweep.to_json report);
+    Printf.printf "wrote %s\n" out
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI-sized sweep: n=4 only, 2 virtual seconds per point, \
+                   a single offered rate.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_throughput.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output report path.")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Virtual seconds per measurement point (default 10, or 2 \
+                   with --smoke).")
+  in
+  let seed =
+    Arg.(value & opt string "throughput"
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Determinism seed.")
+  in
+  Cmd.v
+    (Cmd.info "bench-throughput"
+       ~doc:"Measure atomic-broadcast throughput, batched vs unbatched \
+             (--no-batching semantics): open-loop latency-vs-offered-load \
+             curves plus a closed-loop saturation probe, written as \
+             BENCH_throughput.json.")
+    Term.(const run $ smoke $ out $ duration $ seed)
+
+(* --- throughput-check: validate BENCH_throughput.json --- *)
+
+let throughput_check_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let check (min_ratio : float) (doc : Trace.Json.value) :
+      (string, string) result =
+    let str v f = Option.bind (Trace.Json.member f v) Trace.Json.str_opt in
+    let num v f = Option.bind (Trace.Json.member f v) Trace.Json.num_opt in
+    match str doc "format" with
+    | Some "sintra-bench-throughput-v1" ->
+      (match Option.bind (Trace.Json.member "series" doc) Trace.Json.list_opt with
+       | None -> Error "missing \"series\" array"
+       | Some [] -> Error "empty \"series\" array"
+       | Some series ->
+         let modes =
+           List.filter_map (fun s -> str s "mode") series |> List.sort_uniq compare
+         in
+         if not (List.mem "batched" modes && List.mem "unbatched" modes) then
+           Error
+             (Printf.sprintf "need both modes, found: %s"
+                (String.concat ", " modes))
+         else begin
+           let bad =
+             List.exists
+               (fun s ->
+                 num s "n" = None
+                 || (match
+                       Option.bind (Trace.Json.member "points" s)
+                         Trace.Json.list_opt
+                     with
+                     | Some (_ :: _) -> false
+                     | _ -> true)
+                 || (match Trace.Json.member "saturation" s with
+                     | Some sat -> num sat "throughput_per_s" = None
+                     | None -> true))
+               series
+           in
+           if bad then
+             Error
+               "a series lacks \"n\", a non-empty \"points\" array, or a \
+                \"saturation\" point"
+           else begin
+             match
+               Option.bind (Trace.Json.member "crossover" doc) (fun c ->
+                 num c "ratio")
+             with
+             | None -> Error "missing \"crossover\" with numeric \"ratio\""
+             | Some ratio when ratio >= min_ratio ->
+               Ok
+                 (Printf.sprintf
+                    "%d series, both modes, batched/unbatched saturation \
+                     ratio %.2fx"
+                    (List.length series) ratio)
+             | Some ratio ->
+               Error
+                 (Printf.sprintf
+                    "saturation ratio %.2fx is below the %.2fx floor" ratio
+                    min_ratio)
+           end
+         end)
+    | Some other -> Error (Printf.sprintf "unknown format %S" other)
+    | None -> Error "missing \"format\" field"
+  in
+  let run file min_ratio =
+    match Trace.Json.parse (read_file file) with
+    | Error e ->
+      Printf.eprintf "%s: INVALID: not JSON: %s\n" file e;
+      exit 1
+    | Ok doc ->
+      (match check min_ratio doc with
+       | Ok msg -> Printf.printf "%s: valid throughput report, %s\n" file msg
+       | Error msg ->
+         Printf.eprintf "%s: INVALID throughput report: %s\n" file msg;
+         exit 1)
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"BENCH_throughput.json file to validate.")
+  in
+  let min_ratio =
+    Arg.(value & opt float 1.0
+         & info [ "min-ratio" ] ~docv:"X"
+             ~doc:"Fail unless the batched/unbatched saturation ratio is at \
+                   least $(docv) (the committed full-run report is held to \
+                   3.0).")
+  in
+  Cmd.v
+    (Cmd.info "throughput-check"
+       ~doc:"Validate a BENCH_throughput.json report: parses, carries both \
+             batched and unbatched series with data points, and meets the \
+             saturation-ratio floor.")
+    Term.(const run $ file $ min_ratio)
+
 let () =
   let doc = "SINTRA: secure intrusion-tolerant replication (DSN 2002), simulated" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sintra_sim" ~doc)
           [ run_cmd; agree_cmd; explore_cmd; topologies_cmd; crypto_cmd;
-            trace_check_cmd; perf_check_cmd ]))
+            trace_check_cmd; perf_check_cmd; bench_throughput_cmd;
+            throughput_check_cmd ]))

@@ -1,0 +1,36 @@
+(* Arrival processes: stateful gap streams over a seeded DRBG. *)
+
+type t = unit -> float
+
+(* Exponential gap with mean 1/rate; u in [0,1) so 1-u in (0,1] and the
+   log is finite. *)
+let exp_gap (drbg : Hashes.Drbg.t) (rate : float) : float =
+  let u = Hashes.Drbg.float drbg 1.0 in
+  -.log (1.0 -. u) /. rate
+
+let poisson ~(rate : float) (drbg : Hashes.Drbg.t) : t =
+  if rate <= 0.0 then invalid_arg "Arrival.poisson: rate must be > 0";
+  fun () -> exp_gap drbg rate
+
+let bursty ~(rate : float) ~(burst : int) (drbg : Hashes.Drbg.t) : t =
+  if rate <= 0.0 then invalid_arg "Arrival.bursty: rate must be > 0";
+  if burst < 1 then invalid_arg "Arrival.bursty: burst must be >= 1";
+  (* Mean idle between bursts = burst/rate, so the long-run rate matches
+     the Poisson process at the same [rate]. *)
+  let idle_rate = rate /. float_of_int burst in
+  let left = ref 0 in
+  fun () ->
+    if !left > 0 then begin
+      decr left;
+      0.0
+    end
+    else begin
+      left := burst - 1;
+      exp_gap drbg idle_rate
+    end
+
+let fixed ~(period : float) : t =
+  if period < 0.0 then invalid_arg "Arrival.fixed: period must be >= 0";
+  fun () -> period
+
+let next_gap (t : t) : float = t ()

@@ -1,0 +1,26 @@
+(** Arrival processes for the load generator.
+
+    A process is a stateful stream of inter-arrival gaps in virtual
+    seconds; every random draw comes from a seeded {!Hashes.Drbg}, so a
+    load run is as replayable as the protocols it drives. *)
+
+type t
+
+val poisson : rate:float -> Hashes.Drbg.t -> t
+(** Poisson arrivals: exponentially distributed gaps with mean [1/rate]
+    (arrivals per virtual second).  The memoryless baseline of open-loop
+    load.  @raise Invalid_argument if [rate <= 0]. *)
+
+val bursty : rate:float -> burst:int -> Hashes.Drbg.t -> t
+(** Bursty arrivals averaging [rate] per second: bursts of exactly [burst]
+    back-to-back requests (zero gap within a burst) separated by
+    exponential idle periods with mean [burst/rate] — same offered load as
+    {!poisson} at equal [rate], maximally clumped.  The batching stressor.
+    @raise Invalid_argument if [rate <= 0] or [burst < 1]. *)
+
+val fixed : period:float -> t
+(** Deterministic arrivals every [period] seconds.
+    @raise Invalid_argument if [period < 0]. *)
+
+val next_gap : t -> float
+(** Draw the gap until the next arrival; always finite and [>= 0]. *)

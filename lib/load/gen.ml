@@ -1,0 +1,107 @@
+(* Open- and closed-loop clients issuing marker payloads on virtual time.
+
+   Marker format: "ld|<client>|<k>".  The generator only ever parses its
+   own markers back out of the delivery stream; anything else is ignored,
+   so generated traffic can share a channel with other payloads. *)
+
+type client = {
+  id : int;
+  party : int;
+  mutable next_k : int;
+  outstanding : (int, float) Hashtbl.t;   (* k -> issue time *)
+}
+
+(* Closed-loop continuation, looked up by client id when its completion
+   comes back through [deliver]. *)
+type closed_hook = { think : float; until : float; submit : string -> unit }
+
+type t = {
+  engine : Sim.Engine.t;
+  mutable clients : client array;
+  closed_hooks : (int, closed_hook) Hashtbl.t;   (* client id -> hook *)
+  mutable issued : int;
+  mutable completed : int;
+  mutable latencies : float list;         (* newest first *)
+}
+
+let create ~(engine : Sim.Engine.t) : t =
+  {
+    engine;
+    clients = [||];
+    closed_hooks = Hashtbl.create 8;
+    issued = 0;
+    completed = 0;
+    latencies = [];
+  }
+
+let new_client (t : t) ~(party : int) : client =
+  let c = {
+    id = Array.length t.clients;
+    party;
+    next_k = 0;
+    outstanding = Hashtbl.create 8;
+  }
+  in
+  t.clients <- Array.append t.clients [| c |];
+  c
+
+let payload_of (c : client) (k : int) : string = Printf.sprintf "ld|%d|%d" c.id k
+
+let issue (t : t) (c : client) (submit : string -> unit) : unit =
+  let k = c.next_k in
+  c.next_k <- k + 1;
+  t.issued <- t.issued + 1;
+  Hashtbl.replace c.outstanding k (Sim.Engine.now t.engine);
+  submit (payload_of c k)
+
+let add_open (t : t) ~(party : int) ~(arrival : Arrival.t) ~(until : float)
+    ~(submit : string -> unit) : unit =
+  let c = new_client t ~party in
+  (* Lazy schedule: each arrival schedules the next, so an overload rate
+     never materializes more than one future event at a time. *)
+  let rec arm () =
+    let gap = Arrival.next_gap arrival in
+    let at = Sim.Engine.now t.engine +. gap in
+    if at <= until then
+      Sim.Engine.schedule t.engine ~delay:gap (fun () ->
+        issue t c submit;
+        arm ())
+  in
+  arm ()
+
+let add_closed (t : t) ~(party : int) ~(think : float) ~(until : float)
+    ~(submit : string -> unit) : unit =
+  let c = new_client t ~party in
+  Hashtbl.replace t.closed_hooks c.id { think; until; submit };
+  issue t c submit
+
+let deliver (t : t) ~(party : int) (payload : string) : unit =
+  match String.split_on_char '|' payload with
+  | [ "ld"; cid; k ] ->
+    (match (int_of_string_opt cid, int_of_string_opt k) with
+     | Some cid, Some k when cid >= 0 && cid < Array.length t.clients ->
+       let c = t.clients.(cid) in
+       (* A client observes only its own party's delivery of its own
+          request; deliveries at other parties are the same payload seen
+          elsewhere. *)
+       if c.party = party then begin
+         match Hashtbl.find_opt c.outstanding k with
+         | None -> ()
+         | Some t0 ->
+           Hashtbl.remove c.outstanding k;
+           t.completed <- t.completed + 1;
+           t.latencies <- (Sim.Engine.now t.engine -. t0) :: t.latencies;
+           (match Hashtbl.find_opt t.closed_hooks cid with
+            | Some h ->
+              let next = Sim.Engine.now t.engine +. h.think in
+              if next <= h.until then
+                Sim.Engine.schedule t.engine ~delay:h.think (fun () ->
+                  issue t c h.submit)
+            | None -> ())
+       end
+     | _ -> ())
+  | _ -> ()
+
+let issued (t : t) = t.issued
+let completed (t : t) = t.completed
+let latencies (t : t) = List.rev t.latencies

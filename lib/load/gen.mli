@@ -1,0 +1,49 @@
+(** The load generator: open- and closed-loop clients over a simulated
+    group.
+
+    A generator owns a set of clients, each attached to one party.  A
+    client issues marker payloads through a [submit] callback (typically
+    [Cluster.inject] + [Atomic_channel.send]) and observes completions
+    when the harness feeds its party's deliveries back through
+    {!deliver}.  Per-client latency is recorded as delivery time minus
+    issue time, in virtual seconds.
+
+    {b Open-loop} clients draw issue times from an {!Arrival} process
+    regardless of completions — they measure latency as a function of
+    {e offered} load, including overload, where the closed feedback of a
+    closed-loop client would throttle the offered rate.  {b Closed-loop}
+    clients keep exactly one request outstanding and issue the next one a
+    think time after the previous completes — a saturation probe: their
+    aggregate completion rate is the channel's sustainable throughput. *)
+
+type t
+
+val create : engine:Sim.Engine.t -> t
+(** A generator scheduling on [engine]'s virtual clock. *)
+
+val add_open :
+  t -> party:int -> arrival:Arrival.t -> until:float ->
+  submit:(string -> unit) -> unit
+(** Attach an open-loop client to [party]: issues at the arrival process's
+    instants from now until virtual time [until]. *)
+
+val add_closed :
+  t -> party:int -> think:float -> until:float ->
+  submit:(string -> unit) -> unit
+(** Attach a closed-loop client to [party]: issues immediately, then again
+    [think] seconds after each completion, stopping at [until]. *)
+
+val deliver : t -> party:int -> string -> unit
+(** Feed one delivered payload at [party] back to the generator.  Payloads
+    that are not this generator's markers, or belong to a client at a
+    different party, are ignored — so every party's channel deliveries can
+    be forwarded unconditionally. *)
+
+val issued : t -> int
+(** Requests issued by all clients so far. *)
+
+val completed : t -> int
+(** Requests whose completion was observed by their issuing client. *)
+
+val latencies : t -> float list
+(** All recorded completion latencies (virtual seconds), oldest first. *)

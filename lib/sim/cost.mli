@@ -17,6 +17,8 @@ type meter = {
 }
 
 val create_meter : exp_ms:float -> meter
+(** A zeroed meter for a host that takes [exp_ms] milliseconds per full
+    1024-bit modular exponentiation. *)
 
 val charge : meter -> float -> unit
 (** Charge [ms] of virtual CPU to the current step. *)
@@ -31,6 +33,8 @@ val exp_full : meter -> bits:int -> unit
 (** One full exponentiation at [bits]-bit modulus and exponent. *)
 
 val exp : meter -> mod_bits:int -> exp_bits:int -> unit
+(** One exponentiation with an [exp_bits]-bit exponent at a [mod_bits]-bit
+    modulus; counted in [exp_count]. *)
 
 val multi_exp_factor : float
 (** Cost of one simultaneous double exponentiation relative to ONE plain
@@ -60,7 +64,10 @@ val rsa_verify : meter -> bits:int -> unit
 (** e = 65537: 17 multiplications. *)
 
 val symmetric : meter -> bytes:int -> unit
+(** Symmetric encryption/decryption of [bytes], priced per byte. *)
+
 val hash : meter -> bytes:int -> unit
+(** Hashing [bytes], priced per byte (cheaper than {!symmetric}). *)
 
 val per_message : meter -> bytes:int -> unit
 (** Per-message protocol overhead (deserialization, dispatch, threading),

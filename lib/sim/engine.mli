@@ -6,11 +6,14 @@
 type t
 
 val create : ?seed:string -> unit -> t
+(** A fresh engine at time 0 with an empty heap; all randomness derives
+    from [seed] (default ["sim"]). *)
 
 val now : t -> float
 (** Current virtual time, in seconds. *)
 
 val drbg : t -> Hashes.Drbg.t
+(** The engine's seeded generator — the run's only randomness source. *)
 
 val sink : t -> Trace.Sink.t ref
 (** The shared trace sink slot.  Starts null; install one with
@@ -18,6 +21,7 @@ val sink : t -> Trace.Sink.t ref
     installed after construction is seen by every instrumentation site. *)
 
 val set_sink : t -> Trace.Sink.t -> unit
+(** Install a trace sink into the shared slot (see {!sink}). *)
 
 val metrics : t -> Trace.Metrics.t
 (** The run-wide metrics registry. *)
@@ -29,6 +33,7 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Run the thunk [delay] virtual seconds from now (negative clamps to 0). *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Run the thunk at absolute virtual [time] (the past clamps to now). *)
 
 val stop : t -> unit
 (** Make a running {!run} return after the current event. *)
@@ -38,3 +43,4 @@ val run : ?until:float -> ?max_events:int -> t -> int
     seconds pass, or [max_events] fire.  Returns the number executed. *)
 
 val pending : t -> int
+(** Events still queued; [0] means the run quiesced. *)

@@ -6,12 +6,19 @@
 type 'a t
 
 val create : unit -> 'a t
+(** An empty heap. *)
+
 val length : 'a t -> int
+(** Entries currently queued. *)
+
 val is_empty : 'a t -> bool
+(** [length h = 0]. *)
 
 val push : 'a t -> time:float -> 'a -> unit
+(** Queue a value at [time]; later pushes at the same time pop later. *)
 
 val pop : 'a t -> (float * 'a) option
 (** Earliest entry; ties broken by insertion order. *)
 
 val peek_time : 'a t -> float option
+(** The time {!pop} would return next, without removing anything. *)

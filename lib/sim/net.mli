@@ -41,8 +41,13 @@ val create_lossy :
     planned TCP replacement, carrying the whole protocol stack. *)
 
 val n : t -> int
+(** Number of nodes (the topology's host count). *)
+
 val node : t -> int -> node
+(** Node [i]'s handle, for the lower-level per-node operations. *)
+
 val meter : t -> int -> Cost.meter
+(** Node [i]'s virtual-CPU meter. *)
 
 val set_handler : t -> int -> (src:int -> string -> unit) -> unit
 (** Install node [i]'s message handler (one per node). *)
@@ -51,6 +56,7 @@ val set_intercept : t -> (src:int -> dst:int -> string -> action) -> unit
 (** Install the network adversary. *)
 
 val clear_intercept : t -> unit
+(** Remove the adversary installed by {!set_intercept}, if any. *)
 
 val crash : t -> int -> unit
 (** Silence a node: it neither sends nor processes until {!recover}. *)

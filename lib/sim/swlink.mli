@@ -25,7 +25,17 @@ val on_datagram : endpoint -> string -> unit
     or forged; anything unauthentic is counted and dropped. *)
 
 val in_flight : endpoint -> int
+(** Unacknowledged DATA frames currently in the window. *)
+
 val backlog_length : endpoint -> int
+(** Payloads queued behind a full window, not yet transmitted. *)
+
 val retransmissions : endpoint -> int
+(** DATA frames re-sent after a retransmission timeout. *)
+
 val rejected_frames : endpoint -> int
+(** Received frames dropped as malformed or failing authentication. *)
+
 val duplicate_frames : endpoint -> int
+(** Authentic DATA frames received more than once (loss of our ACK, or a
+    replaying network). *)

@@ -19,6 +19,7 @@ type t = {
 }
 
 val n : t -> int
+(** Number of hosts. *)
 
 val lan : t
 (** The four-machine 100 Mbit/s switched-Ethernet setup at the Zurich lab

@@ -1,20 +1,35 @@
 (* The atomic broadcast channel (Section 2.5): Chandra-Toueg-style rounds of
    multi-valued Byzantine agreement on batches of signed messages.
 
-   Every round r:
-   - each party signs its next undelivered payload together with r and
-     sends this INIT to everyone; a party with nothing to send adopts (and
-     re-signs) the first INIT it receives;
-   - once a party holds INITs from B = batch_size distinct signers it
-     proposes that batch to the round's multi-valued agreement, whose
-     external validity checks all B signatures and that the signers are
-     distinct — so at least B - t batch members were signed by honest
-     parties, which yields the fairness property;
-   - the decided batch is delivered in a fixed order (by original sender,
-     then sequence number), skipping duplicates.
+   Every round r agrees on a *batch of payload vectors* (the paper proposes
+   whole queues of undelivered payloads per round; HoneyBadgerBFT calls the
+   same lever "batching" and shows it is what turns agreement latency into
+   throughput):
+   - each party signs the vector of ALL its locally-queued undelivered
+     payloads — capped at [Config.max_batch] — together with r, and sends
+     this INIT to everyone; one RSA signature covers the whole vector, so
+     per-round crypto cost is amortized over every payload in it.  A party
+     with nothing of its own to send adopts (and re-signs) the undelivered
+     payloads it has seen in this round's INITs; failing that it signs an
+     empty vector, which keeps the round from stalling without spinning up
+     rounds of its own;
+   - once a party holds INITs from B = batch_size distinct signers (and a
+     vote quorum of n-t, which is guaranteed to arrive) it proposes that
+     batch of vectors to the round's multi-valued agreement, whose external
+     validity checks all B signatures, that the signers are distinct and
+     that no vector exceeds the cap — so at least B - t vectors come from
+     honest parties, which yields the fairness property;
+   - the decided batch's union of payloads is delivered in one round in a
+     deterministic order (by original sender, then sequence number),
+     skipping duplicates — identical bytes decide at every party, so the
+     union order is identical everywhere.
 
    Payloads are identified by (original sender, per-sender sequence number),
    exactly the weakened integrity the paper adopts for practicality.
+
+   With [max_batch = 1] each vector carries at most one payload and the
+   channel degrades to the original one-payload-per-party rounds (the
+   benchmarks' --no-batching baseline).
 
    Termination: [close] broadcasts a termination request as a regular
    payload; the channel closes after the round in which t+1 distinct
@@ -29,7 +44,8 @@
    - REQUEST(r): broadcast when we see a validly signed INIT for a round
      ahead of ours — proof that someone finished our current round;
    - DECIDED(r, batch): sent point-to-point in reply to a REQUEST or to a
-     stale INIT, carrying the batch we decided in round r;
+     stale INIT, carrying the whole batch we decided in round r (catch-up
+     moves whole batches, never single payloads);
    - a straggler adopts a batch for its current round once t+1 distinct
      parties claim the same one — any t+1 set contains an honest party, so
      the batch really is the round's decision and agreement is preserved
@@ -39,8 +55,14 @@ type item = {
   it_orig : int;          (* original sender, 0-based *)
   it_seq : int;           (* per-original-sender sequence number *)
   it_payload : string;
-  it_signer : int;        (* party whose signature accompanies the item *)
-  it_sig : string;
+}
+
+(* One party's signed payload vector for a round: what an INIT carries and
+   what the agreed batch is made of. *)
+type entry = {
+  en_signer : int;
+  en_items : item list;   (* at most [Config.max_batch] *)
+  en_sig : string;        (* one signature over the whole vector *)
 }
 
 type t = {
@@ -52,19 +74,20 @@ type t = {
   queue : (int * string) Queue.t;               (* seq, marked payload *)
   mutable next_seq : int;
   mutable round : int;
-  (* round -> signer -> (arrival rank, item); the rank (table size at
+  (* round -> signer -> (arrival rank, entry); the rank (table size at
      insertion) reproduces the paper's behaviour of considering messages in
      the order they arrive in the current round *)
-  inits : (int, (int, int * item) Hashtbl.t) Hashtbl.t;
+  inits : (int, (int, int * entry) Hashtbl.t) Hashtbl.t;
   delivered : (int * int, unit) Hashtbl.t;          (* (orig, seq) *)
   term_requests : (int, unit) Hashtbl.t;            (* parties asking to close *)
-  my_init : (int, item) Hashtbl.t;          (* round -> our own INIT *)
+  my_init : (int, entry) Hashtbl.t;         (* round -> our own INIT *)
   mutable mvba : Array_agreement.t option;
   past_mvba : (int, Array_agreement.t) Hashtbl.t;  (* decided, awaiting GC *)
   mutable proposed : bool;
   mutable closing : bool;                            (* close requested here *)
   mutable closed : bool;
   mutable deliveries : int;
+  mutable rounds_completed : int;
   (* Backpressure: while the gate is closed this party neither INITs nor
      proposes for the current round.  Models a consumer that has not yet
      drained the channel's outputs (the paper: "if the outputs are not
@@ -93,53 +116,80 @@ let catchup_window = 8
    Byzantine flood can make us store. *)
 let max_claim_lead = 256
 
+(* Batch-occupancy and queue-depth buckets: payload counts, not latencies. *)
+let count_buckets =
+  [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512. |]
+
 (* Payload framing: 0x01 = application payload, 0x00 = termination request. *)
 let frame_payload (s : string) : string = "\x01" ^ s
 let frame_term : string = "\x00"
 
-let init_stmt (t : t) ~(round : int) ~(orig : int) ~(seq : int) (payload : string) : string =
-  Printf.sprintf "abc-init|%s|%d|%d|%d|%s" t.pid round orig seq payload
-
 let enc_item (b : Wire.Enc.t) (it : item) : unit =
   Wire.Enc.int b it.it_orig;
   Wire.Enc.int b it.it_seq;
-  Wire.Enc.bytes b it.it_payload;
-  Wire.Enc.int b it.it_signer;
-  Wire.Enc.bytes b it.it_sig
+  Wire.Enc.bytes b it.it_payload
 
 let dec_item (d : Wire.Dec.t) : item =
   let it_orig = Wire.Dec.int d in
   let it_seq = Wire.Dec.int d in
   let it_payload = Wire.Dec.bytes d in
-  let it_signer = Wire.Dec.int d in
-  let it_sig = Wire.Dec.bytes d in
-  { it_orig; it_seq; it_payload; it_signer; it_sig }
+  { it_orig; it_seq; it_payload }
+
+let enc_entry (b : Wire.Enc.t) (en : entry) : unit =
+  Wire.Enc.int b en.en_signer;
+  Wire.Enc.list b enc_item en.en_items;
+  Wire.Enc.bytes b en.en_sig
+
+let dec_entry (d : Wire.Dec.t) : entry =
+  let en_signer = Wire.Dec.int d in
+  let en_items = Wire.Dec.list d dec_item in
+  let en_sig = Wire.Dec.bytes d in
+  { en_signer; en_items; en_sig }
+
+(* The signed statement: one signature binds the round, the signer and a
+   digest of the whole payload vector — per-round crypto cost is constant
+   in the vector length. *)
+let init_stmt (t : t) ~(round : int) ~(signer : int) (items : item list) : string =
+  let digest =
+    Hashes.Sha256.digest (Wire.encode (fun b -> Wire.Enc.list b enc_item items))
+  in
+  Printf.sprintf "abc-init|%s|%d|%d|%s" t.pid round signer digest
 
 let mvba_pid (t : t) (round : int) : string = Printf.sprintf "%s/mv.%d" t.pid round
 
-let item_signature_valid (t : t) ~(round : int) (it : item) : bool =
-  it.it_orig >= 0 && it.it_orig < t.rt.Runtime.cfg.Config.n
-  && it.it_signer >= 0 && it.it_signer < t.rt.Runtime.cfg.Config.n
+let entry_signature_valid (t : t) ~(round : int) (en : entry) : bool =
+  en.en_signer >= 0 && en.en_signer < t.rt.Runtime.cfg.Config.n
+  && List.for_all
+       (fun it ->
+         it.it_orig >= 0 && it.it_orig < t.rt.Runtime.cfg.Config.n
+         && it.it_seq >= 0)
+       en.en_items
   && begin
     Charge.rsa_verify t.rt.Runtime.charge;
-    Crypto.Rsa.verify t.rt.Runtime.keys.Dealer.sign_pks.(it.it_signer)
-      ~ctx:t.pid ~signature:it.it_sig
-      (init_stmt t ~round ~orig:it.it_orig ~seq:it.it_seq it.it_payload)
+    Crypto.Rsa.verify t.rt.Runtime.keys.Dealer.sign_pks.(en.en_signer)
+      ~ctx:t.pid ~signature:en.en_sig
+      (init_stmt t ~round ~signer:en.en_signer en.en_items)
   end
 
-(* External validity for a round's batch: B items, distinct signers, all
-   signatures valid for this round. *)
+(* External validity for a round's batch: B entries, distinct signers, no
+   vector over the cap, all vector signatures valid for this round (one
+   verification per entry, not per payload). *)
 let batch_valid (t : t) ~(round : int) (batch : string) : bool =
-  match Wire.decode batch (fun d -> Wire.Dec.list d dec_item) with
+  match Wire.decode batch (fun d -> Wire.Dec.list d dec_entry) with
   | None -> false
-  | Some items ->
+  | Some entries ->
     let b = t.rt.Runtime.cfg.Config.batch_size in
-    List.length items = b
+    List.length entries = b
     && begin
-      let signers = List.sort_uniq compare (List.map (fun it -> it.it_signer) items) in
+      let signers =
+        List.sort_uniq compare (List.map (fun en -> en.en_signer) entries)
+      in
       List.length signers = b
     end
-    && List.for_all (fun it -> item_signature_valid t ~round it) items
+    && List.for_all
+         (fun en -> List.length en.en_items <= t.rt.Runtime.cfg.Config.max_batch)
+         entries
+    && List.for_all (fun en -> entry_signature_valid t ~round en) entries
 
 (* --- tracing: queue -> agree -> deliver, one round span per round on the
    channel's thread with the agreement span nested inside it. --- *)
@@ -154,7 +204,7 @@ let trace_phase (t : t) (name : string) (r : int) (ph : Trace.Event.phase) :
       ~args:[ ("round", Trace.Event.Int r) ]
       (Printf.sprintf "%s %d" name r)
 
-let round_inits (t : t) (round : int) : (int, int * item) Hashtbl.t =
+let round_inits (t : t) (round : int) : (int, int * entry) Hashtbl.t =
   match Hashtbl.find_opt t.inits round with
   | Some tbl -> tbl
   | None ->
@@ -163,7 +213,7 @@ let round_inits (t : t) (round : int) : (int, int * item) Hashtbl.t =
     tbl
 
 type msg =
-  | Init of int * item
+  | Init of int * entry
   | Decided of int * string
   | Request of int
 
@@ -171,7 +221,7 @@ let decode_msg (body : string) : msg option =
   Wire.decode body (fun d ->
     let tag = Wire.Dec.u8 d in
     let round = Wire.Dec.int d in
-    if tag = tag_init then Init (round, dec_item d)
+    if tag = tag_init then Init (round, dec_entry d)
     else if tag = tag_decided then Decided (round, Wire.Dec.bytes d)
     else if tag = tag_request then Request round
     else Wire.fail "abc: unknown tag %d" tag)
@@ -190,59 +240,95 @@ let send_backlog (t : t) ~(dst : int) ~(from_round : int) : unit =
     | None -> ()
   done
 
-(* Sign and broadcast an INIT for the current round carrying (orig, seq,
-   payload). *)
-let send_init (t : t) ~(orig : int) ~(seq : int) (payload : string) : unit =
+(* Sign and broadcast our INIT vector for the current round. *)
+let send_init (t : t) (items : item list) : unit =
   let round = t.round in
   trace_phase t "round" round Trace.Event.Span_begin;
   Charge.rsa_sign t.rt.Runtime.charge;
   let signature =
     Crypto.Rsa.sign t.rt.Runtime.keys.Dealer.sign_sk ~ctx:t.pid
-      (init_stmt t ~round ~orig ~seq payload)
+      (init_stmt t ~round ~signer:t.rt.Runtime.me items)
   in
-  let it = {
-    it_orig = orig; it_seq = seq; it_payload = payload;
-    it_signer = t.rt.Runtime.me; it_sig = signature;
-  }
-  in
-  Hashtbl.replace t.my_init round it;
+  let en = { en_signer = t.rt.Runtime.me; en_items = items; en_sig = signature } in
+  Hashtbl.replace t.my_init round en;
   let body =
     Wire.encode (fun b ->
       Wire.Enc.u8 b tag_init;
       Wire.Enc.int b round;
-      enc_item b it)
+      enc_entry b en)
   in
   Runtime.broadcast t.rt ~pid:t.pid body
 
-(* Head of our send queue that has not been delivered yet. *)
-let rec queue_head (t : t) : (int * string) option =
-  match Queue.peek_opt t.queue with
-  | None -> None
-  | Some (seq, payload) ->
-    if Hashtbl.mem t.delivered (t.rt.Runtime.me, seq) then begin
+(* The undelivered prefix of our own queue, up to [max_batch] payloads;
+   already-delivered heads are dropped as we pass them. *)
+let own_items (t : t) : item list =
+  let cap = t.rt.Runtime.cfg.Config.max_batch in
+  (* Drop the delivered prefix so the queue never regrows past deliveries. *)
+  let rec trim () =
+    match Queue.peek_opt t.queue with
+    | Some (seq, _) when Hashtbl.mem t.delivered (t.rt.Runtime.me, seq) ->
       ignore (Queue.pop t.queue);
-      queue_head t
-    end
-    else Some (seq, payload)
+      trim ()
+    | Some _ | None -> ()
+  in
+  trim ();
+  let items = ref [] in
+  let count = ref 0 in
+  (try
+     Queue.iter
+       (fun (seq, payload) ->
+         if !count >= cap then raise Exit;
+         if not (Hashtbl.mem t.delivered (t.rt.Runtime.me, seq)) then begin
+           items :=
+             { it_orig = t.rt.Runtime.me; it_seq = seq; it_payload = payload }
+             :: !items;
+           incr count
+         end)
+       t.queue
+   with Exit -> ());
+  List.rev !items
+
+(* Undelivered payloads seen in this round's INITs, in arrival order and
+   capped — what an empty-queue party adopts so that slow parties' payloads
+   appear in more than one vector (the fairness lever). *)
+let adoptable_items (t : t) : item list =
+  let cap = t.rt.Runtime.cfg.Config.max_batch in
+  let tbl = round_inits t t.round in
+  let entries = Det.values tbl ~compare:Det.by_int in
+  let entries = List.sort (fun (r1, _) (r2, _) -> compare r1 r2) entries in
+  let chosen = Hashtbl.create 8 in
+  let items = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun (_, en) ->
+      List.iter
+        (fun it ->
+          if !count < cap
+             && not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq))
+             && not (Hashtbl.mem chosen (it.it_orig, it.it_seq))
+          then begin
+            Hashtbl.replace chosen (it.it_orig, it.it_seq) ();
+            items := it :: !items;
+            incr count
+          end)
+        en.en_items)
+    entries;
+  List.rev !items
 
 let rec try_send_init (t : t) : unit =
   if not t.closed && t.gate () && not (Hashtbl.mem t.my_init t.round) then begin
-    match queue_head t with
-    | Some (seq, payload) -> send_init t ~orig:t.rt.Runtime.me ~seq payload
-    | None ->
-      (* Nothing of our own: adopt the first-arrived undelivered INIT
-         received this round, if any. *)
-      let tbl = round_inits t t.round in
-      let best = ref None in
-      Det.iter tbl ~compare:Det.by_int
-        (fun _ (rank, it) ->
-          if not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq)) then
-            match !best with
-            | None -> best := Some (rank, it)
-            | Some (cur_rank, _) -> if rank < cur_rank then best := Some (rank, it));
-      (match !best with
-       | Some (_, it) -> send_init t ~orig:it.it_orig ~seq:it.it_seq it.it_payload
-       | None -> ())
+    match own_items t with
+    | _ :: _ as items ->
+      Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.queue_depth"
+        (float_of_int (Queue.length t.queue));
+      send_init t items
+    | [] ->
+      (* Nothing of our own: participate in a round someone else started —
+         adopt their undelivered payloads, or contribute an empty vector.
+         Never start a round unprompted, or idle parties would spin empty
+         rounds forever. *)
+      if Hashtbl.length (round_inits t t.round) > 0 then
+        send_init t (adoptable_items t)
   end
 
 and try_propose (t : t) : unit =
@@ -250,9 +336,9 @@ and try_propose (t : t) : unit =
     let tbl = round_inits t t.round in
     (* Include our own INIT in the pool. *)
     (match Hashtbl.find_opt t.my_init t.round with
-     | Some it ->
-       if not (Hashtbl.mem tbl it.it_signer) then
-         Hashtbl.replace tbl it.it_signer (Hashtbl.length tbl, it)
+     | Some en ->
+       if not (Hashtbl.mem tbl en.en_signer) then
+         Hashtbl.replace tbl en.en_signer (Hashtbl.length tbl, en)
      | None -> ());
     let b = t.rt.Runtime.cfg.Config.batch_size in
     (* Wait for INITs from n-t distinct signers (guaranteed to arrive, since
@@ -262,26 +348,38 @@ and try_propose (t : t) : unit =
        with messages from P2/AIX and P3/Win2k. *)
     let need = max b (Config.vote_quorum t.rt.Runtime.cfg) in
     if Hashtbl.length tbl >= need then begin
-      (* Batch selection: walk the INITs in arrival order and prefer
-         distinct payloads, so a batch usually carries batch_size different
-         messages (the 0-second band of Figures 4 and 5); fall back to
-         duplicate payloads from distinct signers only when short. *)
-      let items = Det.values tbl ~compare:Det.by_int in
-      let items = List.sort (fun (r1, _) (r2, _) -> compare r1 r2) items in
-      let items = List.map snd items in
-      let chosen_payloads = Hashtbl.create 8 in
+      (* Batch selection: walk the INIT vectors in arrival order and prefer
+         those contributing at least one payload not already covered, so
+         the union usually carries every queued message in the pool; fall
+         back to redundant vectors from distinct signers only when short. *)
+      let entries = Det.values tbl ~compare:Det.by_int in
+      let entries = List.sort (fun (r1, _) (r2, _) -> compare r1 r2) entries in
+      let entries = List.map snd entries in
+      let covered = Hashtbl.create 16 in
+      let contributes (en : entry) : bool =
+        List.exists
+          (fun it ->
+            not (Hashtbl.mem covered (it.it_orig, it.it_seq))
+            && not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq)))
+          en.en_items
+      in
+      let cover (en : entry) : unit =
+        List.iter
+          (fun it -> Hashtbl.replace covered (it.it_orig, it.it_seq) ())
+          en.en_items
+      in
       let primary, rest =
         List.partition
-          (fun it ->
-            if Hashtbl.mem chosen_payloads (it.it_orig, it.it_seq) then false
-            else begin
-              Hashtbl.replace chosen_payloads (it.it_orig, it.it_seq) ();
+          (fun en ->
+            if contributes en then begin
+              cover en;
               true
-            end)
-          items
+            end
+            else false)
+          entries
       in
       let batch = List.filteri (fun i _ -> i < b) (primary @ rest) in
-      let encoded = Wire.encode (fun b -> Wire.Enc.list b enc_item batch) in
+      let encoded = Wire.encode (fun b -> Wire.Enc.list b enc_entry batch) in
       t.proposed <- true;
       let round = t.round in
       trace_phase t "agree" round Trace.Event.Span_begin;
@@ -305,18 +403,25 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
   if round = t.round && not t.closed then begin
     Hashtbl.replace t.decided_batches round batch;
     if t.proposed then trace_phase t "agree" round Trace.Event.Span_end;
-    (match Wire.decode batch (fun d -> Wire.Dec.list d dec_item) with
+    (match Wire.decode batch (fun d -> Wire.Dec.list d dec_entry) with
      | None -> ()   (* cannot happen: validator enforced the format *)
-     | Some items ->
-       (* Fixed delivery order: by original sender, then sequence number. *)
+     | Some entries ->
+       (* Deterministic union order: flatten every vector, sort by original
+          sender then sequence number, drop duplicates.  The decided bytes
+          are identical at every party, so this order is too. *)
+       let items = List.concat_map (fun en -> en.en_items) entries in
        let items =
-         List.sort (fun a b -> compare (a.it_orig, a.it_seq) (b.it_orig, b.it_seq)) items
+         List.sort_uniq
+           (fun a b -> compare (a.it_orig, a.it_seq) (b.it_orig, b.it_seq))
+           items
        in
+       let fresh = ref 0 in
        List.iter
          (fun it ->
            if not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq)) then begin
              Hashtbl.replace t.delivered (it.it_orig, it.it_seq) ();
              t.deliveries <- t.deliveries + 1;
+             incr fresh;
              (* Own-payload end-to-end latency: enqueue -> atomic delivery
                 (the per-message latency of Figures 4 and 5). *)
              if it.it_orig = t.rt.Runtime.me then begin
@@ -339,7 +444,15 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
                t.on_deliver ~sender:it.it_orig
                  (String.sub it.it_payload 1 (String.length it.it_payload - 1))
            end)
-         items);
+         items;
+       t.rounds_completed <- t.rounds_completed + 1;
+       (* Throughput accounting: rounds, payloads carried, and how full the
+          decided batches run (the batch-occupancy histogram behind the
+          latency-vs-throughput crossover). *)
+       Trace.Ctx.incr (trace t) "abc.rounds";
+       Trace.Ctx.count (trace t) "abc.batch_payloads" (float_of_int !fresh);
+       Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.batch_occupancy"
+         (float_of_int !fresh));
     (* Rounds adopted through catch-up never opened a round span. *)
     if Hashtbl.mem t.my_init round then
       trace_phase t "round" round Trace.Event.Span_end;
@@ -401,25 +514,24 @@ let handle (t : t) ~src body =
       let inv = t.rt.Runtime.inv in
       Invariant.sender_in_range inv src;
       match m with
-      | Init (round, it) when it.it_signer = src && round >= t.round ->
+      | Init (round, en) when en.en_signer = src && round >= t.round ->
         let tbl = round_inits t round in
         (* A conflicting, validly signed INIT from a signer we already hold
            one from is Byzantine evidence — record it, drop the duplicate. *)
         (match Hashtbl.find_opt tbl src with
          | Some (_, prev)
            when Invariant.enabled inv
-                && (prev.it_orig, prev.it_seq, prev.it_payload)
-                   <> (it.it_orig, it.it_seq, it.it_payload)
-                && item_signature_valid t ~round it ->
+                && prev.en_items <> en.en_items
+                && entry_signature_valid t ~round en ->
            Invariant.flag inv ~offender:src
              (Printf.sprintf "abc %s: conflicting INIT in round %d" t.pid round)
          | Some _ | None -> ());
         if not (Hashtbl.mem tbl src)
-           && not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq))
-           && item_signature_valid t ~round it
+           && List.length en.en_items <= t.rt.Runtime.cfg.Config.max_batch
+           && entry_signature_valid t ~round en
         then begin
           Invariant.fresh_sender inv tbl src "INIT pool";
-          Hashtbl.add tbl src (Hashtbl.length tbl, it);
+          Hashtbl.add tbl src (Hashtbl.length tbl, en);
           (* An INIT for a round ahead of ours proves its signer finished
              our current round: ask everyone for the decided batches. *)
           if round > t.round && round > t.requested_for then begin
@@ -434,7 +546,7 @@ let handle (t : t) ~src body =
             try_propose t
           end
         end
-      | Init (round, it) when it.it_signer = src ->
+      | Init (round, en) when en.en_signer = src ->
         (* Stale INIT: the sender is behind — help it catch up. *)
         send_backlog t ~dst:src ~from_round:round
       | Init _ -> ()
@@ -494,6 +606,7 @@ let create (rt : Runtime.t) ~(pid : string)
     closing = false;
     closed = false;
     deliveries = 0;
+    rounds_completed = 0;
     gate = (fun () -> true);
     enqueued_at = Hashtbl.create 16;
     decided_batches = Hashtbl.create 32;
@@ -538,6 +651,8 @@ let close (t : t) : unit =
 let is_closed (t : t) = t.closed
 let deliveries (t : t) = t.deliveries
 let current_round (t : t) = t.round
+let rounds_completed (t : t) = t.rounds_completed
+let queue_depth (t : t) = Queue.length t.queue
 
 (* Install a backpressure gate; call {!kick} when it opens again. *)
 let set_gate (t : t) (gate : unit -> bool) : unit = t.gate <- gate

@@ -1,10 +1,15 @@
 (** The atomic broadcast channel (Section 2.5): state-machine replication.
 
-    Chandra-Toueg-style rounds: each party signs its next undelivered
-    payload with the round number (or adopts and re-signs the first INIT it
-    receives), proposes a batch of [batch_size] messages signed by distinct
-    parties to the round's multi-valued agreement, and delivers the decided
-    batch in a fixed order.
+    Chandra-Toueg-style rounds over {e batches}: each party signs the
+    vector of all its locally-queued undelivered payloads — capped at
+    [max_batch] ({!Config.t}) — with the round number (or adopts and re-signs
+    undelivered payloads seen in this round's INITs), proposes a batch of
+    [batch_size] vectors signed by distinct parties to the round's
+    multi-valued agreement, and delivers the decided union in one round in
+    a deterministic order (by original sender, then sequence number).  One
+    signature covers a whole vector, so per-round cryptographic cost is
+    amortized over every payload in it; with [max_batch = 1] the channel
+    degrades to the original one-payload-per-party rounds.
 
     {b Agreement & total order}: all honest parties deliver the same
     sequence.  {b Fairness}: a payload known to [f >= t+1] parties is
@@ -24,20 +29,34 @@ val create :
   Runtime.t -> pid:string ->
   on_deliver:(sender:int -> string -> unit) ->
   ?on_close:(unit -> unit) -> unit -> t
+(** Register the channel under [pid]; [on_deliver] fires once per delivered
+    payload in the agreed total order, [on_close] when the channel closes. *)
 
 val send : t -> string -> unit
 (** Queue a payload for broadcast (the paper's send event); any number of
-    sends per party.  @raise Invalid_argument after the channel closed. *)
+    sends per party.  Payloads queued while a round is in flight ride in
+    the next round's vector together.
+    @raise Invalid_argument after the channel closed. *)
 
 val close : t -> unit
 (** Request termination (the paper's close event); idempotent. *)
 
 val is_closed : t -> bool
+(** Whether the channel has closed (delivered [t+1] termination requests). *)
 
 val deliveries : t -> int
 (** Payloads delivered locally so far. *)
 
 val current_round : t -> int
+(** The agreement round this party is currently in. *)
+
+val rounds_completed : t -> int
+(** Agreement rounds finished locally — [deliveries / rounds_completed] is
+    the realized batching factor. *)
+
+val queue_depth : t -> int
+(** This party's own payloads queued and not yet known delivered (the
+    backlog a closed-loop generator watches). *)
 
 val set_gate : t -> (unit -> bool) -> unit
 (** Backpressure: while the gate returns false this party neither INITs nor
@@ -46,5 +65,7 @@ val set_gate : t -> (unit -> bool) -> unit
     {!kick} when the gate opens. *)
 
 val kick : t -> unit
+(** Re-attempt INIT/propose for the current round (after the gate opens). *)
 
 val abort : t -> unit
+(** Tear the channel down without the termination protocol (test harness). *)

@@ -19,6 +19,7 @@ type t = {
   n : int;
   t : int;
   batch_size : int;          (* atomic broadcast batch (paper: t + 1) *)
+  max_batch : int;           (* payloads per party per atomic round; 1 = unbatched *)
   tsig_scheme : tsig_scheme;
   perm_mode : perm_mode;
   (* actual cryptographic sizes *)
@@ -50,6 +51,7 @@ let validate (c : t) : unit =
      liveness needs B <= n - t (only n - t INITs are guaranteed). *)
   if c.batch_size < 1 || c.batch_size > c.n - c.t then
     invalid_arg "Config: batch size must satisfy 1 <= B <= n - t";
+  if c.max_batch < 1 then invalid_arg "Config: max batch must be >= 1";
   ()
 
 (* Quorum sizes used throughout the protocols. *)
@@ -61,14 +63,15 @@ let dec_threshold (c : t) : int = c.t + 1
 
 (* Default: real crypto at modest sizes, cost model at the paper's 1024-bit
    RSA / 1024-bit p with 160-bit q. *)
-let make ?(batch_size : int option) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
+let make ?(batch_size : int option) ?(max_batch = 256) ?(tsig_scheme = Multi)
+    ?(perm_mode = Fixed)
     ?(rsa_bits = 512) ?(tsig_bits = 512) ?(dl_pbits = 512) ?(dl_qbits = 160)
     ?(model_rsa_bits = 1024) ?(model_dl_pbits = 1024) ?(model_dl_qbits = 160)
     ?(check_invariants = false) ?(crypto_fast_path = true)
     ~n ~t () : t =
   let batch_size = match batch_size with Some b -> b | None -> t + 1 in
   let c = {
-    n; t; batch_size; tsig_scheme; perm_mode;
+    n; t; batch_size; max_batch; tsig_scheme; perm_mode;
     rsa_bits; tsig_bits; dl_pbits; dl_qbits;
     model_rsa_bits; model_dl_pbits; model_dl_qbits;
     check_invariants; crypto_fast_path;
@@ -79,6 +82,7 @@ let make ?(batch_size : int option) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
 
 (* A small fast configuration for unit tests: tiny real keys. *)
 let test ?(n = 4) ?(t = 1) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
-    ?(batch_size : int option) ?check_invariants ?crypto_fast_path () : t =
-  make ?batch_size ?check_invariants ?crypto_fast_path ~tsig_scheme ~perm_mode
-    ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()
+    ?(batch_size : int option) ?max_batch ?check_invariants ?crypto_fast_path ()
+    : t =
+  make ?batch_size ?max_batch ?check_invariants ?crypto_fast_path ~tsig_scheme
+    ~perm_mode ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()

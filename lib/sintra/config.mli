@@ -19,6 +19,12 @@ type t = {
   n : int;
   t : int;
   batch_size : int;          (** atomic broadcast batch, paper: [t+1] *)
+  max_batch : int;
+  (** Cap on the payload vector each party proposes per atomic-broadcast
+      round: a round's INIT carries up to [max_batch] locally-queued
+      undelivered payloads under one signature, so agreement cost is
+      amortized over the whole vector.  [1] reproduces the original
+      one-payload-per-party rounds (the benchmarks' [--no-batching]). *)
   tsig_scheme : tsig_scheme;
   perm_mode : perm_mode;
   rsa_bits : int;            (** actual: signing keys / multi-signatures *)
@@ -58,17 +64,19 @@ val dec_threshold : t -> int
 (** [t + 1] — decryption shares needed by the secure channel. *)
 
 val make :
-  ?batch_size:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
+  ?batch_size:int -> ?max_batch:int -> ?tsig_scheme:tsig_scheme ->
+  ?perm_mode:perm_mode ->
   ?rsa_bits:int -> ?tsig_bits:int -> ?dl_pbits:int -> ?dl_qbits:int ->
   ?model_rsa_bits:int -> ?model_dl_pbits:int -> ?model_dl_qbits:int ->
   ?check_invariants:bool -> ?crypto_fast_path:bool ->
   n:int -> t:int -> unit -> t
-(** Defaults: batch [t+1], multi-signatures, fixed candidate order, modest
-    real key sizes, modeled 1024-bit RSA and 1024/160-bit discrete logs,
-    fast-path cost accounting on. *)
+(** Defaults: batch [t+1], max batch 256 payloads per party per round,
+    multi-signatures, fixed candidate order, modest real key sizes, modeled
+    1024-bit RSA and 1024/160-bit discrete logs, fast-path cost accounting
+    on. *)
 
 val test :
   ?n:int -> ?t:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
-  ?batch_size:int -> ?check_invariants:bool -> ?crypto_fast_path:bool ->
-  unit -> t
+  ?batch_size:int -> ?max_batch:int -> ?check_invariants:bool ->
+  ?crypto_fast_path:bool -> unit -> t
 (** A fast configuration for unit tests (tiny real keys; default n=4, t=1). *)

@@ -8,11 +8,16 @@
    Fast path (epoch e, leader = e mod n):
    - a party broadcasts its payload as a REQUEST to everyone (so a censored
      party is noticed by all);
-   - the leader assigns the next sequence number s and broadcasts the
-     payload with verifiable consistent broadcast (instance pid/e.<e>.<s>),
-     whose threshold signature makes the ordering transferable;
+   - the leader assigns the next sequence number s to the *vector* of all
+     pending unordered requests (capped at [Config.max_batch]) and
+     broadcasts it with one verifiable consistent broadcast (instance
+     pid/e.<e>.<s>), whose threshold signature makes the ordering
+     transferable — batching amortizes the VCBC's threshold signature over
+     every request in the slot, exactly as the atomic channel amortizes its
+     agreement rounds;
    - when a party's consecutive VCBC prefix reaches s it broadcasts
-     ACK(e, s); a message is *delivered* once its prefix is complete and
+     ACK(e, s); a slot's requests are *delivered* (in vector order) once
+     the prefix is complete and
      n-t parties have acknowledged it — the quorum that makes recovery
      safe.
 
@@ -54,7 +59,7 @@ type t = {
   mutable vcbc_prefix : int;           (* consecutive VCBC deliveries *)
   mutable delivered_seq : int;         (* consecutive fast deliveries *)
   insts : (int, Consistent_broadcast.t) Hashtbl.t;   (* seq -> instance *)
-  ordered : (int, request) Hashtbl.t;            (* seq -> request (this epoch) *)
+  ordered : (int, request list) Hashtbl.t;   (* seq -> request vector (this epoch) *)
   closings : (int, string) Hashtbl.t;            (* seq -> closing (this epoch) *)
   acks : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* seq -> ackers (this epoch) *)
   complaints : (int, unit) Hashtbl.t;            (* complainers (this epoch) *)
@@ -76,6 +81,12 @@ let tag_request = 0
 let tag_ack = 1
 let tag_complain = 2
 let tag_report = 3
+
+(* Leader window: at most this many assigned-but-incomplete VCBC slots.
+   Requests arriving while the window is full wait in [requests] and ride
+   the next free slot together — without the window the leader would open
+   one slot per arriving request and batching would never happen. *)
+let max_outstanding = 4
 
 let vcbc_pid (t : t) ~(epoch : int) ~(seq : int) : string =
   Printf.sprintf "%s/e.%d.%d" t.pid epoch seq
@@ -127,10 +138,12 @@ and open_next_vcbc (t : t) : unit =
 
 and on_vcbc_deliver (t : t) ~(epoch : int) ~(seq : int) (payload : string) : unit =
   if epoch = t.epoch && not t.in_recovery then begin
-    match Wire.decode payload (fun d -> dec_request d) with
+    match Wire.decode payload (fun d -> Wire.Dec.list d dec_request) with
     | None -> ()   (* a Byzantine leader ordered garbage; complaints follow *)
-    | Some rq ->
-      Hashtbl.replace t.ordered seq rq;
+    | Some rqs when List.length rqs > t.rt.Runtime.cfg.Config.max_batch ->
+      ()           (* over-cap vector: treat like garbage, complaints follow *)
+    | Some rqs ->
+      Hashtbl.replace t.ordered seq rqs;
       (match Hashtbl.find_opt t.insts seq with
        | Some inst ->
          (match Consistent_broadcast.get_closing inst with
@@ -151,6 +164,9 @@ and on_vcbc_deliver (t : t) ~(epoch : int) ~(seq : int) (payload : string) : uni
         Runtime.broadcast t.rt ~pid:t.pid body
       done;
       open_next_vcbc t;
+      (* The prefix advanced, so the leader window may have freed a slot
+         for requests that accumulated while it was full. *)
+      leader_pump t;
       try_deliver t
   end
 
@@ -167,7 +183,7 @@ and try_deliver (t : t) : unit =
       t.delivered_seq <- s + 1;
       match Hashtbl.find_opt t.ordered s with
       | None -> ()
-      | Some rq -> deliver_request t rq ~fast:true
+      | Some rqs -> List.iter (fun rq -> deliver_request t rq ~fast:true) rqs
     end
     else continue := false
   done
@@ -188,7 +204,9 @@ and deliver_request (t : t) (rq : request) ~(fast : bool) : unit =
     t.on_deliver ~sender:rq.rq_orig rq.rq_payload
   end
 
-(* Leader: order every known unordered request. *)
+(* Leader: order every known unordered request, batched — one VCBC slot
+   carries the whole pending vector (chunked at [max_batch]), so the slot's
+   threshold signature is amortized over all of them. *)
 and leader_pump (t : t) : unit =
   if (not t.in_recovery) && leader t = t.rt.Runtime.me then begin
     (* Canonical (orig, cseq) order: the sequence numbers the leader assigns
@@ -200,14 +218,33 @@ and leader_pump (t : t) : unit =
           else Some rq)
         (Det.bindings t.requests ~compare:Det.by_int_pair)
     in
+    let cap = t.rt.Runtime.cfg.Config.max_batch in
+    let rec chunks = function
+      | [] -> []
+      | l ->
+        let rec take k acc = function
+          | x :: rest when k > 0 -> take (k - 1) (x :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let batch, rest = take cap [] l in
+        batch :: chunks rest
+    in
     List.iter
-      (fun rq ->
-        Hashtbl.replace t.assigned_ids (rq.rq_orig, rq.rq_cseq) ();
-        let seq = t.next_assign in
-        t.next_assign <- seq + 1;
-        Consistent_broadcast.send (get_inst t ~seq)
-          (Wire.encode (fun b -> enc_request b rq)))
-      pending
+      (fun batch ->
+        if t.next_assign - t.vcbc_prefix < max_outstanding then begin
+          List.iter
+            (fun rq -> Hashtbl.replace t.assigned_ids (rq.rq_orig, rq.rq_cseq) ())
+            batch;
+          let seq = t.next_assign in
+          t.next_assign <- seq + 1;
+          Trace.Ctx.observe (trace t)
+            ~buckets:[| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512. |]
+            "opt.batch_occupancy"
+            (float_of_int (List.length batch));
+          Consistent_broadcast.send (get_inst t ~seq)
+            (Wire.encode (fun b -> Wire.Enc.list b enc_request batch))
+        end)
+      (chunks pending)
   end
 
 (* --- complaints and recovery --- *)
@@ -386,19 +423,16 @@ and finish_recovery (t : t) ~(epoch : int) (decided : string) : unit =
        in
        List.iteri
          (fun s closing ->
-           let payload =
+           let slot =
              match Hashtbl.find_opt t.ordered s with
-             | Some rq -> Some rq
+             | Some rqs -> Some rqs
              | None ->
                (match Consistent_broadcast.payload_of_closing closing with
                 | None -> None
-                | Some p ->
-                  (match Wire.decode p (fun d -> dec_request d) with
-                   | Some rq -> Some rq
-                   | None -> None))
+                | Some p -> Wire.decode p (fun d -> Wire.Dec.list d dec_request))
            in
-           match payload with
-           | Some rq -> deliver_request t rq ~fast:false
+           match slot with
+           | Some rqs -> List.iter (fun rq -> deliver_request t rq ~fast:false) rqs
            | None -> ())
          best);
     (* Move to the next epoch under the next leader. *)

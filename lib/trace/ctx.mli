@@ -8,6 +8,8 @@ type t
 val create :
   sink:Sink.t ref -> metrics:Metrics.t -> now:(unit -> float) -> party:int ->
   t
+(** A context reading the clock through [now] and recording as [party];
+    [sink] is aliased, not copied, so installing a sink later is seen. *)
 
 val null : unit -> t
 (** A context that never records anything (private sink ref and registry). *)
@@ -17,8 +19,13 @@ val enabled : t -> bool
     argument building should test this first. *)
 
 val metrics : t -> Metrics.t
+(** The shared metrics registry this context records into. *)
+
 val party : t -> int
+(** The owning party's index. *)
+
 val now : t -> float
+(** The current virtual time, read through the context's clock. *)
 
 val emit_at :
   t -> time:float -> pid:string -> cat:string -> ph:Event.phase ->
@@ -29,14 +36,17 @@ val emit_at :
 val span_begin :
   t -> pid:string -> cat:string -> ?args:(string * Event.arg) list ->
   string -> unit
+(** Open a duration span at the current time; pair with {!span_end}. *)
 
 val span_end :
   t -> pid:string -> cat:string -> ?args:(string * Event.arg) list ->
   string -> unit
+(** Close the innermost open span with the same name/pid. *)
 
 val instant :
   t -> pid:string -> cat:string -> ?level:Event.level ->
   ?args:(string * Event.arg) list -> string -> unit
+(** Emit a point-in-time event at the current clock. *)
 
 (** {2 Metrics conveniences}
 
@@ -44,5 +54,11 @@ val instant :
     plain sorted dump. *)
 
 val count : t -> string -> float -> unit
+(** Add to the per-party counter [name] (created on first use). *)
+
 val incr : t -> string -> unit
+(** [count t name 1.0]. *)
+
 val observe : t -> ?buckets:float array -> string -> float -> unit
+(** Record one sample into the per-party histogram [name]; [buckets]
+    (upper bounds) only takes effect when the histogram is created. *)

@@ -31,9 +31,13 @@ type t = {
 val make :
   ?level:level -> ?args:(string * arg) list -> time:float -> party:int ->
   pid:string -> cat:string -> ph:phase -> string -> t
+(** Build a record; [level] defaults to [Info], [args] to []. *)
 
 val phase_letter : phase -> string
+(** The Chrome trace-event phase letter ("B", "E", "i" or "C"). *)
+
 val level_name : level -> string
+(** ["info"] or ["warn"]. *)
 
 val escape : string -> string
 (** JSON string escaping (quotes not included). *)
@@ -42,4 +46,7 @@ val float_str : float -> string
 (** Deterministic fixed-point float rendering used by every sink. *)
 
 val arg_json : arg -> string
+(** One argument value as JSON. *)
+
 val args_json : (string * arg) list -> string
+(** An argument list as one JSON object (field order preserved). *)

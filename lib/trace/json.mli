@@ -10,6 +10,7 @@ type value =
   | Obj of (string * value) list
 
 val parse : string -> (value, string) result
+(** Parse one JSON document; [Error] carries a position-annotated reason. *)
 
 val parse_lines : string -> (value list, string) result
 (** Parse a JSONL document: one JSON value per non-empty line. *)
@@ -18,5 +19,10 @@ val member : string -> value -> value option
 (** Object field lookup; [None] on missing field or non-object. *)
 
 val str_opt : value -> string option
+(** The string if the value is a [Str], else [None]. *)
+
 val num_opt : value -> float option
+(** The number if the value is a [Num], else [None]. *)
+
 val list_opt : value -> value list option
+(** The elements if the value is a [List], else [None]. *)

@@ -7,6 +7,7 @@ type counter
 type hist
 
 val create : unit -> t
+(** An empty registry. *)
 
 val default_buckets : float array
 (** Latency bucket upper bounds (seconds) spanning the paper's measurement
@@ -18,10 +19,19 @@ val counter : t -> string -> counter
 (** Get or create.  @raise Invalid_argument if the name is a histogram. *)
 
 val add : counter -> float -> unit
+(** Add a (possibly negative) amount. *)
+
 val inc : counter -> unit
+(** [add c 1.0]. *)
+
 val set : counter -> float -> unit
+(** Overwrite the value (gauge-style use). *)
+
 val value : counter -> float
+(** The current value. *)
+
 val counter_name : counter -> string
+(** The registered name. *)
 
 (** {2 Histograms} *)
 
@@ -36,9 +46,16 @@ val observe : hist -> float -> unit
     or in the overflow bucket. *)
 
 val hist_count : hist -> int
+(** Observations recorded so far. *)
+
 val hist_sum : hist -> float
+(** Sum of all observed values. *)
+
 val hist_mean : hist -> float
+(** [hist_sum / hist_count]; 0 on an empty histogram. *)
+
 val hist_name : hist -> string
+(** The registered name. *)
 
 val hist_buckets : hist -> (float * int) list
 (** (upper bound, count) pairs; the overflow bucket reports [infinity]. *)
@@ -60,7 +77,10 @@ val hists : t -> hist list
 (** All histograms, sorted by name. *)
 
 val find_counter : t -> string -> counter option
+(** Look up a counter without creating it. *)
+
 val find_hist : t -> string -> hist option
+(** Look up a histogram without creating it. *)
 
 val to_json : t -> string
 (** The whole registry as one deterministic JSON object. *)

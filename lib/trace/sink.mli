@@ -10,8 +10,13 @@ type t =
   | Fn of (Event.t -> unit)
 
 val null : t
+(** The discarding sink ([Null]). *)
+
 val enabled : t -> bool
+(** False exactly for {!null} — the fast-path test at every site. *)
+
 val emit : t -> Event.t -> unit
+(** Hand one record to the sink (no-op on {!null}). *)
 
 val jsonl_line : Event.t -> string
 (** One event as a single-line JSON object (no trailing newline). *)
@@ -30,8 +35,13 @@ type chrome
     threads. *)
 
 val chrome : unit -> chrome
+(** Fresh, empty buffering state. *)
+
 val chrome_sink : chrome -> t
+(** The sink feeding that state. *)
+
 val chrome_count : chrome -> int
+(** Events buffered so far. *)
 
 val chrome_contents : chrome -> string
 (** Render the buffered events as a complete Chrome trace JSON document.

@@ -13,7 +13,7 @@
      majority, and only for messages submitted by never-degraded honest
      senders. *)
 
-type kind = Reliable | Consistent | Aba | Mvba | Atomic | Secure
+type kind = Reliable | Consistent | Aba | Mvba | Atomic | Secure | Throughput
 
 let kind_to_string (k : kind) : string =
   match k with
@@ -23,6 +23,7 @@ let kind_to_string (k : kind) : string =
   | Mvba -> "mvba"
   | Atomic -> "atomic"
   | Secure -> "secure"
+  | Throughput -> "throughput"
 
 let kind_of_string (s : string) : kind option =
   match s with
@@ -32,6 +33,7 @@ let kind_of_string (s : string) : kind option =
   | "mvba" -> Some Mvba
   | "atomic" -> Some Atomic
   | "secure" -> Some Secure
+  | "throughput" -> Some Throughput
   | _ -> None
 
 type obs = {
@@ -117,7 +119,7 @@ let agreement : oracle =
           | Some other ->
             Fail (Printf.sprintf "honest decisions differ: %S vs %S" first other)
           | None -> Pass))
-    | Reliable | Consistent | Atomic | Secure ->
+    | Reliable | Consistent | Atomic | Secure | Throughput ->
       let honest_parties = List.filter (honest o) (parties o) in
       let per_origin (p : int) (origin : int) : string list =
         List.filter_map
@@ -179,7 +181,7 @@ let total_order : oracle =
   let check (o : obs) : verdict =
     match o.kind with
     | Reliable | Consistent | Aba | Mvba -> Pass
-    | Atomic | Secure ->
+    | Atomic | Secure | Throughput ->
       let honest_parties = List.filter (honest o) (parties o) in
       let logs = List.map (fun p -> (p, o.delivered.(p))) honest_parties in
       let breach =
@@ -259,7 +261,7 @@ let integrity : oracle =
 let validity : oracle =
   let check (o : obs) : verdict =
     match o.kind with
-    | Reliable | Consistent | Atomic | Secure -> Pass
+    | Reliable | Consistent | Atomic | Secure | Throughput -> Pass
     | Aba | Mvba ->
       if o.corrupted <> [] then Pass
       else begin
@@ -319,7 +321,7 @@ let liveness : oracle =
          with
          | Some p -> Fail (Printf.sprintf "party %d never decided" p)
          | None -> Pass)
-      | Reliable | Consistent | Atomic | Secure ->
+      | Reliable | Consistent | Atomic | Secure | Throughput ->
         let required =
           List.sort cmp_entry
             (List.filter (fun (origin, _) -> steady o origin) o.sent)
@@ -380,4 +382,5 @@ let all (k : kind) : oracle list =
   match k with
   | Reliable | Consistent -> [ agreement; integrity; liveness; flags ]
   | Aba | Mvba -> [ agreement; validity; liveness; flags ]
-  | Atomic | Secure -> [ agreement; total_order; integrity; liveness; flags ]
+  | Atomic | Secure | Throughput ->
+    [ agreement; total_order; integrity; liveness; flags ]

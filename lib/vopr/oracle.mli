@@ -16,6 +16,10 @@ type kind =
   | Mvba  (** multi-valued Byzantine agreement *)
   | Atomic  (** atomic broadcast channel (total order) *)
   | Secure  (** secure causal atomic channel *)
+  | Throughput
+      (** atomic broadcast under bursty multi-payload traffic: the same
+          oracle suite as the [Atomic] kind, run against rounds whose decided
+          batches carry many payloads per party *)
 
 val kind_to_string : kind -> string
 (** Lower-case CLI name, e.g. ["atomic"]. *)

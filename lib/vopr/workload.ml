@@ -38,7 +38,7 @@ let no_tweaks : tweaks =
 let byz_supported (k : Oracle.kind) : bool =
   match k with
   | Oracle.Reliable | Oracle.Consistent | Oracle.Aba -> true
-  | Oracle.Mvba | Oracle.Atomic | Oracle.Secure -> false
+  | Oracle.Mvba | Oracle.Atomic | Oracle.Secure | Oracle.Throughput -> false
 
 (* Key material is independent of the run seed; share it across the sweep. *)
 let dealer_cache : (string, Dealer.t) Hashtbl.t = Hashtbl.create 4
@@ -90,7 +90,8 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
     Invariant.flag (Cluster.runtime c 0).Runtime.inv ~offender:1
       "vopr planted spurious flag";
   (match kind with
-   | Oracle.Reliable | Oracle.Consistent | Oracle.Atomic | Oracle.Secure ->
+   | Oracle.Reliable | Oracle.Consistent | Oracle.Atomic | Oracle.Secure
+   | Oracle.Throughput ->
      let chans : chan option array = Array.make n None in
      List.iter
        (fun p ->
@@ -110,7 +111,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
                   Consistent_channel.create rt ~pid:"vopr" ~on_deliver ()
                 in
                 { send = (fun m -> Consistent_channel.send ch m) }
-              | Oracle.Atomic ->
+              | Oracle.Atomic | Oracle.Throughput ->
                 let ch = Atomic_channel.create rt ~pid:"vopr" ~on_deliver () in
                 { send = (fun m -> Atomic_channel.send ch m) }
               | Oracle.Secure ->
@@ -123,7 +124,16 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
          chans.(p) <- Some ch)
        honest;
      (* Two payloads per honest party, one burst at t=0 and one at t=2
-        virtual seconds, so destructive mutations land mid-traffic. *)
+        virtual seconds, so destructive mutations land mid-traffic.  The
+        throughput workload sends four-payload bursts instead, so decided
+        batches carry multi-item vectors and the oracles check the
+        batched delivery path (deterministic union order, batch-wide
+        catch-up) under the same adversarial schedules. *)
+     let times =
+       match kind with
+       | Oracle.Throughput -> [ 0.0; 0.0; 0.0; 0.0; 2.0; 2.0; 2.0; 2.0 ]
+       | _ -> [ 0.0; 2.0 ]
+     in
      List.iter
        (fun p ->
          List.iteri
@@ -139,7 +149,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
              in
              if time <= 0.0 then submit ()
              else Cluster.at c ~time submit)
-           [ 0.0; 2.0 ])
+           times)
        honest;
      List.iter
        (fun p ->
@@ -153,7 +163,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
            Faults.equivocating_cbc_sender c ~party:p ~pid:ipid ~to_a
              ~a:(framed "equiv-a") ~b:(framed "equiv-b")
          | Oracle.Reliable | Oracle.Atomic | Oracle.Secure | Oracle.Aba
-         | Oracle.Mvba ->
+         | Oracle.Mvba | Oracle.Throughput ->
            let to_a = match honest with q0 :: _ -> [ q0 ] | [] -> [] in
            Faults.equivocate_send c ~party:p ~pid:ipid ~to_a
              ~a:(framed "equiv-a") ~b:(framed "equiv-b"))

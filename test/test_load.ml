@@ -1,0 +1,118 @@
+(* Tests for the load generator: arrival-process statistics and the
+   open/closed-loop client bookkeeping, all on virtual time. *)
+
+let suite = [
+  Alcotest.test_case "poisson gaps: nonnegative, mean ~ 1/rate" `Quick (fun () ->
+    let rate = 50.0 in
+    let a = Load.Arrival.poisson ~rate (Util.drbg ~seed:"poisson" ()) in
+    let n = 5000 in
+    let sum = ref 0.0 in
+    for _ = 1 to n do
+      let g = Load.Arrival.next_gap a in
+      Alcotest.(check bool) "finite, >= 0" true (Float.is_finite g && g >= 0.0);
+      sum := !sum +. g
+    done;
+    let mean = !sum /. float_of_int n in
+    Alcotest.(check bool)
+      (Printf.sprintf "mean %.4f within 10%% of %.4f" mean (1.0 /. rate))
+      true
+      (Float.abs (mean -. (1.0 /. rate)) < 0.1 /. rate));
+
+  Alcotest.test_case "bursty gaps: zero within bursts, same long-run rate"
+    `Quick (fun () ->
+      let rate = 40.0 and burst = 4 in
+      let a =
+        Load.Arrival.bursty ~rate ~burst (Util.drbg ~seed:"bursty" ())
+      in
+      let n = 4000 in
+      let zeros = ref 0 and sum = ref 0.0 in
+      for _ = 1 to n do
+        let g = Load.Arrival.next_gap a in
+        if g = 0.0 then incr zeros;
+        sum := !sum +. g
+      done;
+      (* exactly burst-1 of every burst arrivals have zero gap *)
+      Alcotest.(check int) "zero-gap fraction" (n * (burst - 1) / burst) !zeros;
+      let mean = !sum /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "mean gap %.4f within 15%% of %.4f" mean (1.0 /. rate))
+        true
+        (Float.abs (mean -. (1.0 /. rate)) < 0.15 /. rate));
+
+  Alcotest.test_case "fixed gaps: constant period" `Quick (fun () ->
+    let a = Load.Arrival.fixed ~period:0.25 in
+    for _ = 1 to 10 do
+      Alcotest.(check (float 1e-12)) "period" 0.25 (Load.Arrival.next_gap a)
+    done);
+
+  Alcotest.test_case "arrival: invalid parameters rejected" `Quick (fun () ->
+    Alcotest.check_raises "poisson rate 0"
+      (Invalid_argument "Arrival.poisson: rate must be > 0") (fun () ->
+        ignore (Load.Arrival.poisson ~rate:0.0 (Util.drbg ())));
+    Alcotest.check_raises "bursty burst 0"
+      (Invalid_argument "Arrival.bursty: burst must be >= 1") (fun () ->
+        ignore (Load.Arrival.bursty ~rate:1.0 ~burst:0 (Util.drbg ())));
+    Alcotest.check_raises "fixed negative"
+      (Invalid_argument "Arrival.fixed: period must be >= 0") (fun () ->
+        ignore (Load.Arrival.fixed ~period:(-1.0))));
+
+  Alcotest.test_case "closed loop: one outstanding, latency recorded" `Quick
+    (fun () ->
+      let engine = Sim.Engine.create ~seed:"gen-closed" () in
+      let g = Load.Gen.create ~engine in
+      let submitted = ref [] in
+      (* A fake channel with a constant 0.05 s commit latency: echo every
+         submitted marker back to the client's party after the delay. *)
+      let submit p =
+        submitted := p :: !submitted;
+        Sim.Engine.schedule engine ~delay:0.05 (fun () ->
+          Load.Gen.deliver g ~party:0 p)
+      in
+      Load.Gen.add_closed g ~party:0 ~think:0.1 ~until:10.0 ~submit;
+      Alcotest.(check int) "issues immediately" 1 (Load.Gen.issued g);
+      ignore (Sim.Engine.run engine);
+      (* cycle = 0.05 commit + 0.1 think = 0.15 s -> ~66 completions in 10 s *)
+      Alcotest.(check bool) "many completions" true (Load.Gen.completed g >= 50);
+      Alcotest.(check bool) "at most one outstanding" true
+        (Load.Gen.issued g - Load.Gen.completed g <= 1);
+      List.iter
+        (fun l ->
+          Alcotest.(check (float 1e-9)) "latency = commit delay" 0.05 l)
+        (Load.Gen.latencies g));
+
+  Alcotest.test_case "closed loop: foreign payloads and parties ignored" `Quick
+    (fun () ->
+      let engine = Sim.Engine.create ~seed:"gen-ignore" () in
+      let g = Load.Gen.create ~engine in
+      let marker = ref "" in
+      Load.Gen.add_closed g ~party:0 ~think:1.0 ~until:100.0
+        ~submit:(fun p -> marker := p);
+      Alcotest.(check int) "one issued" 1 (Load.Gen.issued g);
+      (* not a marker at all *)
+      Load.Gen.deliver g ~party:0 "application payload";
+      (* a marker-shaped payload for a client id that does not exist *)
+      Load.Gen.deliver g ~party:0 "ld|99|0";
+      (* our marker, but observed at a different party *)
+      Load.Gen.deliver g ~party:1 !marker;
+      Alcotest.(check int) "nothing completed" 0 (Load.Gen.completed g);
+      (* the real completion *)
+      Load.Gen.deliver g ~party:0 !marker;
+      Alcotest.(check int) "completed" 1 (Load.Gen.completed g);
+      (* a duplicate delivery of the same marker is not double-counted *)
+      Load.Gen.deliver g ~party:0 !marker;
+      Alcotest.(check int) "exactly once" 1 (Load.Gen.completed g));
+
+  Alcotest.test_case "open loop: issues at arrival instants, ignores overload"
+    `Quick (fun () ->
+      let engine = Sim.Engine.create ~seed:"gen-open" () in
+      let g = Load.Gen.create ~engine in
+      let count = ref 0 in
+      (* Nothing is ever delivered back: an open-loop client keeps issuing
+         on its arrival process anyway. *)
+      Load.Gen.add_open g ~party:0 ~arrival:(Load.Arrival.fixed ~period:0.5)
+        ~until:5.0 ~submit:(fun _ -> incr count);
+      ignore (Sim.Engine.run engine);
+      Alcotest.(check int) "arrivals at 0.5 .. 5.0" 10 !count;
+      Alcotest.(check int) "issued matches" 10 (Load.Gen.issued g);
+      Alcotest.(check int) "none completed" 0 (Load.Gen.completed g));
+]

@@ -12,6 +12,8 @@ let () =
       ("broadcast", Test_broadcast.suite);
       ("agreement", Test_agreement.suite);
       ("channels", Test_channels.suite);
+      ("batching", Test_batching.suite);
+      ("load", Test_load.suite);
       ("optimistic", Test_optimistic.suite);
       ("system", Test_system.suite);
       ("properties", Test_properties.suite);
