@@ -150,9 +150,9 @@ let dec_entry (d : Wire.Dec.t) : entry =
    digest of the whole payload vector — per-round crypto cost is constant
    in the vector length. *)
 let init_stmt (t : t) ~(round : int) ~(signer : int) (items : item list) : string =
-  let digest =
-    Hashes.Sha256.digest (Wire.encode (fun b -> Wire.Enc.list b enc_item items))
-  in
+  let encoded = Wire.encode (fun b -> Wire.Enc.list b enc_item items) in
+  Charge.hash t.rt.Runtime.charge ~bytes:(String.length encoded);
+  let digest = Hashes.Sha256.digest encoded in
   Printf.sprintf "abc-init|%s|%d|%d|%s" t.pid round signer digest
 
 let mvba_pid (t : t) (round : int) : string = Printf.sprintf "%s/mv.%d" t.pid round

@@ -99,4 +99,45 @@ let suite = [
       (fun r -> Alcotest.(check int) "state" 42 (Service.state r))
       replicas;
     Alcotest.(check bool) "took realistic WAN time" true (Cluster.now c > 1.0));
+
+  Alcotest.test_case "INIT vector hashing is charged to the virtual meter" `Quick
+    (fun () ->
+      (* Regression: init_stmt hashes the whole encoded payload vector but
+         used to skip Charge.hash, so Sim.Cost under-reported every round.
+         A send on a fresh channel synchronously signs its INIT; the meter
+         delta must cover one RSA signature PLUS a hash of at least the
+         payload bytes — and no more than the encoded vector's few bytes of
+         framing on top. *)
+      let c = Util.cluster ~seed:"hash-charge" () in
+      let rt = Cluster.runtime c 0 in
+      let ch =
+        Atomic_channel.create rt ~pid:"hc"
+          ~on_deliver:(fun ~sender:_ _ -> ()) ()
+      in
+      let meter = rt.Runtime.charge.Charge.meter in
+      let scratch () =
+        { Charge.meter = Sim.Cost.create_meter ~exp_ms:meter.Sim.Cost.exp_ms;
+          cfg = rt.Runtime.cfg; trace = Trace.Ctx.null () }
+      in
+      let rsa_only =
+        let s = scratch () in
+        Charge.rsa_sign s;
+        s.Charge.meter.Sim.Cost.total_ms
+      in
+      let hash_of bytes =
+        let s = scratch () in
+        Charge.hash s ~bytes;
+        s.Charge.meter.Sim.Cost.total_ms
+      in
+      let payload = String.make 2048 'p' in
+      let before = meter.Sim.Cost.total_ms in
+      Atomic_channel.send ch payload;
+      let delta = meter.Sim.Cost.total_ms -. before in
+      let floor = rsa_only +. hash_of (String.length payload) in
+      let ceiling = rsa_only +. hash_of (String.length payload + 128) in
+      if delta < floor then
+        Alcotest.failf "INIT under-charged: %.6f ms < %.6f ms" delta floor;
+      if delta > ceiling then
+        Alcotest.failf "INIT over-charged: %.6f ms > %.6f ms" delta ceiling;
+      Atomic_channel.abort ch);
 ]
