@@ -1,0 +1,133 @@
+(* The repo-root lint policy file (.sintra-lint).
+
+   Two directive kinds, one per line, [#] starts a comment:
+
+     allow <rule> <path-prefix>
+     baseline <rule> <path-prefix> <count>
+
+   [allow] suppresses a rule under a path outright — standing policy, e.g.
+   the adversary harness whose CPU is deliberately unmetered.  [baseline]
+   tolerates up to <count> findings — pre-existing debt being paid down;
+   counts rather than line numbers, so unrelated edits do not shift the
+   baseline.  Precedence: inline (* lint: allow ... *) directives and
+   [allow] lines both suppress unconditionally; [baseline] only absorbs
+   findings neither of those caught, and anything beyond its count is NEW
+   and fails the build.
+
+   Paths are matched by whole segments after dropping [.]/[..] (so the
+   staged-test roots [../lib/...] match a [lib/...] prefix). *)
+
+type entry = {
+  e_rule : string;
+  e_prefix : string list;        (* normalized path segments *)
+  e_count : int;                 (* max_int for allow entries *)
+}
+
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+
+let normalize (path : string) : string list =
+  String.split_on_char '/' path
+  |> List.filter (fun s -> s <> "" && s <> "." && s <> "..")
+
+let rec is_prefix (pre : string list) (segs : string list) : bool =
+  match pre, segs with
+  | [], _ -> true
+  | p :: pre', s :: segs' -> p = s && is_prefix pre' segs'
+  | _ :: _, [] -> false
+
+let known_rules : string list =
+  List.map fst Rules.rule_names @ List.map fst Sema.rule_names
+
+let parse (text : string) : (t, string) result =
+  let err = ref None in
+  let entries = ref [] in
+  List.iteri
+    (fun i line ->
+      if !err = None then begin
+        let line =
+          match String.index_opt line '#' with
+          | Some k -> String.sub line 0 k
+          | None -> line
+        in
+        let words =
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun w -> w <> "")
+        in
+        let fail msg =
+          err := Some (Printf.sprintf "line %d: %s" (i + 1) msg)
+        in
+        let check_rule rule k =
+          if not (List.mem rule known_rules) then
+            fail (Printf.sprintf "unknown rule %S" rule)
+          else k ()
+        in
+        match words with
+        | [] -> ()
+        | [ "allow"; rule; prefix ] ->
+          check_rule rule (fun () ->
+            entries :=
+              { e_rule = rule; e_prefix = normalize prefix;
+                e_count = max_int }
+              :: !entries)
+        | [ "baseline"; rule; prefix; count ] ->
+          check_rule rule (fun () ->
+            match int_of_string_opt count with
+            | Some c when c >= 0 ->
+              entries :=
+                { e_rule = rule; e_prefix = normalize prefix; e_count = c }
+                :: !entries
+            | _ -> fail (Printf.sprintf "bad count %S" count))
+        | w :: _ -> fail (Printf.sprintf "unrecognized directive %S" w)
+      end)
+    (String.split_on_char '\n' text);
+  match !err with
+  | Some e -> Error e
+  | None -> Ok { entries = List.rev !entries }
+
+let load (path : string) : (t, string) result =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | text ->
+    (match parse text with
+     | Ok t -> Ok t
+     | Error e -> Error (path ^ ": " ^ e))
+  | exception Sys_error e -> Error e
+
+(* Partition findings into (new, suppressed-count).  Findings must arrive
+   in a deterministic order — baseline budgets absorb the first <count>
+   matches. *)
+let apply (t : t) (findings : Rules.finding list) :
+    Rules.finding list * int =
+  let remaining = Array.of_list (List.map (fun e -> e.e_count) t.entries) in
+  let entries = Array.of_list t.entries in
+  let suppressed = ref 0 in
+  let kept =
+    List.filter
+      (fun (f : Rules.finding) ->
+        let segs = normalize f.Rules.file in
+        let rec try_entries k =
+          if k >= Array.length entries then true
+          else
+            let e = entries.(k) in
+            if e.e_rule = f.Rules.rule && is_prefix e.e_prefix segs
+               && remaining.(k) > 0
+            then begin
+              if remaining.(k) <> max_int then
+                remaining.(k) <- remaining.(k) - 1;
+              incr suppressed;
+              false
+            end
+            else try_entries (k + 1)
+        in
+        try_entries 0)
+      findings
+  in
+  (kept, !suppressed)

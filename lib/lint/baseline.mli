@@ -1,0 +1,32 @@
+(** The repo-root lint policy file ([.sintra-lint]): standing [allow]
+    entries and count-based [baseline] debt, complementing the inline
+    [lint: allow] comment directives.
+
+    Grammar (one directive per line, [#] comments):
+    {v
+    allow <rule> <path-prefix>
+    baseline <rule> <path-prefix> <count>
+    v}
+
+    Precedence: inline comment directives and [allow] lines suppress
+    unconditionally; a [baseline] entry absorbs up to [<count>] remaining
+    findings under its prefix, and anything beyond that is new and fails
+    the lint run.  Path prefixes match whole segments after dropping
+    [.]/[..], so staged-tree paths like [../lib/sintra/x.ml] match a
+    [lib/sintra] prefix. *)
+
+type t
+
+val empty : t
+
+val parse : string -> (t, string) result
+(** Parse policy text; [Error] names the offending line (unknown rule,
+    malformed count, unrecognized directive). *)
+
+val load : string -> (t, string) result
+(** [parse] over a file on disk. *)
+
+val apply : t -> Rules.finding list -> Rules.finding list * int
+(** [(new_findings, suppressed_count)].  Findings should arrive in the
+    deterministic (file, line) order produced by [Lint.check_sources] so
+    baseline budgets absorb a stable subset. *)

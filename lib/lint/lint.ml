@@ -9,7 +9,7 @@ type finding = Rules.finding = {
   message : string;
 }
 
-let rule_names : (string * string) list = Rules.rule_names
+let rule_names : (string * string) list = Rules.rule_names @ Sema.rule_names
 
 (* Recursively collect .ml/.mli files under the given roots, in a sorted,
    platform-independent order.  Hidden and build directories are skipped. *)
@@ -33,12 +33,20 @@ let discover (roots : string list) : string list =
   List.rev (List.fold_left walk [] roots)
 
 let check_sources (sources : (string * string) list) : finding list =
-  let srcs = List.map (fun (path, text) -> Source.of_string ~path text) sources in
+  let pairs =
+    List.map
+      (fun (path, text) -> (Source.of_string ~path text, Lex.tokenize text))
+      sources
+  in
+  let srcs = List.map fst pairs in
   let by_location a b =
     let c = String.compare a.file b.file in
-    if c <> 0 then c else Int.compare a.line b.line
+    if c <> 0 then c
+    else
+      let c = Int.compare a.line b.line in
+      if c <> 0 then c else String.compare a.rule b.rule
   in
-  List.sort by_location (Rules.check_tree srcs)
+  List.sort by_location (Rules.check_tree srcs @ Sema.check_tree pairs)
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in
@@ -54,13 +62,66 @@ let render (f : finding) : string =
   Printf.sprintf "%s:%d: [%s] %s" f.file f.line f.rule f.message
 
 module Doccheck = Doccheck
+module Baseline = Baseline
+module Lex = Lex
+module Sema = Sema
 
-let summary ~(files : int) (findings : finding list) : string =
+(* Findings per rule, in rule_names order, zero-count rules included — the
+   driver's per-rule summary table. *)
+let per_rule (findings : finding list) : (string * int) list =
+  List.map
+    (fun (rule, _) ->
+      (rule, List.length (List.filter (fun f -> f.rule = rule) findings)))
+    rule_names
+
+let summary ?(suppressed = 0) ~(files : int) (findings : finding list) :
+    string =
+  let supp =
+    if suppressed = 0 then ""
+    else Printf.sprintf " (%d suppressed by policy)" suppressed
+  in
   if findings = [] then
-    Printf.sprintf "sintra-lint: OK — %d files, %d rules, 0 violations"
-      files (List.length Rules.rule_names)
+    Printf.sprintf "sintra-lint: OK — %d files, %d rules, 0 new violations%s"
+      files (List.length rule_names) supp
   else
-    Printf.sprintf "sintra-lint: %d violation%s in %d files"
+    Printf.sprintf "sintra-lint: %d new violation%s in %d files%s"
       (List.length findings)
       (if List.length findings = 1 then "" else "s")
-      files
+      files supp
+
+(* --- machine-readable output --- *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_json ~(files : int) ~(suppressed : int) (findings : finding list) :
+    string =
+  let finding_json (f : finding) =
+    Printf.sprintf
+      "{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+      (json_escape f.file) f.line (json_escape f.rule) (json_escape f.message)
+  in
+  let rules_json =
+    per_rule findings
+    |> List.map (fun (rule, count) ->
+         Printf.sprintf "\"%s\":%d" (json_escape rule) count)
+    |> String.concat ","
+  in
+  Printf.sprintf
+    "{\"tool\":\"sintra-lint\",\"files\":%d,\"suppressed\":%d,\"new\":%d,\
+     \"by_rule\":{%s},\"findings\":[%s]}"
+    files suppressed (List.length findings) rules_json
+    (String.concat "," (List.map finding_json findings))

@@ -30,4 +30,21 @@ module Doccheck : module type of Doccheck
 (** The documentation checker behind the [@doc] alias (doc coverage of the
     strict interfaces, [\{!...\}] reference resolution). *)
 
-val summary : files:int -> finding list -> string
+module Baseline : module type of Baseline
+(** The [.sintra-lint] policy file: [allow] and count-based [baseline]
+    entries applied after the inline comment directives. *)
+
+module Lex : module type of Lex
+(** The lossless tokenizer behind the semantic rules. *)
+
+module Sema : module type of Sema
+(** The semantic rule family (S1–S4). *)
+
+val per_rule : finding list -> (string * int) list
+(** Finding counts per rule, in [rule_names] order (zero counts kept). *)
+
+val summary : ?suppressed:int -> files:int -> finding list -> string
+
+val render_json : files:int -> suppressed:int -> finding list -> string
+(** One JSON object: [{"tool","files","suppressed","new","by_rule",
+    "findings":[{"file","line","rule","message"}]}]. *)

@@ -1,0 +1,36 @@
+(** The semantic lint rules (S1–S4), running on Lex token streams grouped
+    into top-level module items.
+
+    - [determinism] (S1): [Unix.*], [Random.*], [Sys.time], [Hashtbl.hash]
+      in protocol ([lib/sintra]), simulator ([lib/sim]), test, or bench
+      code — wall clocks and OS entropy break replayable simulation.
+    - [charge-coverage] (S2): a priced crypto operation ([Tsig],
+      [Threshold_coin], [Threshold_enc], [Rsa], [Sha256]) in a protocol
+      module whose enclosing top-level function never calls the paired
+      [Charge.*] entry, silently corrupting [Sim.Cost].
+    - [handler-flow] (S3): a constructor of a protocol-private variant
+      must be both constructed (send path) and matched (receive path);
+      constructors exported through the companion [.mli] are exempt.
+    - [quorum-literal] (S4): inline [2t+1]-style arithmetic on [Config.n]
+      / [Config.t]; thresholds must come from the [Config]/[Invariant]
+      helpers. *)
+
+type finding = Rules.finding = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+
+val s1 : string
+val s2 : string
+val s3 : string
+val s4 : string
+
+val rule_names : (string * string) list
+(** [(name, one-line description)] for the S rules. *)
+
+val check_tree : (Source.t * Lex.token list) list -> finding list
+(** Run S1–S4 over the tree; each file is paired with its Lex token
+    stream.  [.mli] files contribute only the S3 public-constructor
+    exemption. *)

@@ -457,7 +457,7 @@ and finish_round (t : t) (round : int) (batch : string) : unit =
     if Hashtbl.mem t.my_init round then
       trace_phase t "round" round Trace.Event.Span_end;
     (* Close once t+1 distinct parties asked. *)
-    if Hashtbl.length t.term_requests >= t.rt.Runtime.cfg.Config.t + 1 then begin
+    if Hashtbl.length t.term_requests >= Config.one_honest t.rt.Runtime.cfg then begin
       t.closed <- true;
       (match t.mvba with Some m -> Array_agreement.abort m | None -> ());
       t.on_close ()
@@ -497,7 +497,7 @@ and try_adopt_claims (t : t) : unit =
     match Hashtbl.find_opt t.claims t.round with
     | None -> ()
     | Some by_batch ->
-      let quorum = t.rt.Runtime.cfg.Config.t + 1 in
+      let quorum = Config.one_honest t.rt.Runtime.cfg in
       let winner = ref None in
       Det.iter by_batch ~compare:String.compare (fun batch senders ->
         if !winner = None && Hashtbl.length senders >= quorum then

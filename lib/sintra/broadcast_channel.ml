@@ -63,7 +63,8 @@ module Make (B : BROADCAST) = struct
       end;
       if framed = frame_term then begin
         Hashtbl.replace t.term_requests sender ();
-        if Hashtbl.length t.term_requests >= t.rt.Runtime.cfg.Config.t + 1 then begin
+        if Hashtbl.length t.term_requests >= Config.one_honest t.rt.Runtime.cfg
+        then begin
           t.closed <- true;
           Array.iter B.abort t.instances;
           t.on_close ()

@@ -61,6 +61,10 @@ let ready_quorum (c : t) : int = (2 * c.t) + 1
 let coin_threshold (c : t) : int = c.t + 1
 let dec_threshold (c : t) : int = c.t + 1
 
+(* The smallest set certain to contain an honest party: READY
+   amplification, batch adoption, termination-request counting. *)
+let one_honest (c : t) : int = c.t + 1
+
 (* Default: real crypto at modest sizes, cost model at the paper's 1024-bit
    RSA / 1024-bit p with 160-bit q. *)
 let make ?(batch_size : int option) ?(max_batch = 256) ?(tsig_scheme = Multi)

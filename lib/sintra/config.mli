@@ -63,6 +63,10 @@ val coin_threshold : t -> int
 val dec_threshold : t -> int
 (** [t + 1] — decryption shares needed by the secure channel. *)
 
+val one_honest : t -> int
+(** [t + 1] — the smallest set certain to contain an honest party (READY
+    amplification, batch adoption, termination-request counting). *)
+
 val make :
   ?batch_size:int -> ?max_batch:int -> ?tsig_scheme:tsig_scheme ->
   ?perm_mode:perm_mode ->

@@ -287,7 +287,8 @@ and on_complain (t : t) ~(src : int) ~(epoch : int) : unit =
   if epoch = t.epoch && not t.in_recovery then begin
     Hashtbl.replace t.complaints src ();
     (* Join once t+1 complain (an honest party is unhappy)... *)
-    if Hashtbl.length t.complaints >= t.rt.Runtime.cfg.Config.t + 1 then complain t;
+    if Hashtbl.length t.complaints >= Config.one_honest t.rt.Runtime.cfg then
+      complain t;
     (* ...and end the epoch at n-t. *)
     if Hashtbl.length t.complaints >= quorum t then start_recovery t
   end

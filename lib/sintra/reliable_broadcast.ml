@@ -100,7 +100,7 @@ let rec handle (t : t) ~src body =
         let count = tally t.readies dg src in
         Invariant.require inv (count <= cfg.Config.n)
           "ready tally exceeds group size";
-        if count >= cfg.Config.t + 1 then send_ready t dg;
+        if count >= Config.one_honest cfg then send_ready t dg;
         if count >= Config.ready_quorum cfg && not t.delivered then begin
           t.delivered <- true;
           if t.ready_sent then

@@ -161,27 +161,325 @@ let test_allow_directive_scope () =
      let a = List.hd xs\n\
      let b = List.hd ys\n"
 
+(* --- S1: determinism --- *)
+
+let test_determinism () =
+  let rule = "determinism" in
+  expect_fires ~rule "lib/sintra/proto.ml" "let now () = Unix.gettimeofday ()\n";
+  expect_fires ~rule "lib/sim/engine2.ml" "let jitter () = Random.float 0.1\n";
+  (* satellite: the rule extends to test/ and bench/ trees *)
+  expect_fires ~rule "test/test_foo.ml" "let t0 = Sys.time ()\n";
+  expect_fires ~rule "bench/b.ml" "let h = Hashtbl.hash key\n";
+  (* outside the deterministic trees the rule is off *)
+  expect_silent ~rule "lib/load/gen.ml" "let now () = Unix.gettimeofday ()\n";
+  expect_silent ~rule "bin/tool.ml" "let t0 = Sys.time ()\n";
+  (* comments and strings never fire *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "(* Unix.gettimeofday would be wrong *)\nlet s = \"Random.int\"\n";
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "(* lint: allow determinism — host-time diagnostics only *)\n\
+     let now () = Unix.gettimeofday ()\n"
+
+(* --- S2: charge-coverage --- *)
+
+let test_charge_coverage () =
+  let rule = "charge-coverage" in
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let check t sh =\n  Tsig.verify_share t.pub ~ctx:t.pid sh\n";
+  (* the paired Charge call in the same top-level function clears it *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let check t sh =\n\
+     \  Charge.tsig_verify_share t.charge;\n\
+     \  Tsig.verify_share t.pub ~ctx:t.pid sh\n";
+  (* a mismatched Charge entry does not: pairing is per-operation *)
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let check t sh =\n\
+     \  Charge.tsig_verify t.charge ~k:2;\n\
+     \  Tsig.verify_share t.pub ~ctx:t.pid sh\n";
+  (* a priced name in type position is not a call (dec_share the type) *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let parse (body : string) : (int * Crypto.Threshold_enc.dec_share) option =\n\
+     \  decode body\n";
+  (* the charging seam itself is exempt *)
+  expect_silent ~rule "lib/sintra/tsig.ml"
+    "let verify t s = Crypto.Threshold_sig.verify t.pub s\n";
+  (* crypto layer is out of scope: the rule guards protocol modules *)
+  expect_silent ~rule "lib/crypto/rsa_test_helper.ml"
+    "let v pk s m = Crypto.Rsa.verify pk ~ctx:\"x\" ~signature:s m\n";
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let check t sh =\n\
+     \  (* lint: allow charge-coverage — adversary-side call *)\n\
+     \  Tsig.verify_share t.pub ~ctx:t.pid sh\n"
+
+(* --- S3: handler-flow --- *)
+
+let decl = "type msg = Ping of int | Pong of int\n"
+
+let test_handler_flow () =
+  let rule = "handler-flow" in
+  (* constructed and matched: clean *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    (decl
+     ^ "let send t = emit t (Ping 1); emit t (Pong 2)\n"
+     ^ "let handle t m = match m with Ping k -> reply t (Pong k) | Pong _ -> ()\n");
+  (* sent but unhandled *)
+  expect_fires ~rule "lib/sintra/proto.ml"
+    (decl
+     ^ "let send t = emit t (Ping 1); emit t (Pong 2)\n"
+     ^ "let handle t m = match m with Ping k -> ignore k | _ -> ()\n");
+  (* matched but never constructed *)
+  expect_fires ~rule "lib/sintra/proto.ml"
+    (decl
+     ^ "let send t = emit t (Ping 1)\n"
+     ^ "let handle t m = match m with Ping k -> ignore k | Pong _ -> ()\n");
+  (* declared and never used at all *)
+  expect_fires ~rule "lib/sintra/proto.ml" decl;
+  (* exported through the .mli: public API, out of the rule's reach *)
+  (match
+     find_rule rule
+       (Lint.check_sources
+          [ ("lib/sintra/proto.ml", decl);
+            ("lib/sintra/proto.mli", decl) ])
+   with
+   | [] -> ()
+   | f :: _ -> Alcotest.failf "public constructor flagged: %s" f.Lint.message);
+  (* exceptions are not message constructors *)
+  expect_silent ~rule "lib/sintra/proto.ml" "exception Violation of string\n";
+  (* out of protocol scope *)
+  expect_silent ~rule "lib/vopr/mutate.ml" decl;
+  expect_silent ~rule "lib/sintra/proto.ml"
+    ("(* lint: allow handler-flow — wire-compat placeholder *)\n" ^ decl)
+
+(* --- S4: quorum-literal --- *)
+
+let test_quorum_literal () =
+  let rule = "quorum-literal" in
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let q t = t.rt.Runtime.cfg.Config.t + 1\n";
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let q cfg = (2 * cfg.Config.t) + 1\n";
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let q cfg = cfg.Config.n - cfg.Config.t\n";
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let third cfg = cfg.Config.n / 3\n";
+  (* party iteration is not quorum arithmetic *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let all cfg = for i = 0 to cfg.Config.n - 1 do ping i done\n";
+  (* the sanctioned helpers *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let q cfg = Config.ready_quorum cfg\n";
+  (* the helpers' own definitions live in config.ml/invariant.ml *)
+  expect_silent ~rule "lib/sintra/config.ml"
+    "let ready_quorum (c : t) : int = (2 * c.t) + 1\n";
+  expect_silent ~rule "lib/load/gen.ml" "let q cfg = cfg.Config.t + 1\n";
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "(* lint: allow quorum-literal — documented special case *)\n\
+     let q cfg = cfg.Config.t + 1\n"
+
+(* --- the tokenizer --- *)
+
+let count_kind (k : Lint.Lex.kind) (toks : Lint.Lex.token list) : int =
+  List.length (List.filter (fun t -> t.Lint.Lex.kind = k) toks)
+
+let expect_roundtrip (text : string) : Lint.Lex.token list =
+  let toks = Lint.Lex.tokenize text in
+  Alcotest.(check string) "round-trip" text (Lint.Lex.concat toks);
+  toks
+
+let test_lex_comments () =
+  let toks =
+    expect_roundtrip "let a = 1 (* outer (* inner *) still outer *) let b = 2\n"
+  in
+  Alcotest.(check int) "one nested comment" 1 (count_kind Lint.Lex.Comment toks);
+  (* a string inside a comment hides a would-be terminator *)
+  let toks = expect_roundtrip "x (* tricky \" *) \" end *) y\n" in
+  Alcotest.(check int) "string-guarded comment" 1
+    (count_kind Lint.Lex.Comment toks);
+  (match List.filter (fun t -> t.Lint.Lex.kind = Lint.Lex.Word) toks with
+   | [ x; y ] ->
+     Alcotest.(check string) "before" "x" x.Lint.Lex.text;
+     Alcotest.(check string) "after" "y" y.Lint.Lex.text
+   | ws -> Alcotest.failf "expected 2 words around comment, got %d" (List.length ws))
+
+let test_lex_literals () =
+  let toks = expect_roundtrip "let s = \"a\\\"b\\\\\" ^ g '\\n' '\\'' 'z'\n" in
+  Alcotest.(check int) "one string" 1 (count_kind Lint.Lex.Str toks);
+  Alcotest.(check int) "three chars" 3 (count_kind Lint.Lex.Chr toks);
+  (* a type variable's quote is not a char literal *)
+  let toks = expect_roundtrip "let f (x : 'a) (y : 'b) = (x, y)\n" in
+  Alcotest.(check int) "no char literals" 0 (count_kind Lint.Lex.Chr toks);
+  (* primes inside identifiers stay in the identifier *)
+  let toks = expect_roundtrip "let x' = f x'' in x'\n" in
+  Alcotest.(check int) "no chars in primed idents" 0 (count_kind Lint.Lex.Chr toks)
+
+let test_lex_quoted_strings () =
+  let toks = expect_roundtrip "let s = {|raw \" (* |} tail\n" in
+  Alcotest.(check int) "one quoted" 1 (count_kind Lint.Lex.Quoted toks);
+  let toks = expect_roundtrip "let s = {id|has |} and \" inside|id} ^ t\n" in
+  Alcotest.(check int) "one id-quoted" 1 (count_kind Lint.Lex.Quoted toks);
+  (match List.find_opt (fun t -> t.Lint.Lex.kind = Lint.Lex.Quoted) toks with
+   | Some q ->
+     Alcotest.(check string) "delimited body"
+       "{id|has |} and \" inside|id}" q.Lint.Lex.text
+   | None -> Alcotest.fail "missing quoted token")
+
+let test_lex_qualified_idents () =
+  let toks =
+    Lint.Lex.significant
+      (expect_roundtrip "let v = t.rt.Runtime.cfg.Config.t + 1\n")
+  in
+  let words = List.filter (fun t -> t.Lint.Lex.kind = Lint.Lex.Word) toks in
+  Alcotest.(check bool) "joined path" true
+    (List.exists
+       (fun t -> t.Lint.Lex.text = "t.rt.Runtime.cfg.Config.t")
+       words)
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+(* The tokenizer meta-test: every .ml/.mli under lib/ round-trips. *)
+let test_lex_roundtrip_tree () =
+  let files = Lint.discover [ "../lib" ] in
+  if List.length files < 50 then
+    Alcotest.failf "round-trip meta-test: only %d files" (List.length files);
+  List.iter
+    (fun path ->
+      let text = read_file path in
+      if Lint.Lex.concat (Lint.Lex.tokenize text) <> text then
+        Alcotest.failf "tokenizer does not round-trip %s" path)
+    files
+
+(* --- machine-readable output --- *)
+
+let test_json_output () =
+  let findings =
+    Lint.check_sources
+      [ ("lib/sintra/proto.ml",
+         "let now () = Unix.gettimeofday ()\n\
+          let q cfg = cfg.Config.t + 1\n");
+        ("lib/sintra/proto.mli", "val now : unit -> float\n") ]
+  in
+  Alcotest.(check int) "two findings" 2 (List.length findings);
+  let js = Lint.render_json ~files:3 ~suppressed:1 findings in
+  match Trace.Json.parse js with
+  | Error e -> Alcotest.failf "--format json output does not parse: %s" e
+  | Ok v ->
+    let str name =
+      match Option.bind (Trace.Json.member name v) Trace.Json.str_opt with
+      | Some s -> s
+      | None -> Alcotest.failf "missing string field %s" name
+    in
+    let num name =
+      match Option.bind (Trace.Json.member name v) Trace.Json.num_opt with
+      | Some n -> int_of_float n
+      | None -> Alcotest.failf "missing numeric field %s" name
+    in
+    Alcotest.(check string) "tool" "sintra-lint" (str "tool");
+    Alcotest.(check int) "files" 3 (num "files");
+    Alcotest.(check int) "suppressed" 1 (num "suppressed");
+    Alcotest.(check int) "new" 2 (num "new");
+    (match Option.bind (Trace.Json.member "findings" v) Trace.Json.list_opt with
+     | Some items ->
+       Alcotest.(check int) "findings array" 2 (List.length items);
+       List.iter
+         (fun item ->
+           List.iter
+             (fun field ->
+               if Trace.Json.member field item = None then
+                 Alcotest.failf "finding lacks %s" field)
+             [ "file"; "line"; "rule"; "message" ])
+         items
+     | None -> Alcotest.fail "findings is not a list");
+    (match Option.bind (Trace.Json.member "by_rule" v)
+             (Trace.Json.member "determinism")
+     with
+     | Some n ->
+       Alcotest.(check (option (float 0.0))) "per-rule count" (Some 1.0)
+         (Trace.Json.num_opt n)
+     | None -> Alcotest.fail "by_rule lacks determinism")
+
+(* --- the .sintra-lint policy file --- *)
+
+let test_baseline_parse_errors () =
+  let expect_error text =
+    match Lint.Baseline.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "policy text should not parse: %S" text
+  in
+  expect_error "allow no-such-rule lib\n";
+  expect_error "baseline determinism lib nope\n";
+  expect_error "frobnicate determinism lib\n";
+  match Lint.Baseline.parse "# only a comment\n\nallow determinism bench\n" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid policy rejected: %s" e
+
+let test_baseline_apply () =
+  let policy_text =
+    "allow determinism bench   # host-time by design\n\
+     baseline charge-coverage lib/sintra 2\n"
+  in
+  let policy =
+    match Lint.Baseline.parse policy_text with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "policy parse: %s" e
+  in
+  let f file rule = { Lint.file; line = 1; rule; message = "m" } in
+  (* allow suppresses without limit; baseline absorbs exactly its count *)
+  let findings =
+    [ f "bench/micro.ml" "determinism";
+      f "bench/vopr_bench.ml" "determinism";
+      f "lib/sintra/a.ml" "charge-coverage";
+      f "lib/sintra/b.ml" "charge-coverage";
+      f "lib/sintra/c.ml" "charge-coverage";
+      f "lib/sintra/a.ml" "determinism" ]
+  in
+  let kept, suppressed = Lint.Baseline.apply policy findings in
+  Alcotest.(check int) "suppressed" 4 suppressed;
+  (match kept with
+   | [ third_charge; other_rule ] ->
+     Alcotest.(check string) "beyond the baseline count" "lib/sintra/c.ml"
+       third_charge.Lint.file;
+     Alcotest.(check string) "rule mismatch passes through" "determinism"
+       other_rule.Lint.rule
+   | ks -> Alcotest.failf "expected 2 kept findings, got %d" (List.length ks));
+  (* staged-tree paths (../lib/...) match repo-root prefixes *)
+  let kept, suppressed =
+    Lint.Baseline.apply policy [ f "../bench/micro.ml" "determinism" ]
+  in
+  Alcotest.(check int) "normalized path suppressed" 1 suppressed;
+  Alcotest.(check int) "nothing kept" 0 (List.length kept)
+
 (* --- the meta-test: the shipped tree is clean --- *)
 
 let test_tree_clean () =
   (* dune runs tests from _build/default/test; the (source_tree ...) deps in
-     test/dune stage lib/ and bin/ one level up. *)
-  let roots = [ "../lib"; "../bin" ] in
+     test/dune stage lib/, bin/, bench/ and the policy file one level up
+     (and ../test is this directory itself). *)
+  let roots = [ "../lib"; "../bin"; "../test"; "../bench" ] in
   List.iter
     (fun r ->
       if not (Sys.file_exists r) then
         Alcotest.failf "lint meta-test: missing staged tree %s" r)
     roots;
   let files = Lint.discover roots in
-  if List.length files < 50 then
+  if List.length files < 100 then
     Alcotest.failf "lint meta-test: discovered only %d files" (List.length files);
-  match Lint.check_paths files with
-  | [] -> ()
-  | findings ->
-    Alcotest.failf "tree has %d lint violations, e.g. %s"
+  let policy =
+    match Lint.Baseline.load "../.sintra-lint" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "lint meta-test: policy: %s" e
+  in
+  match Lint.Baseline.apply policy (Lint.check_paths files) with
+  | [], _ -> ()
+  | findings, _ ->
+    Alcotest.failf "tree has %d new lint violations, e.g. %s"
       (List.length findings)
       (Lint.render (List.hd findings))
-(* lint note: the List.hd above is in test code, outside the linted roots *)
+(* lint note: the List.hd above is in test code; only S1 scans test/ *)
 
 let suite =
   [
@@ -198,5 +496,29 @@ let suite =
       test_missing_mli;
     Alcotest.test_case "allow directive scope" `Quick
       test_allow_directive_scope;
+    Alcotest.test_case "determinism (S1) fires/clears/allows" `Quick
+      test_determinism;
+    Alcotest.test_case "charge-coverage (S2) fires/clears/allows" `Quick
+      test_charge_coverage;
+    Alcotest.test_case "handler-flow (S3) fires/clears/allows" `Quick
+      test_handler_flow;
+    Alcotest.test_case "quorum-literal (S4) fires/clears/allows" `Quick
+      test_quorum_literal;
+    Alcotest.test_case "lexer: nested and string-guarded comments" `Quick
+      test_lex_comments;
+    Alcotest.test_case "lexer: string/char escapes vs type variables" `Quick
+      test_lex_literals;
+    Alcotest.test_case "lexer: {id|...|id} quoted strings" `Quick
+      test_lex_quoted_strings;
+    Alcotest.test_case "lexer: qualified identifier joining" `Quick
+      test_lex_qualified_idents;
+    Alcotest.test_case "lexer round-trips every file under lib/" `Quick
+      test_lex_roundtrip_tree;
+    Alcotest.test_case "--format json output parses and carries schema" `Quick
+      test_json_output;
+    Alcotest.test_case ".sintra-lint rejects malformed policy" `Quick
+      test_baseline_parse_errors;
+    Alcotest.test_case ".sintra-lint allow/baseline precedence" `Quick
+      test_baseline_apply;
     Alcotest.test_case "whole tree is lint-clean" `Quick test_tree_clean;
   ]
