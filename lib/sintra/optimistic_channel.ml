@@ -111,10 +111,12 @@ let dec_request (d : Wire.Dec.t) : request =
   { rq_orig; rq_cseq; rq_payload }
 
 let report_stmt (t : t) ~(epoch : int) (closings : string list) : string =
-  let h =
-    Hashes.Sha256.digest_list
-      (List.concat_map (fun c -> [ string_of_int (String.length c); "|"; c ]) closings)
+  let parts =
+    List.concat_map (fun c -> [ string_of_int (String.length c); "|"; c ]) closings
   in
+  Charge.hash t.rt.Runtime.charge
+    ~bytes:(List.fold_left (fun acc s -> acc + String.length s) 0 parts);
+  let h = Hashes.Sha256.digest_list parts in
   Printf.sprintf "opt-report|%s|%d|%s" t.pid epoch h
 
 (* --- fast path --- *)

@@ -211,6 +211,28 @@ let test_charge_coverage () =
      \  (* lint: allow charge-coverage — adversary-side call *)\n\
      \  Tsig.verify_share t.pub ~ctx:t.pid sh\n"
 
+(* Regression (fixed in this PR): optimistic_channel's report_stmt hashed
+   the closing vector without charging the meter.  The exact pre-fix shape
+   must keep firing; the fixed shape must stay silent. *)
+let test_report_stmt_regression () =
+  let rule = "charge-coverage" in
+  expect_fires ~rule "lib/sintra/optimistic_channel.ml"
+    "let report_stmt (t : t) ~(epoch : int) (closings : string list) : string =\n\
+     \  let h =\n\
+     \    Hashes.Sha256.digest_list\n\
+     \      (List.concat_map (fun c -> [ string_of_int (String.length c); \"|\"; c ]) closings)\n\
+     \  in\n\
+     \  Printf.sprintf \"opt-report|%s|%d|%s\" t.pid epoch h\n";
+  expect_silent ~rule "lib/sintra/optimistic_channel.ml"
+    "let report_stmt (t : t) ~(epoch : int) (closings : string list) : string =\n\
+     \  let parts =\n\
+     \    List.concat_map (fun c -> [ string_of_int (String.length c); \"|\"; c ]) closings\n\
+     \  in\n\
+     \  Charge.hash t.rt.Runtime.charge\n\
+     \    ~bytes:(List.fold_left (fun acc s -> acc + String.length s) 0 parts);\n\
+     \  let h = Hashes.Sha256.digest_list parts in\n\
+     \  Printf.sprintf \"opt-report|%s|%d|%s\" t.pid epoch h\n"
+
 (* --- S3: handler-flow --- *)
 
 let decl = "type msg = Ping of int | Pong of int\n"
@@ -500,6 +522,8 @@ let suite =
       test_determinism;
     Alcotest.test_case "charge-coverage (S2) fires/clears/allows" `Quick
       test_charge_coverage;
+    Alcotest.test_case "regression: uncharged report_stmt hash shape" `Quick
+      test_report_stmt_regression;
     Alcotest.test_case "handler-flow (S3) fires/clears/allows" `Quick
       test_handler_flow;
     Alcotest.test_case "quorum-literal (S4) fires/clears/allows" `Quick
