@@ -13,6 +13,11 @@
                                                 broadcast sweep (writes
                                                 BENCH_throughput.json; smoke
                                                 size unless --full)
+     dune exec bench/main.exe -- latency      - traced offered-load ladder
+                                                with critical-path phase
+                                                attribution (writes
+                                                BENCH_latency.json; smoke
+                                                size unless --full)
 
    Absolute numbers come from a simulator calibrated with the paper's host
    and network measurements; the claims to check are the *shapes* (see
@@ -20,7 +25,7 @@
 
 let known =
   [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "perf";
-    "ablations"; "vopr"; "throughput" ]
+    "ablations"; "vopr"; "throughput"; "latency" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -64,6 +69,7 @@ let () =
   section "perf" (fun () -> Micro.perf ~quick:(not full) ());
   section "vopr" (fun () -> Vopr_bench.run ~quick:(not full) ());
   section "throughput" (fun () -> Throughput_bench.run ~quick:(not full) ());
+  section "latency" (fun () -> Latency_bench.run ~quick:(not full) ());
   if Experiments.metrics_count () > 0 then begin
     let path = "BENCH_trace.json" in
     let oc = open_out path in

@@ -150,7 +150,9 @@ let print_stats (c : Cluster.t) : unit =
       && String.sub name (String.length name - String.length suffix)
            (String.length suffix) = suffix)
       [ "/net.sent_msgs"; "/net.sent_bytes"; "/net.recv_msgs";
-        "/cpu.charged_s"; "/crypto.exps"; "/crypto.exp2s"; "/crypto.fixed" ]
+        "/cpu.charged_s"; "/crypto.exps"; "/crypto.exp2s"; "/crypto.fixed";
+        (* published histogram quantiles render in the histogram table *)
+        "/p50"; "/p90"; "/p99" ]
     || (String.length name >= 5 && String.sub name 0 5 = "link/")
   in
   let rest = List.filter (fun (name, _) -> not (tabled name)) (Trace.Metrics.dump m) in
@@ -163,11 +165,12 @@ let print_stats (c : Cluster.t) : unit =
     Printf.printf "\nlatency histograms (seconds):\n";
     List.iter
       (fun h ->
-        Printf.printf "  %-40s n=%-6d mean=%.3f p50=%.3f p90=%.3f\n"
+        Printf.printf "  %-40s n=%-6d mean=%.3f p50=%.3f p90=%.3f p99=%.3f\n"
           (Trace.Metrics.hist_name h) (Trace.Metrics.hist_count h)
           (Trace.Metrics.hist_mean h)
           (Trace.Metrics.hist_quantile h 0.5)
-          (Trace.Metrics.hist_quantile h 0.9))
+          (Trace.Metrics.hist_quantile h 0.9)
+          (Trace.Metrics.hist_quantile h 0.99))
       hists
   end
 
@@ -470,9 +473,15 @@ let trace_check_cmd =
             | Error e -> Error e))
       | Ok _ -> Error "a JSON document without \"traceEvents\" is not a trace"
       | Error _ ->
-        (* Not one JSON document: try JSONL. *)
+        (* Not one JSON document: try JSONL, then check the event stream's
+           causal well-formedness (every cause id emitted, edges monotone,
+           per-message times ordered). *)
         (match Trace.Json.parse_lines contents with
-         | Ok events -> Ok ("jsonl", List.length events)
+         | Ok events ->
+           (match Trace.Causal.validate (List.filter_map Trace.Causal.of_json events) with
+            | [] -> Ok ("jsonl", List.length events)
+            | errs ->
+              Error ("causally ill-formed:\n  " ^ String.concat "\n  " errs))
          | Error e -> Error e)
     in
     match outcome with
@@ -488,8 +497,206 @@ let trace_check_cmd =
   in
   Cmd.v
     (Cmd.info "trace-check"
-       ~doc:"Validate a trace file (chrome: JSON + balanced spans; jsonl: parses).")
+       ~doc:"Validate a trace file (chrome: JSON + balanced spans; jsonl: \
+             parses and is causally well-formed).")
     Term.(const run $ file)
+
+(* --- critical-path: causal-DAG latency attribution over a JSONL trace --- *)
+
+let critical_path_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let run file json min_coverage =
+    match Trace.Causal.of_jsonl (read_file file) with
+    | Error e ->
+      Printf.eprintf "%s: not a JSONL trace: %s\n" file e;
+      exit 1
+    | Ok events ->
+      (match Trace.Causal.validate events with
+       | [] -> ()
+       | errs ->
+         Printf.eprintf "%s: causally ill-formed trace:\n  %s\n" file
+           (String.concat "\n  " errs);
+         exit 1);
+      let rep = Trace.Causal.analyze events in
+      print_string
+        (if json then Trace.Causal.report_json rep
+         else Trace.Causal.report_text rep);
+      let worst = Trace.Causal.min_coverage rep in
+      if worst < min_coverage then begin
+        Printf.eprintf
+          "critical-path: worst per-payload coverage %.4f is below the %.4f \
+           floor\n"
+        worst min_coverage;
+        exit 1
+      end
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"JSONL trace file (written by --trace).")
+  in
+  let json =
+    let fmt_conv = Arg.enum [ ("text", false); ("json", true) ] in
+    Arg.(value & opt fmt_conv false
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: text (tables) or json \
+                   (sintra-critical-path-v1).")
+  in
+  let min_coverage =
+    Arg.(value & opt float 0.0
+         & info [ "min-coverage" ] ~docv:"X"
+             ~doc:"Fail unless every delivered payload's attributed fraction \
+                   is at least $(docv) (the smoke gate uses 0.95).")
+  in
+  Cmd.v
+    (Cmd.info "critical-path"
+       ~doc:"Reconstruct the causal message DAG from a JSONL trace and \
+             attribute each delivered payload's enqueue-to-deliver latency \
+             to named phases (pending, queue, transit, crypto, compute) \
+             along its critical path.")
+    Term.(const run $ file $ json $ min_coverage)
+
+(* --- bench-latency: traced offered-load ladder with phase attribution --- *)
+
+let bench_latency_cmd =
+  let run smoke out duration seed =
+    let report = Load.Latency.run ~smoke ?duration ~seed () in
+    List.iter
+      (fun (p : Load.Latency.point) ->
+        Printf.printf
+          "offered %6.1f req/s: %4d payloads  p50 %.3fs  p90 %.3fs  p99 \
+           %.3fs  coverage %.3f\n"
+          p.Load.Latency.offered_per_s p.Load.Latency.payloads
+          p.Load.Latency.latency_p50_s p.Load.Latency.latency_p90_s
+          p.Load.Latency.latency_p99_s p.Load.Latency.coverage)
+      report.Load.Latency.points;
+    write_file out (Load.Latency.to_json report);
+    Printf.printf "wrote %s\n" out
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI-sized bench: 1 virtual second per point over three \
+                   offered rates.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_latency.json"
+         & info [ "out" ] ~docv:"FILE" ~doc:"Output report path.")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Virtual seconds per measurement point (default 8, or 1 \
+                   with --smoke).")
+  in
+  let seed =
+    Arg.(value & opt string "latency"
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Determinism seed.")
+  in
+  Cmd.v
+    (Cmd.info "bench-latency"
+       ~doc:"Measure atomic-broadcast completion latency at several offered \
+             loads with end-to-end causal tracing: per-point percentiles \
+             plus a critical-path phase breakdown, written as \
+             BENCH_latency.json.")
+    Term.(const run $ smoke $ out $ duration $ seed)
+
+(* --- latency-check: validate BENCH_latency.json --- *)
+
+let latency_check_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let check (min_points : int) (min_coverage : float)
+      (doc : Trace.Json.value) : (string, string) result =
+    let str v f = Option.bind (Trace.Json.member f v) Trace.Json.str_opt in
+    let num v f = Option.bind (Trace.Json.member f v) Trace.Json.num_opt in
+    match str doc "format" with
+    | Some "sintra-bench-latency-v1" ->
+      (match Option.bind (Trace.Json.member "points" doc) Trace.Json.list_opt with
+       | None -> Error "missing \"points\" array"
+       | Some points when List.length points < min_points ->
+         Error
+           (Printf.sprintf "only %d point(s), need at least %d"
+              (List.length points) min_points)
+       | Some points ->
+         let bad_point p =
+           List.exists
+             (fun f -> num p f = None)
+             [ "offered_per_s"; "latency_p50_s"; "latency_p90_s";
+               "latency_p99_s"; "unattributed_s"; "coverage" ]
+           || Trace.Json.member "phases_s" p = None
+           || Trace.Json.member "stages_s" p = None
+         in
+         if List.exists bad_point points then
+           Error
+             "a point lacks a latency percentile, coverage, or the \
+              phases_s/stages_s breakdown"
+         else begin
+           let low =
+             List.filter
+               (fun p ->
+                 match num p "coverage" with
+                 | Some c -> c < min_coverage
+                 | None -> true)
+               points
+           in
+           if low <> [] then
+             Error
+               (Printf.sprintf
+                  "%d point(s) attribute less than %.2f of measured latency"
+                  (List.length low) min_coverage)
+           else
+             Ok
+               (Printf.sprintf "%d points, all with phase attribution"
+                  (List.length points))
+         end)
+    | Some other -> Error (Printf.sprintf "unknown format %S" other)
+    | None -> Error "missing \"format\" field"
+  in
+  let run file min_points min_coverage =
+    match Trace.Json.parse (read_file file) with
+    | Error e ->
+      Printf.eprintf "%s: INVALID: not JSON: %s\n" file e;
+      exit 1
+    | Ok doc ->
+      (match check min_points min_coverage doc with
+       | Ok msg -> Printf.printf "%s: valid latency report, %s\n" file msg
+       | Error msg ->
+         Printf.eprintf "%s: INVALID latency report: %s\n" file msg;
+         exit 1)
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"BENCH_latency.json file to validate.")
+  in
+  let min_points =
+    Arg.(value & opt int 3
+         & info [ "min-points" ] ~docv:"N"
+             ~doc:"Fail unless the report carries at least $(docv) offered \
+                   loads.")
+  in
+  let min_coverage =
+    Arg.(value & opt float 0.0
+         & info [ "min-coverage" ] ~docv:"X"
+             ~doc:"Fail unless every point attributes at least fraction \
+                   $(docv) of its measured latency.")
+  in
+  Cmd.v
+    (Cmd.info "latency-check"
+       ~doc:"Validate a BENCH_latency.json report: parses, carries enough \
+             offered-load points, and each point's critical-path \
+             attribution meets the coverage floor.")
+    Term.(const run $ file $ min_points $ min_coverage)
 
 (* --- explore: the vopr seed-sweeping schedule explorer --- *)
 
@@ -908,5 +1115,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "sintra_sim" ~doc)
           [ run_cmd; agree_cmd; explore_cmd; topologies_cmd; crypto_cmd;
-            trace_check_cmd; perf_check_cmd; bench_throughput_cmd;
-            throughput_check_cmd ]))
+            trace_check_cmd; critical_path_cmd; perf_check_cmd;
+            bench_throughput_cmd; throughput_check_cmd; bench_latency_cmd;
+            latency_check_cmd ]))

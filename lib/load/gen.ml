@@ -2,21 +2,35 @@
 
    Marker format: "ld|<client>|<k>".  The generator only ever parses its
    own markers back out of the delivery stream; anything else is ignored,
-   so generated traffic can share a channel with other payloads. *)
+   so generated traffic can share a channel with other payloads.
+
+   Causal tracing: every request allocates a flow id at issue time and
+   emits a "submit" instant — the root of the request's causal DAG — plus
+   a per-client request span.  The id is handed to the submit callback so
+   the harness can thread it into [Cluster.inject ~cause], and the
+   matching "complete" instant (emitted from inside the delivering
+   handler, when the client's context is the party's shared one) carries
+   the delivering message's id, closing the submit→deliver span. *)
 
 type client = {
   id : int;
   party : int;
   mutable next_k : int;
-  outstanding : (int, float) Hashtbl.t;   (* k -> issue time *)
+  outstanding : (int, float * int) Hashtbl.t;  (* k -> issue time, flow id *)
+  ctx : Trace.Ctx.t;                           (* party-bound trace context *)
 }
 
 (* Closed-loop continuation, looked up by client id when its completion
    comes back through [deliver]. *)
-type closed_hook = { think : float; until : float; submit : string -> unit }
+type closed_hook = {
+  think : float;
+  until : float;
+  submit : cause:int -> string -> unit;
+}
 
 type t = {
   engine : Sim.Engine.t;
+  ctx_of : int -> Trace.Ctx.t;
   mutable clients : client array;
   closed_hooks : (int, closed_hook) Hashtbl.t;   (* client id -> hook *)
   mutable issued : int;
@@ -24,9 +38,13 @@ type t = {
   mutable latencies : float list;         (* newest first *)
 }
 
-let create ~(engine : Sim.Engine.t) : t =
+let create ?ctx_of ~(engine : Sim.Engine.t) () : t =
   {
     engine;
+    ctx_of =
+      (match ctx_of with
+      | Some f -> f
+      | None -> fun party -> Sim.Engine.trace_ctx engine ~party);
     clients = [||];
     closed_hooks = Hashtbl.create 8;
     issued = 0;
@@ -40,6 +58,7 @@ let new_client (t : t) ~(party : int) : client =
     party;
     next_k = 0;
     outstanding = Hashtbl.create 8;
+    ctx = t.ctx_of party;
   }
   in
   t.clients <- Array.append t.clients [| c |];
@@ -47,15 +66,30 @@ let new_client (t : t) ~(party : int) : client =
 
 let payload_of (c : client) (k : int) : string = Printf.sprintf "ld|%d|%d" c.id k
 
-let issue (t : t) (c : client) (submit : string -> unit) : unit =
+let span_pid (c : client) : string = Printf.sprintf "load/c%d" c.id
+
+let issue (t : t) (c : client) (submit : cause:int -> string -> unit) : unit =
   let k = c.next_k in
   c.next_k <- k + 1;
   t.issued <- t.issued + 1;
-  Hashtbl.replace c.outstanding k (Sim.Engine.now t.engine);
-  submit (payload_of c k)
+  (* Allocated whether or not tracing is on, so the schedule is identical. *)
+  let id = Sim.Engine.fresh_flow_id t.engine in
+  Hashtbl.replace c.outstanding k (Sim.Engine.now t.engine, id);
+  if Trace.Ctx.enabled c.ctx then begin
+    Trace.Ctx.instant c.ctx ~pid:"load" ~cat:"load"
+      ~args:
+        [ ("id", Trace.Event.Int id);
+          ("client", Trace.Event.Int c.id);
+          ("k", Trace.Event.Int k) ]
+      "submit";
+    Trace.Ctx.span_begin c.ctx ~pid:(span_pid c) ~cat:"load"
+      ~args:[ ("id", Trace.Event.Int id) ]
+      (Printf.sprintf "req %d" k)
+  end;
+  submit ~cause:id (payload_of c k)
 
 let add_open (t : t) ~(party : int) ~(arrival : Arrival.t) ~(until : float)
-    ~(submit : string -> unit) : unit =
+    ~(submit : cause:int -> string -> unit) : unit =
   let c = new_client t ~party in
   (* Lazy schedule: each arrival schedules the next, so an overload rate
      never materializes more than one future event at a time. *)
@@ -70,7 +104,7 @@ let add_open (t : t) ~(party : int) ~(arrival : Arrival.t) ~(until : float)
   arm ()
 
 let add_closed (t : t) ~(party : int) ~(think : float) ~(until : float)
-    ~(submit : string -> unit) : unit =
+    ~(submit : cause:int -> string -> unit) : unit =
   let c = new_client t ~party in
   Hashtbl.replace t.closed_hooks c.id { think; until; submit };
   issue t c submit
@@ -87,10 +121,24 @@ let deliver (t : t) ~(party : int) (payload : string) : unit =
        if c.party = party then begin
          match Hashtbl.find_opt c.outstanding k with
          | None -> ()
-         | Some t0 ->
+         | Some (t0, id) ->
            Hashtbl.remove c.outstanding k;
            t.completed <- t.completed + 1;
            t.latencies <- (Sim.Engine.now t.engine -. t0) :: t.latencies;
+           if Trace.Ctx.enabled c.ctx then begin
+             (* Emitted inside the delivering handler: with the party's
+                shared context, the "cause" stamp joins this completion to
+                the message that delivered it. *)
+             Trace.Ctx.instant c.ctx ~pid:"load" ~cat:"load"
+               ~args:
+                 [ ("id", Trace.Event.Int id);
+                   ("client", Trace.Event.Int c.id);
+                   ("k", Trace.Event.Int k) ]
+               "complete";
+             Trace.Ctx.span_end c.ctx ~pid:(span_pid c) ~cat:"load"
+               ~args:[ ("id", Trace.Event.Int id) ]
+               (Printf.sprintf "req %d" k)
+           end;
            (match Hashtbl.find_opt t.closed_hooks cid with
             | Some h ->
               let next = Sim.Engine.now t.engine +. h.think in

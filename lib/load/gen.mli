@@ -18,20 +18,27 @@
 
 type t
 
-val create : engine:Sim.Engine.t -> t
-(** A generator scheduling on [engine]'s virtual clock. *)
+val create : ?ctx_of:(int -> Trace.Ctx.t) -> engine:Sim.Engine.t -> unit -> t
+(** A generator scheduling on [engine]'s virtual clock.  [ctx_of] supplies
+    the trace context used for a party's clients (default: a fresh
+    engine-bound context).  Pass the party's shared network context
+    ({!Sim.Net.trace_ctx}) so each request's "complete" instant is
+    causally stamped with the message that delivered it. *)
 
 val add_open :
   t -> party:int -> arrival:Arrival.t -> until:float ->
-  submit:(string -> unit) -> unit
+  submit:(cause:int -> string -> unit) -> unit
 (** Attach an open-loop client to [party]: issues at the arrival process's
-    instants from now until virtual time [until]. *)
+    instants from now until virtual time [until].  [submit] receives the
+    request's causal flow id (thread it into [Cluster.inject ~cause]) and
+    the marker payload. *)
 
 val add_closed :
   t -> party:int -> think:float -> until:float ->
-  submit:(string -> unit) -> unit
+  submit:(cause:int -> string -> unit) -> unit
 (** Attach a closed-loop client to [party]: issues immediately, then again
-    [think] seconds after each completion, stopping at [until]. *)
+    [think] seconds after each completion, stopping at [until].  [submit]
+    is as in {!add_open}. *)
 
 val deliver : t -> party:int -> string -> unit
 (** Feed one delivered payload at [party] back to the generator.  Payloads

@@ -72,15 +72,20 @@ let run_point ~(seed : string) ~(cfg : Config.t) ~(duration : float)
     (shape : load_shape) : point * int =
   let n = cfg.Config.n in
   let c = make_cluster ~seed cfg in
-  let gen = Gen.create ~engine:c.Cluster.engine in
+  (* Clients share each party's network trace context, so request
+     submit/complete events join the message-level causal DAG. *)
+  let gen =
+    Gen.create ~ctx_of:(Sim.Net.trace_ctx c.Cluster.net) ~engine:c.Cluster.engine ()
+  in
   let chans =
     Array.init n (fun i ->
       Atomic_channel.create (Cluster.runtime c i) ~pid:"load"
         ~on_deliver:(fun ~sender:_ payload -> Gen.deliver gen ~party:i payload)
         ())
   in
-  let submit party payload =
-    Cluster.inject c party (fun () -> Atomic_channel.send chans.(party) payload)
+  let submit party ~cause payload =
+    Cluster.inject ~cause c party (fun () ->
+      Atomic_channel.send chans.(party) payload)
   in
   let offered =
     match shape with

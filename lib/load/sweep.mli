@@ -45,6 +45,19 @@ type report = {
   series : series list;
 }
 
+val sweep_cfg : n:int -> t:int -> max_batch:int -> Sintra.Config.t
+(** The benchmark configuration: real 256-bit cryptography priced at the
+    paper's 1024-bit key sizes, pseudo-random candidate permutation. *)
+
+val make_cluster : seed:string -> Sintra.Config.t -> Sintra.Cluster.t
+(** A fresh simulated group for one measurement run.  Dealers are cached
+    per [(n, t)] across runs — key generation dominates setup and keys do
+    not depend on the load shape. *)
+
+val quantile : float array -> float -> float
+(** [quantile sorted q] is the element at rank [q] (nearest-rank on a
+    {e sorted} array); [0.0] when empty. *)
+
 val run :
   ?smoke:bool -> ?sizes:(int * int) list -> ?duration:float ->
   ?rates:float list -> ?clients_per_party:int -> ?max_batch:int ->

@@ -12,6 +12,7 @@ type t = {
   mutable stopped : bool;
   sink : Trace.Sink.t ref;                  (* observability: shared trace sink *)
   metrics : Trace.Metrics.t;                (* observability: shared registry *)
+  mutable next_flow_id : int;               (* causal-tracing id allocator *)
 }
 
 let create ?(seed = "sintra-sim") () : t =
@@ -23,7 +24,16 @@ let create ?(seed = "sintra-sim") () : t =
     stopped = false;
     sink = ref Trace.Sink.Null;
     metrics = Trace.Metrics.create ();
+    next_flow_id = 0;
   }
+
+(* Allocate a fresh causal flow id.  A plain counter, advanced whether or
+   not tracing is on, so ids — and therefore the schedule — are identical
+   in traced and untraced runs. *)
+let fresh_flow_id (t : t) : int =
+  let id = t.next_flow_id in
+  t.next_flow_id <- id + 1;
+  id
 
 let now (t : t) = t.now
 

@@ -29,6 +29,10 @@ val metrics : t -> Trace.Metrics.t
 val trace_ctx : t -> party:int -> Trace.Ctx.t
 (** A tracing context bound to this engine's clock, sink and registry. *)
 
+val fresh_flow_id : t -> int
+(** Allocate the next causal flow id (0, 1, 2, …).  Always advances,
+    traced or not, so enabling tracing never perturbs the schedule. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Run the thunk [delay] virtual seconds from now (negative clamps to 0). *)
 

@@ -24,8 +24,9 @@ type node = {
   id : int;
   meter : Cost.meter;
   mutable busy_until : float;
-  inbox : (int * string) Queue.t;
-  outbox : (int * string) Queue.t;   (* sends buffered during a handler *)
+  inbox : (int * string * int) Queue.t;      (* src, payload, flow id *)
+  outbox : (int * string * int) Queue.t;     (* dst, payload, flow id;
+                                                sends buffered in a handler *)
   mutable handler : (src:int -> string -> unit) option;
   mutable wake_scheduled : bool;
   mutable crashed : bool;
@@ -104,13 +105,17 @@ let rec process_one (t : t) (nd : node) () : unit =
     let now = Engine.now t.engine in
     if nd.busy_until > now then wake t nd nd.busy_until
     else begin
-      let src, payload = Queue.pop nd.inbox in
+      let src, payload, flow = Queue.pop nd.inbox in
       nd.received_msgs <- nd.received_msgs + 1;
       (match nd.handler with
        | None -> ()
        | Some h ->
          nd.in_handler <- true;
+         (* Records emitted while the handler runs carry the triggering
+            message's flow id — the causal edge the analyzer follows. *)
+         Trace.Ctx.set_cause t.traces.(nd.id) flow;
          h ~src payload;
+         Trace.Ctx.set_cause t.traces.(nd.id) (-1);
          nd.in_handler <- false);
       let cost = Cost.take nd.meter in
       nd.busy_until <- now +. cost;
@@ -133,16 +138,42 @@ and transmit_lossy (t : t) ~(src : int) ~(dst : int) ~(depart : float) (payload 
   | None -> ()
   | Some ep -> Engine.schedule_at t.engine ~time:depart (fun () -> Swlink.send ep payload)
 
-(* Put [payload] on the wire from [src] to [dst], departing at [depart]. *)
-and transmit (t : t) ~(src : int) ~(dst : int) ~(depart : float) (payload : string) : unit =
-  if t.lossy <> None && src <> dst then transmit_lossy t ~src ~dst ~depart payload
-  else transmit_reliable t ~src ~dst ~depart payload
-
-and transmit_reliable (t : t) ~(src : int) ~(dst : int) ~(depart : float)
+(* Put [payload] on the wire from [src] to [dst], departing at [depart].
+   [id] is the causal flow id allocated at send time; the sliding-window
+   path cannot carry it through retransmission frames, so lossy-mode
+   deliveries enter the inbox with id -1 (no causal edge). *)
+and transmit (t : t) ~(src : int) ~(dst : int) ~(id : int) ~(depart : float)
     (payload : string) : unit =
+  if t.lossy <> None && src <> dst then transmit_lossy t ~src ~dst ~depart payload
+  else transmit_reliable t ~src ~dst ~id ~depart payload
+
+and transmit_reliable (t : t) ~(src : int) ~(dst : int) ~(id : int)
+    ~(depart : float) (payload : string) : unit =
   let decide = match t.intercept with
     | None -> Deliver
     | Some f -> f ~src ~dst payload
+  in
+  (* The bytes leave src's virtual CPU here: the end of the message's
+     send→xmit compute window.  One record per transmit, even when the
+     adversary duplicates the delivery below. *)
+  let tr_src = t.traces.(src) in
+  let dropped =
+    match decide with
+    | Drop -> true
+    | Deliver | Delay _ | Replace _ | Duplicate | Replay _ -> false
+  in
+  if Trace.Ctx.enabled tr_src && not dropped then
+    Trace.Ctx.emit_at tr_src ~time:depart ~pid:"net" ~cat:"net"
+      ~ph:Trace.Event.Instant
+      ~args:[ ("id", Trace.Event.Int id) ]
+      "xmit";
+  let arrived ~(arrival : float) : unit =
+    let tr_dst = t.traces.(dst) in
+    if Trace.Ctx.enabled tr_dst then
+      Trace.Ctx.emit_at tr_dst ~time:arrival ~pid:"net" ~cat:"net"
+        ~ph:Trace.Event.Instant
+        ~args:[ ("id", Trace.Event.Int id) ]
+        "recv"
   in
   let deliver ~extra_delay payload =
     let tag = mac_tag t ~src ~dst payload in
@@ -160,7 +191,8 @@ and transmit_reliable (t : t) ~(src : int) ~(dst : int) ~(depart : float)
              ~key:t.mac_keys.(min src dst).(max src dst)
              ~tag (Printf.sprintf "%d>%d|%s" src dst payload)
         then begin
-          Queue.push (src, payload) nd.inbox;
+          arrived ~arrival;
+          Queue.push (src, payload, id) nd.inbox;
           wake t nd (Stdlib.max arrival nd.busy_until)
         end
         else t.mac_failures <- t.mac_failures + 1
@@ -183,7 +215,8 @@ and transmit_reliable (t : t) ~(src : int) ~(dst : int) ~(depart : float)
              ~key:t.mac_keys.(min src dst).(max src dst)
              ~tag (Printf.sprintf "%d>%d|%s" src dst payload)
         then begin
-          Queue.push (src, payload) nd.inbox;
+          arrived ~arrival;
+          Queue.push (src, payload, id) nd.inbox;
           wake t nd (Stdlib.max arrival nd.busy_until)
         end
         else t.mac_failures <- t.mac_failures + 1
@@ -212,14 +245,17 @@ and transmit_reliable (t : t) ~(src : int) ~(dst : int) ~(depart : float)
         if Hashes.Hmac.verify ~algo:Hashes.Hmac.SHA1
              ~key:t.mac_keys.(min src dst).(max src dst)
              ~tag (Printf.sprintf "%d>%d|%s" src dst p)
-        then Queue.push (src, p) nd.inbox
+        then begin
+          arrived ~arrival;
+          Queue.push (src, p, id) nd.inbox
+        end
         else t.mac_failures <- t.mac_failures + 1
       end)
 
 and flush_outbox (t : t) (nd : node) : unit =
   while not (Queue.is_empty nd.outbox) do
-    let dst, payload = Queue.pop nd.outbox in
-    transmit t ~src:nd.id ~dst ~depart:nd.busy_until payload
+    let dst, payload, id = Queue.pop nd.outbox in
+    transmit t ~src:nd.id ~dst ~id ~depart:nd.busy_until payload
   done
 
 (* Build the sliding-window endpoints for lossy mode.  The datagram channel
@@ -253,7 +289,9 @@ let init_links (t : t) (p : float) : unit =
                ~deliver:(fun payload ->
                  let nd = t.nodes.(i) in
                  if not nd.crashed then begin
-                   Queue.push (j, payload) nd.inbox;
+                   (* Flow ids don't survive sliding-window reassembly; the
+                      causal edge is severed in lossy mode. *)
+                   Queue.push (j, payload, -1) nd.inbox;
                    wake t nd (Stdlib.max (Engine.now t.engine) nd.busy_until)
                  end)
                ())))
@@ -307,22 +345,41 @@ let send (t : t) ~(src : int) ~(dst : int) (payload : string) : unit =
     nd.sent_bytes <- nd.sent_bytes + String.length payload;
     t.link_msgs.(src).(dst) <- t.link_msgs.(src).(dst) + 1;
     t.link_bytes.(src).(dst) <- t.link_bytes.(src).(dst) + String.length payload;
+    (* Allocate the flow id unconditionally (a pure counter), so traced
+       and untraced runs make identical allocations and the schedule is
+       never perturbed by observability. *)
+    let id = Engine.fresh_flow_id t.engine in
     let tr = t.traces.(src) in
-    if Trace.Ctx.enabled tr then
+    if Trace.Ctx.enabled tr then begin
       Trace.Ctx.emit_at tr ~time:(Engine.now t.engine) ~pid:"net" ~cat:"net"
         ~ph:Trace.Event.Counter
         ~args:
           [ ("msgs", Trace.Event.Int nd.sent_msgs);
             ("bytes", Trace.Event.Int nd.sent_bytes) ]
         "sent";
-    if nd.in_handler then Queue.push (dst, payload) nd.outbox
-    else transmit t ~src ~dst ~depart:(Stdlib.max (Engine.now t.engine) nd.busy_until) payload
+      (* The flow starts here; its parent edge is the context's current
+         cause (stamped automatically when sent from inside a handler). *)
+      Trace.Ctx.emit_at tr ~time:(Engine.now t.engine) ~pid:"net" ~cat:"net"
+        ~ph:Trace.Event.Flow_start
+        ~args:
+          [ ("id", Trace.Event.Int id);
+            ("dst", Trace.Event.Int dst);
+            ("bytes", Trace.Event.Int (String.length payload)) ]
+        "msg"
+    end;
+    if nd.in_handler then Queue.push (dst, payload, id) nd.outbox
+    else
+      transmit t ~src ~dst ~id
+        ~depart:(Stdlib.max (Engine.now t.engine) nd.busy_until)
+        payload
   end
 
 (* Run a computation on node [i] "now": charge its meter and flush sends,
    as if an external request arrived.  Used by the harness for client
-   requests (the paper's send events). *)
-let inject (t : t) (i : int) (f : unit -> unit) : unit =
+   requests (the paper's send events).  [cause] optionally names the causal
+   flow id (e.g. a load generator's submit record) that triggered the
+   computation, so records emitted inside [f] join the DAG. *)
+let inject ?(cause = -1) (t : t) (i : int) (f : unit -> unit) : unit =
   let nd = t.nodes.(i) in
   if not nd.crashed then begin
     let now = Engine.now t.engine in
@@ -330,7 +387,9 @@ let inject (t : t) (i : int) (f : unit -> unit) : unit =
     Engine.schedule_at t.engine ~time:start (fun () ->
       if not nd.crashed then begin
         nd.in_handler <- true;
+        Trace.Ctx.set_cause t.traces.(i) cause;
         f ();
+        Trace.Ctx.set_cause t.traces.(i) (-1);
         nd.in_handler <- false;
         let cost = Cost.take nd.meter in
         nd.busy_until <- Engine.now t.engine +. cost;

@@ -68,11 +68,17 @@ val recover : t -> int -> unit
 
 val send : t -> src:int -> dst:int -> string -> unit
 (** Transmit bytes.  Inside a handler the message departs when the charged
-    computation completes; outside, immediately. *)
+    computation completes; outside, immediately.  Every send allocates a
+    causal flow id from the engine (traced or not); with a sink installed
+    it also emits a ["msg"] flow-start record whose ["cause"] argument is
+    the message being handled, plus ["xmit"]/["recv"] instants as the
+    bytes leave the CPU and arrive. *)
 
-val inject : t -> int -> (unit -> unit) -> unit
+val inject : ?cause:int -> t -> int -> (unit -> unit) -> unit
 (** Run an application action on node [i]'s virtual CPU (a client request):
-    charges the meter and flushes sends like a handler step. *)
+    charges the meter and flushes sends like a handler step.  [cause]
+    (default -1 = none) names the causal flow id that triggered the
+    action, so records emitted inside it join the trace DAG. *)
 
 val mac_failures : t -> int
 (** Count of messages dropped by link-authentication failure. *)

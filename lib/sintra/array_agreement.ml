@@ -177,6 +177,8 @@ let handle (t : t) ~src body =
     with
     | None -> ()
     | Some (tag, a, yes, closing) ->
+      Runtime.handling t.rt ~pid:t.pid ~cat:"aba"
+        (if tag = tag_vote then "vote" else "other");
       if tag = tag_vote && a >= 0 && a < t.rt.Runtime.cfg.Config.n then begin
         let st = t.candidates.(a) in
         if not (Hashtbl.mem st.votes src) then begin

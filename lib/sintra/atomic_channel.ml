@@ -513,6 +513,11 @@ let handle (t : t) ~src body =
     | Some m ->
       let inv = t.rt.Runtime.inv in
       Invariant.sender_in_range inv src;
+      Runtime.handling t.rt ~pid:t.pid ~cat:"abc"
+        (match m with
+        | Init _ -> "init"
+        | Decided _ -> "decided"
+        | Request _ -> "request");
       match m with
       | Init (round, en) when en.en_signer = src && round >= t.round ->
         let tbl = round_inits t round in

@@ -535,6 +535,11 @@ let handle (t : t) ~src body =
     match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
     | None -> ()
     | Some (tag, d) ->
+      Runtime.handling t.rt ~pid:t.pid ~cat:"aba"
+        (if tag = tag_prevote then "prevote"
+         else if tag = tag_mainvote then "mainvote"
+         else if tag = tag_coinshare then "coinshare"
+         else "other");
       if tag = tag_prevote then begin
         match (try Some (dec_prevote d) with Wire.Decode _ -> None) with
         | None -> ()

@@ -38,9 +38,10 @@ let run ?until ?max_events (c : t) : int =
 let now (c : t) : float = Sim.Engine.now c.engine
 
 (* Schedule an application action on party [i]'s virtual CPU at the current
-   virtual time (e.g. a client request causing a channel send). *)
-let inject (c : t) (i : int) (f : unit -> unit) : unit =
-  Sim.Net.inject c.net i f
+   virtual time (e.g. a client request causing a channel send).  [cause]
+   optionally names the causal flow id that triggered the action. *)
+let inject ?cause (c : t) (i : int) (f : unit -> unit) : unit =
+  Sim.Net.inject ?cause c.net i f
 
 let at (c : t) ~(time : float) (f : unit -> unit) : unit =
   Sim.Engine.schedule_at c.engine ~time f
@@ -72,4 +73,6 @@ let publish_metrics (c : t) : Trace.Metrics.t =
              (Printf.sprintf "p%d/runtime.dropped_orphans" rt.Runtime.me))
           (float_of_int rt.Runtime.dropped_orphans))
     c.runtimes;
+  (* Percentile summaries of every histogram, as <name>/p50|p90|p99. *)
+  Trace.Metrics.publish_quantiles (Sim.Engine.metrics c.engine);
   Sim.Engine.metrics c.engine

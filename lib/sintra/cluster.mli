@@ -24,9 +24,10 @@ val run : ?until:float -> ?max_events:int -> t -> int
 
 val now : t -> float
 
-val inject : t -> int -> (unit -> unit) -> unit
+val inject : ?cause:int -> t -> int -> (unit -> unit) -> unit
 (** Schedule an application action on party [i]'s virtual CPU now (e.g. a
-    client request causing a channel send). *)
+    client request causing a channel send).  [cause] optionally names the
+    causal flow id (a load generator's submit) triggering the action. *)
 
 val at : t -> time:float -> (unit -> unit) -> unit
 
@@ -49,4 +50,5 @@ val metrics : t -> Trace.Metrics.t
 
 val publish_metrics : t -> Trace.Metrics.t
 (** Flush per-node network/CPU counters (and orphan-drop counts) into the
-    registry and return it.  Idempotent. *)
+    registry, publish p50/p90/p99 summaries for every histogram, and
+    return it.  Idempotent. *)

@@ -58,6 +58,11 @@ let handle (t : t) ~src body =
     match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
     | None -> ()
     | Some (tag, d) ->
+      Runtime.handling t.rt ~pid:t.pid ~cat:"bcast"
+        (if tag = tag_send then "send"
+         else if tag = tag_echo then "echo"
+         else if tag = tag_final then "final"
+         else "other");
       if tag = tag_send && src = t.sender then begin
         match (try Some (Wire.Dec.bytes d) with Wire.Decode _ -> None) with
         | None -> ()

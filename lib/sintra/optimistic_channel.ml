@@ -484,6 +484,12 @@ let handle (t : t) ~src body =
   match Wire.decode_prefix body (fun d -> (Wire.Dec.u8 d, d)) with
   | None -> ()
   | Some (tag, d) ->
+    Runtime.handling t.rt ~pid:t.pid ~cat:"opt"
+      (if tag = tag_request then "request"
+       else if tag = tag_ack then "ack"
+       else if tag = tag_complain then "complain"
+       else if tag = tag_report then "report"
+       else "other");
     if tag = tag_request then begin
       match (try Some (dec_request d) with Wire.Decode _ -> None) with
       | None -> ()

@@ -67,6 +67,11 @@ let rec handle (t : t) ~src body =
       let cfg = t.rt.Runtime.cfg in
       let inv = t.rt.Runtime.inv in
       Invariant.sender_in_range inv src;
+      Runtime.handling t.rt ~pid:t.pid ~cat:"bcast"
+        (if tag = tag_send then "send"
+         else if tag = tag_echo then "echo"
+         else if tag = tag_ready then "ready"
+         else "other");
       if tag = tag_send && src = t.sender && not t.echo_sent then begin
         t.echo_sent <- true;
         Trace.Ctx.span_begin (trace t) ~pid:t.pid ~cat:"bcast" "echo";

@@ -19,12 +19,27 @@ type t = {
   inv : Invariant.t option;
   trace : Trace.Ctx.t;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
-  orphans : (string, (int * string) Queue.t) Hashtbl.t;
+  orphans : (string, (int * string * int) Queue.t) Hashtbl.t;
+      (* src, body, causal flow id at buffering time *)
   mutable dropped_orphans : int;
   mutable rebuild : (unit -> unit) list;   (* newest first *)
 }
 
 let orphan_cap_per_pid = 4096
+
+(* Emit the "msg" flow-end closing a causal edge: the dispatched message's
+   id is the context's current cause (installed by the network layer), and
+   the envelope pid names the protocol stage the analyzer attributes the
+   hop to. *)
+let dispatched (trace : Trace.Ctx.t) ~(pid : string) : unit =
+  if Trace.Ctx.enabled trace then begin
+    let id = Trace.Ctx.cause trace in
+    if id >= 0 then
+      Trace.Ctx.emit_at trace ~time:(Trace.Ctx.now trace) ~pid ~cat:"net"
+        ~ph:Trace.Event.Flow_end
+        ~args:[ ("id", Trace.Event.Int id) ]
+        "msg"
+  end
 
 let envelope ~(pid : string) (body : string) : string =
   Wire.encode (fun b ->
@@ -63,7 +78,9 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
     | None -> ()   (* malformed envelope: drop, as a real server would *)
     | Some (pid, body) ->
       (match Hashtbl.find_opt rt.handlers pid with
-       | Some h -> h ~src body
+       | Some h ->
+         dispatched rt.trace ~pid;
+         h ~src body
        | None ->
          let q =
            match Hashtbl.find_opt rt.orphans pid with
@@ -74,7 +91,7 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
              q
          in
          if Queue.length q < orphan_cap_per_pid then begin
-           Queue.push (src, body) q;
+           Queue.push (src, body, Trace.Ctx.cause rt.trace) q;
            Trace.Ctx.incr rt.trace "runtime.orphans_buffered"
          end
          else begin
@@ -101,16 +118,29 @@ let register (rt : t) ~(pid : string) (h : src:int -> string -> unit) : unit =
     Hashtbl.remove rt.orphans pid;
     Sim.Net.inject rt.net rt.me (fun () ->
       Queue.iter
-        (fun (src, body) ->
+        (fun (src, body, cause) ->
           match Hashtbl.find_opt rt.handlers pid with
           (* lint: allow poly-compare — intentional physical identity check:
              replay must target exactly the handler closure that buffered the
              orphans, not a successor registered under the same pid. *)
-          | Some h' when h' == h -> h ~src body
+          | Some h' when h' == h ->
+            (* Restore the buffering-time cause so the replayed dispatch —
+               and everything the handler emits — keeps its causal edge. *)
+            Trace.Ctx.set_cause rt.trace cause;
+            dispatched rt.trace ~pid;
+            h ~src body
           | Some _ | None -> ())
-        q)
+        q;
+      Trace.Ctx.set_cause rt.trace (-1))
 
 let unregister (rt : t) ~(pid : string) : unit = Hashtbl.remove rt.handlers pid
+
+(* Tag the in-flight dispatch with its decoded protocol message kind, so
+   the causal analyzer can label the hop ("vcbc.echo", "aba.coinshare"…).
+   A no-op outside a causal dispatch or without a sink. *)
+let handling (rt : t) ~(pid : string) ~(cat : string) (kind : string) : unit =
+  if Trace.Ctx.enabled rt.trace && Trace.Ctx.cause rt.trace >= 0 then
+    Trace.Ctx.instant rt.trace ~pid ~cat ("h." ^ kind)
 
 let send (rt : t) ~(dst : int) ~(pid : string) (body : string) : unit =
   Sim.Net.send rt.net ~src:rt.me ~dst (envelope ~pid body)

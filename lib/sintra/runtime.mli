@@ -18,7 +18,7 @@ type t = {
   inv : Invariant.t option;
   trace : Trace.Ctx.t;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
-  orphans : (string, (int * string) Queue.t) Hashtbl.t;
+  orphans : (string, (int * string * int) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;
   mutable rebuild : (unit -> unit) list;
 }
@@ -31,6 +31,12 @@ val register : t -> pid:string -> (src:int -> string -> unit) -> unit
 (** @raise Invalid_argument on a duplicate pid. *)
 
 val unregister : t -> pid:string -> unit
+
+val handling : t -> pid:string -> cat:string -> string -> unit
+(** Emit an ["h.<kind>"] instant tagging the message currently being
+    dispatched with its decoded protocol kind (e.g. ["echo"]), so the
+    causal analyzer can label the hop.  No-op outside a causal dispatch
+    or when tracing is off. *)
 
 val send : t -> dst:int -> pid:string -> string -> unit
 (** Send a protocol message body to one party. *)

@@ -205,6 +205,7 @@ let handle_dec (t : t) ~src body =
   match parse_share body with
   | None -> ()
   | Some (index, share) ->
+    Runtime.handling t.rt ~pid:(dec_pid t) ~cat:"abc" "decshare";
     if index >= 0 then begin
       match Hashtbl.find_opt t.slots index with
       | Some slot -> apply_share t ~src slot share

@@ -1,0 +1,634 @@
+(* Causal-DAG reconstruction and critical-path latency attribution.
+
+   The simulator stamps every message with a flow id at send time and
+   records four per-message events: "msg" Flow_start (at the sender, with
+   the parent edge in its "cause" arg), an "xmit" instant when the bytes
+   leave the sender's virtual CPU, a "recv" instant when they arrive at the
+   destination, and a "msg" Flow_end when the runtime dispatches them to a
+   protocol handler (whose pid names the stage).  Handler-side records —
+   crypto spans, protocol instants, further sends — carry the triggering
+   message's id in their "cause" arg.
+
+   From those events this module rebuilds the message DAG and, for every
+   payload delivered at its origin party, walks the parent chain backwards
+   from the delivery's triggering message.  Because the virtual clock is
+   frozen while a handler runs, dispatch(parent) == send(child), so the
+   chain tiles the enqueue→deliver interval with named segments:
+
+     pending  — enqueue until the chain's first send (batch queue wait)
+     queue    — arrival until handler dispatch (inbox wait behind the CPU)
+     transit  — network latency between xmit and arrival
+     crypto   — outermost crypto-charge span time inside handler execution
+     compute  — the rest of each send→xmit CPU window
+
+   Whatever the chain does not cover is reported explicitly as
+   "unattributed" — the acceptance bar is that it stays under 5%.
+
+   Determinism: Hashtbls here are lookup-only; every enumeration walks an
+   insertion-order list, so reports are byte-stable for a given trace. *)
+
+let eps = 1e-9
+
+(* --- normalized access to event args --- *)
+
+let int_arg (args : (string * Event.arg) list) (k : string) : int option =
+  match List.assoc_opt k args with
+  | Some (Event.Int i) -> Some i
+  | Some (Event.Float f) when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let float_arg (args : (string * Event.arg) list) (k : string) : float option =
+  match List.assoc_opt k args with
+  | Some (Event.Float f) -> Some f
+  | Some (Event.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* --- JSONL record -> Event.t --- *)
+
+let arg_of_json (v : Json.value) : Event.arg option =
+  match v with
+  | Json.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Some (Event.Int (int_of_float f))
+    else Some (Event.Float f)
+  | Json.Str s -> Some (Event.Str s)
+  | Json.Bool b -> Some (Event.Bool b)
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let of_json (v : Json.value) : Event.t option =
+  let str k = Option.bind (Json.member k v) Json.str_opt in
+  let num k = Option.bind (Json.member k v) Json.num_opt in
+  match num "t", str "pid", str "cat", str "ph", str "name" with
+  | Some time, Some pid, Some cat, Some ph, Some name ->
+    (match Event.phase_of_letter ph with
+    | None -> None
+    | Some ph ->
+      let party =
+        match num "party" with Some p -> int_of_float p | None -> -1
+      in
+      let level =
+        match str "level" with Some "warn" -> Event.Warn | _ -> Event.Info
+      in
+      let args =
+        match Json.member "args" v with
+        | Some (Json.Obj fields) ->
+          List.filter_map
+            (fun (k, v) ->
+              match arg_of_json v with Some a -> Some (k, a) | None -> None)
+            fields
+        | _ -> []
+      in
+      Some (Event.make ~level ~args ~time ~party ~pid ~cat ~ph name))
+  | _ -> None
+
+let of_jsonl (s : string) : (Event.t list, string) result =
+  match Json.parse_lines s with
+  | Error e -> Error e
+  | Ok vs -> Ok (List.filter_map of_json vs)
+
+(* --- the reconstructed DAG --- *)
+
+type msg = {
+  m_parent : int;                   (* flow id of the cause, or -1 *)
+  m_send : float;
+  mutable m_xmit : float;           (* nan until seen *)
+  mutable m_recv : float;
+  mutable m_disp : float;
+  mutable m_disp_pid : string;      (* envelope pid at dispatch *)
+  mutable m_kind : string;          (* decoded message kind ("echo", ...) *)
+}
+
+type dag = {
+  msgs : (int, msg) Hashtbl.t;
+  mutable msg_order : int list;     (* reverse first-seen order *)
+  mutable n_msgs : int;
+  roots : (int, float) Hashtbl.t;   (* load "submit" instants: id -> time *)
+  crypto_ms : (int, float) Hashtbl.t;  (* cause id -> outermost crypto ms *)
+  enqueues : (int * int, float) Hashtbl.t;  (* (party, seq) -> time *)
+  mutable delivers : (int * int * float * int) list;
+      (* origin-party deliveries, reverse order: party, seq, time, cause *)
+}
+
+let seen (f : float) : bool = not (Float.is_nan f)
+
+let find_msg (d : dag) (id : int) : msg option = Hashtbl.find_opt d.msgs id
+
+let build (events : Event.t list) : dag =
+  let d =
+    {
+      msgs = Hashtbl.create 1024;
+      msg_order = [];
+      n_msgs = 0;
+      roots = Hashtbl.create 64;
+      crypto_ms = Hashtbl.create 256;
+      enqueues = Hashtbl.create 256;
+      delivers = [];
+    }
+  in
+  (* Per-party crypto span nesting depth, to sum only outermost spans
+     (tsig verification nests the per-share RSA checks inside one span). *)
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (ev : Event.t) ->
+      match ev.Event.ph with
+      | Event.Flow_start when ev.Event.name = "msg" -> (
+        match int_arg ev.Event.args "id" with
+        | Some id when not (Hashtbl.mem d.msgs id) ->
+          let parent =
+            match int_arg ev.Event.args "cause" with Some c -> c | None -> -1
+          in
+          let m =
+            {
+              m_parent = parent;
+              m_send = ev.Event.time;
+              m_xmit = Float.nan;
+              m_recv = Float.nan;
+              m_disp = Float.nan;
+              m_disp_pid = "";
+              m_kind = "";
+            }
+          in
+          Hashtbl.replace d.msgs id m;
+          d.msg_order <- id :: d.msg_order;
+          d.n_msgs <- d.n_msgs + 1
+        | Some _ | None -> ())
+      | Event.Flow_end when ev.Event.name = "msg" -> (
+        match Option.bind (int_arg ev.Event.args "id") (find_msg d) with
+        | Some m when not (seen m.m_disp) ->
+          m.m_disp <- ev.Event.time;
+          m.m_disp_pid <- ev.Event.pid
+        | Some _ | None -> ())
+      | Event.Instant -> (
+        match ev.Event.name with
+        | "xmit" when ev.Event.cat = "net" -> (
+          match Option.bind (int_arg ev.Event.args "id") (find_msg d) with
+          | Some m when not (seen m.m_xmit) -> m.m_xmit <- ev.Event.time
+          | Some _ | None -> ())
+        | "recv" when ev.Event.cat = "net" -> (
+          match Option.bind (int_arg ev.Event.args "id") (find_msg d) with
+          | Some m when not (seen m.m_recv) -> m.m_recv <- ev.Event.time
+          | Some _ | None -> ())
+        | "submit" when ev.Event.cat = "load" -> (
+          match int_arg ev.Event.args "id" with
+          | Some id when not (Hashtbl.mem d.roots id) ->
+            Hashtbl.replace d.roots id ev.Event.time
+          | Some _ | None -> ())
+        | "enqueue" when ev.Event.cat = "abc" -> (
+          match int_arg ev.Event.args "seq" with
+          | Some seq ->
+            let key = (ev.Event.party, seq) in
+            if not (Hashtbl.mem d.enqueues key) then
+              Hashtbl.replace d.enqueues key ev.Event.time
+          | None -> ())
+        | "deliver" when ev.Event.cat = "abc" -> (
+          match
+            (int_arg ev.Event.args "sender", int_arg ev.Event.args "seq")
+          with
+          | Some sender, Some seq when sender = ev.Event.party ->
+            let cause =
+              match int_arg ev.Event.args "cause" with
+              | Some c -> c
+              | None -> -1
+            in
+            d.delivers <- (sender, seq, ev.Event.time, cause) :: d.delivers
+          | _, _ -> ())
+        | name
+          when String.length name > 2
+               && String.sub name 0 2 = "h." -> (
+          match Option.bind (int_arg ev.Event.args "cause") (find_msg d) with
+          | Some m when m.m_kind = "" ->
+            m.m_kind <- String.sub name 2 (String.length name - 2)
+          | Some _ | None -> ())
+        | _ -> ())
+      | Event.Span_begin when ev.Event.cat = "crypto" ->
+        let p = ev.Event.party in
+        let n = match Hashtbl.find_opt depth p with Some n -> n | None -> 0 in
+        Hashtbl.replace depth p (n + 1)
+      | Event.Span_end when ev.Event.cat = "crypto" -> (
+        let p = ev.Event.party in
+        let n = match Hashtbl.find_opt depth p with Some n -> n | None -> 0 in
+        Hashtbl.replace depth p (max 0 (n - 1));
+        if n = 1 then
+          match
+            (float_arg ev.Event.args "ms", int_arg ev.Event.args "cause")
+          with
+          | Some ms, Some c when c >= 0 ->
+            let prev =
+              match Hashtbl.find_opt d.crypto_ms c with
+              | Some x -> x
+              | None -> 0.0
+            in
+            Hashtbl.replace d.crypto_ms c (prev +. ms)
+          | _, _ -> ())
+      | Event.Flow_start | Event.Flow_end | Event.Span_begin | Event.Span_end
+      | Event.Counter ->
+        ())
+    events;
+  d
+
+(* --- stage naming --- *)
+
+let has_prefix (p : string) (s : string) : bool =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Protocol family from an envelope pid: the last '/'-separated segment
+   follows the instance naming convention ("mv.3", "ba.7", "p.2", "e.4.1",
+   "rec.2", or the base channel pid). *)
+let family_of_pid (pid : string) : string =
+  let seg =
+    match String.rindex_opt pid '/' with
+    | Some i -> String.sub pid (i + 1) (String.length pid - i - 1)
+    | None -> pid
+  in
+  if has_prefix "mv." seg then "mvba"
+  else if has_prefix "ba." seg then "aba"
+  else if has_prefix "p." seg then "vcbc"
+  else if has_prefix "e." seg then "opt"
+  else if has_prefix "rec." seg then "recovery"
+  else "abc"
+
+let stage_of (m : msg) : string =
+  let fam = family_of_pid m.m_disp_pid in
+  if m.m_kind = "" then fam else fam ^ "." ^ m.m_kind
+
+(* --- attribution --- *)
+
+type phases = {
+  mutable ph_pending : float;
+  mutable ph_queue : float;
+  mutable ph_transit : float;
+  mutable ph_crypto : float;
+  mutable ph_compute : float;
+}
+
+let phases_zero () : phases =
+  {
+    ph_pending = 0.0;
+    ph_queue = 0.0;
+    ph_transit = 0.0;
+    ph_crypto = 0.0;
+    ph_compute = 0.0;
+  }
+
+let phases_sum (p : phases) : float =
+  p.ph_pending +. p.ph_queue +. p.ph_transit +. p.ph_crypto +. p.ph_compute
+
+let phases_fields (p : phases) : (string * float) list =
+  [
+    ("pending", p.ph_pending);
+    ("queue", p.ph_queue);
+    ("transit", p.ph_transit);
+    ("crypto", p.ph_crypto);
+    ("compute", p.ph_compute);
+  ]
+
+type payload = {
+  p_party : int;
+  p_seq : int;
+  p_enqueue : float;
+  p_deliver : float;
+  p_total : float;
+  p_hops : int;
+  p_phases : phases;
+  p_stages : (string * float) list;   (* descending time, then name *)
+  p_unattributed : float;
+  p_coverage : float;                 (* attributed / total; 1.0 if total=0 *)
+}
+
+type report = {
+  r_messages : int;
+  r_unmatched : int;                  (* deliveries without an enqueue *)
+  r_payloads : payload list;
+  r_phases : phases;
+  r_stages : (string * float) list;
+  r_total : float;
+  r_unattributed : float;
+  r_coverage : float;
+}
+
+let sort_stages (l : (string * float) list) : (string * float) list =
+  List.sort
+    (fun (n1, v1) (n2, v2) ->
+      match compare v2 v1 with 0 -> compare n1 n2 | c -> c)
+    l
+
+let add_stage (acc : (string * float) list ref) (name : string) (v : float) :
+    unit =
+  if v > 0.0 then
+    match List.assoc_opt name !acc with
+    | Some prev -> acc := (name, prev +. v) :: List.remove_assoc name !acc
+    | None -> acc := (name, v) :: !acc
+
+(* Walk the parent chain of the delivery-triggering message and tile
+   [t0, td] with attributed segments. *)
+let attribute (d : dag) ~(party : int) ~(seq : int) ~(t0 : float)
+    ~(td : float) ~(trigger : int) : payload =
+  let total = td -. t0 in
+  let ph = phases_zero () in
+  let stages : (string * float) list ref = ref [] in
+  let hops = ref 0 in
+  let chain_min = ref td in
+  let clip lo hi = (max lo t0, min hi td) in
+  let seg lo hi (bump : float -> unit) (stage : string option) : unit =
+    if seen lo && seen hi then begin
+      let lo, hi = clip lo hi in
+      if hi > lo then begin
+        bump (hi -. lo);
+        match stage with Some s -> add_stage stages s (hi -. lo) | None -> ()
+      end
+    end
+  in
+  let cur = ref trigger in
+  let continue = ref true in
+  while !continue && !cur >= 0 do
+    match find_msg d !cur with
+    | None -> continue := false
+    | Some m ->
+      incr hops;
+      if max m.m_send t0 < !chain_min then chain_min := max m.m_send t0;
+      let stage = stage_of m in
+      (* CPU window [send, xmit]: crypto charged during the parent's
+         dispatch (cause = m_parent) occupies part of it. *)
+      (if seen m.m_xmit then begin
+         let lo, hi = clip m.m_send m.m_xmit in
+         if hi > lo then begin
+           let width = hi -. lo in
+           let cry =
+             if m.m_parent >= 0 then
+               match Hashtbl.find_opt d.crypto_ms m.m_parent with
+               | Some ms -> Float.min (ms /. 1000.0) width
+               | None -> 0.0
+             else 0.0
+           in
+           ph.ph_crypto <- ph.ph_crypto +. cry;
+           ph.ph_compute <- ph.ph_compute +. (width -. cry);
+           add_stage stages stage width
+         end
+       end);
+      seg m.m_xmit m.m_recv
+        (fun w -> ph.ph_transit <- ph.ph_transit +. w)
+        (Some stage);
+      seg m.m_recv m.m_disp
+        (fun w -> ph.ph_queue <- ph.ph_queue +. w)
+        (Some stage);
+      if m.m_parent >= !cur then continue := false  (* malformed: stop *)
+      else if m.m_send <= t0 then continue := false (* chain precedes enqueue *)
+      else cur := m.m_parent
+  done;
+  if !hops > 0 && !chain_min > t0 then ph.ph_pending <- !chain_min -. t0;
+  let attributed = phases_sum ph in
+  let unattributed = Float.max 0.0 (total -. attributed) in
+  let coverage =
+    if total <= eps then 1.0 else Float.min 1.0 (attributed /. total)
+  in
+  {
+    p_party = party;
+    p_seq = seq;
+    p_enqueue = t0;
+    p_deliver = td;
+    p_total = total;
+    p_hops = !hops;
+    p_phases = ph;
+    p_stages = sort_stages !stages;
+    p_unattributed = unattributed;
+    p_coverage = coverage;
+  }
+
+let analyze (events : Event.t list) : report =
+  let d = build events in
+  let payloads = ref [] in
+  let unmatched = ref 0 in
+  List.iter
+    (fun (party, seq, td, cause) ->
+      match Hashtbl.find_opt d.enqueues (party, seq) with
+      | None -> incr unmatched
+      | Some t0 ->
+        payloads :=
+          attribute d ~party ~seq ~t0 ~td ~trigger:cause :: !payloads)
+    (List.rev d.delivers);
+  let payloads = List.rev !payloads in
+  let tot = phases_zero () in
+  let stages = ref [] in
+  let total = ref 0.0 in
+  let unattr = ref 0.0 in
+  List.iter
+    (fun p ->
+      tot.ph_pending <- tot.ph_pending +. p.p_phases.ph_pending;
+      tot.ph_queue <- tot.ph_queue +. p.p_phases.ph_queue;
+      tot.ph_transit <- tot.ph_transit +. p.p_phases.ph_transit;
+      tot.ph_crypto <- tot.ph_crypto +. p.p_phases.ph_crypto;
+      tot.ph_compute <- tot.ph_compute +. p.p_phases.ph_compute;
+      List.iter (fun (n, v) -> add_stage stages n v) p.p_stages;
+      total := !total +. p.p_total;
+      unattr := !unattr +. p.p_unattributed)
+    payloads;
+  {
+    r_messages = d.n_msgs;
+    r_unmatched = !unmatched;
+    r_payloads = payloads;
+    r_phases = tot;
+    r_stages = sort_stages !stages;
+    r_total = !total;
+    r_unattributed = !unattr;
+    r_coverage =
+      (if !total <= eps then 1.0
+       else Float.min 1.0 ((!total -. !unattr) /. !total));
+  }
+
+let min_coverage (r : report) : float =
+  List.fold_left (fun acc p -> Float.min acc p.p_coverage) 1.0 r.r_payloads
+
+(* --- causal well-formedness --- *)
+
+let validate (events : Event.t list) : string list =
+  let errors = ref [] in
+  let n_errors = ref 0 in
+  let err fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr n_errors;
+        if !n_errors <= 20 then errors := s :: !errors)
+      fmt
+  in
+  (* Pass 1: which flow ids exist (messages and load-submit roots)? *)
+  let defined : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (ev : Event.t) ->
+      let id_def () =
+        match int_arg ev.Event.args "id" with
+        | Some id ->
+          if Hashtbl.mem defined id then err "duplicate flow id %d" id
+          else Hashtbl.replace defined id ()
+        | None -> err "%s event without an id arg" ev.Event.name
+      in
+      match ev.Event.ph with
+      | Event.Flow_start when ev.Event.name = "msg" -> id_def ()
+      | Event.Instant
+        when ev.Event.name = "submit" && ev.Event.cat = "load" ->
+        id_def ()
+      | _ -> ())
+    events;
+  (* Pass 2: every reference resolves; parent edges are monotone (hence the
+     graph is acyclic and free of self-loops). *)
+  List.iter
+    (fun (ev : Event.t) ->
+      (match int_arg ev.Event.args "cause" with
+      | Some c when c >= 0 && not (Hashtbl.mem defined c) ->
+        err "%s@%s references unknown cause %d" ev.Event.name
+          (Event.float_str ev.Event.time) c
+      | Some _ | None -> ());
+      match ev.Event.ph with
+      | Event.Flow_start when ev.Event.name = "msg" -> (
+        match (int_arg ev.Event.args "id", int_arg ev.Event.args "cause") with
+        | Some id, Some c when c >= id ->
+          err "flow %d has non-monotone parent %d (cycle or self-edge)" id c
+        | _, _ -> ())
+      | Event.Flow_end when ev.Event.name = "msg" -> (
+        match int_arg ev.Event.args "id" with
+        | Some id when not (Hashtbl.mem defined id) ->
+          err "flow end for unknown id %d" id
+        | Some _ -> ()
+        | None -> err "flow end without an id arg")
+      | Event.Instant
+        when (ev.Event.name = "xmit" || ev.Event.name = "recv")
+             && ev.Event.cat = "net" -> (
+        match int_arg ev.Event.args "id" with
+        | Some id when not (Hashtbl.mem defined id) ->
+          err "%s for unknown id %d" ev.Event.name id
+        | Some _ -> ()
+        | None -> err "%s without an id arg" ev.Event.name)
+      | _ -> ())
+    events;
+  (* Pass 3: per-message and parent-edge virtual-time order. *)
+  let d = build events in
+  List.iter
+    (fun id ->
+      match find_msg d id with
+      | None -> ()
+      | Some m ->
+        let check lo hi what =
+          if seen lo && seen hi && hi < lo -. eps then
+            err "flow %d: %s (%s < %s)" id what (Event.float_str hi)
+              (Event.float_str lo)
+        in
+        check m.m_send m.m_xmit "departs before send";
+        check m.m_xmit m.m_recv "arrives before departure";
+        check m.m_recv m.m_disp "dispatched before arrival";
+        if m.m_parent >= 0 then begin
+          match find_msg d m.m_parent with
+          | Some parent ->
+            if m.m_send < parent.m_send -. eps then
+              err "flow %d sent before its parent %d" id m.m_parent;
+            if seen parent.m_disp && m.m_send < parent.m_disp -. eps then
+              err "flow %d sent before its parent %d was dispatched" id
+                m.m_parent
+          | None -> (
+            match Hashtbl.find_opt d.roots m.m_parent with
+            | Some t when m.m_send < t -. eps ->
+              err "flow %d sent before its root submit %d" id m.m_parent
+            | Some _ | None -> ())
+        end)
+    (List.rev d.msg_order);
+  let tail =
+    if !n_errors > 20 then [ Printf.sprintf "(+%d more)" (!n_errors - 20) ]
+    else []
+  in
+  List.rev !errors @ tail
+
+(* --- rendering --- *)
+
+let pct (part : float) (total : float) : string =
+  if total <= eps then "  0.0%"
+  else Printf.sprintf "%5.1f%%" (100.0 *. part /. total)
+
+let report_text (r : report) : string =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "critical path: %d message(s), %d delivered payload(s)%s\n"
+    r.r_messages
+    (List.length r.r_payloads)
+    (if r.r_unmatched > 0 then
+       Printf.sprintf " (%d without enqueue, skipped)" r.r_unmatched
+     else "");
+  Printf.bprintf b
+    "total enqueue->deliver latency %.6f s, attributed %.1f%% \
+     (unattributed %.6f s)\n"
+    r.r_total
+    (100.0 *. r.r_coverage)
+    r.r_unattributed;
+  Buffer.add_string b "phases:\n";
+  List.iter
+    (fun (name, v) ->
+      Printf.bprintf b "  %-8s %12.6f s  %s\n" name v (pct v r.r_total))
+    (phases_fields r.r_phases);
+  Printf.bprintf b "  %-8s %12.6f s  %s\n" "(none)" r.r_unattributed
+    (pct r.r_unattributed r.r_total);
+  Buffer.add_string b "stages (hop wall time on the critical path):\n";
+  List.iter
+    (fun (name, v) ->
+      Printf.bprintf b "  %-16s %12.6f s  %s\n" name v (pct v r.r_total))
+    r.r_stages;
+  Buffer.add_string b "per payload:\n";
+  List.iter
+    (fun p ->
+      Printf.bprintf b
+        "  p%d seq %-4d total %9.6f s  hops %-3d coverage %5.1f%%  \
+         pending %.6f queue %.6f transit %.6f crypto %.6f compute %.6f\n"
+        p.p_party p.p_seq p.p_total p.p_hops
+        (100.0 *. p.p_coverage)
+        p.p_phases.ph_pending p.p_phases.ph_queue p.p_phases.ph_transit
+        p.p_phases.ph_crypto p.p_phases.ph_compute)
+    r.r_payloads;
+  Buffer.contents b
+
+let phases_json (p : phases) : string =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":%s" k (Event.float_str v))
+         (phases_fields p))
+  ^ "}"
+
+let stages_json (l : (string * float) list) : string =
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "[\"%s\",%s]" (Event.escape k) (Event.float_str v))
+         l)
+  ^ "]"
+
+let report_json (r : report) : string =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\"format\":\"sintra-critical-path-v1\",\"messages\":%d,\
+     \"payloads\":%d,\"unmatched\":%d,\"total_s\":%s,\
+     \"unattributed_s\":%s,\"coverage\":%s,\"phases_s\":%s,\"stages_s\":%s,\
+     \"per_payload\":["
+    r.r_messages
+    (List.length r.r_payloads)
+    r.r_unmatched
+    (Event.float_str r.r_total)
+    (Event.float_str r.r_unattributed)
+    (Event.float_str r.r_coverage)
+    (phases_json r.r_phases)
+    (stages_json r.r_stages);
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"party\":%d,\"seq\":%d,\"enqueue_s\":%s,\"deliver_s\":%s,\
+         \"total_s\":%s,\"hops\":%d,\"coverage\":%s,\"phases_s\":%s,\
+         \"unattributed_s\":%s,\"stages_s\":%s}"
+        p.p_party p.p_seq
+        (Event.float_str p.p_enqueue)
+        (Event.float_str p.p_deliver)
+        (Event.float_str p.p_total)
+        p.p_hops
+        (Event.float_str p.p_coverage)
+        (phases_json p.p_phases)
+        (Event.float_str p.p_unattributed)
+        (stages_json p.p_stages))
+    r.r_payloads;
+  Buffer.add_string b "]}";
+  Buffer.contents b

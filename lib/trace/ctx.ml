@@ -11,11 +11,16 @@ type t = {
   metrics : Metrics.t;
   now : unit -> float;
   party : int;
+  (* The flow id of the message currently being handled on this party, or
+     -1 outside a handler.  Set by the network layer around each dispatch;
+     emit_at stamps it onto every record so protocol spans automatically
+     carry the causal edge back to their triggering message. *)
+  mutable cause : int;
 }
 
 let create ~(sink : Sink.t ref) ~(metrics : Metrics.t)
     ~(now : unit -> float) ~(party : int) : t =
-  { sink; metrics; now; party }
+  { sink; metrics; now; party; cause = -1 }
 
 (* A context that never records anything; the default for components built
    without an engine attached (unit tests of single modules). *)
@@ -25,12 +30,15 @@ let null () : t =
     metrics = Metrics.create ();
     now = (fun () -> 0.0);
     party = -1;
+    cause = -1;
   }
 
 let enabled (t : t) : bool = Sink.enabled !(t.sink)
 let metrics (t : t) : Metrics.t = t.metrics
 let party (t : t) : int = t.party
 let now (t : t) : float = t.now ()
+let cause (t : t) : int = t.cause
+let set_cause (t : t) (id : int) : unit = t.cause <- id
 
 let emit_at (t : t) ~(time : float) ~(pid : string) ~(cat : string)
     ~(ph : Event.phase) ?(level = Event.Info) ?(args = []) (name : string) :
@@ -38,6 +46,9 @@ let emit_at (t : t) ~(time : float) ~(pid : string) ~(cat : string)
   match !(t.sink) with
   | Sink.Null -> ()
   | Sink.Fn f ->
+    let args =
+      if t.cause >= 0 then args @ [ ("cause", Event.Int t.cause) ] else args
+    in
     f (Event.make ~level ~args ~time ~party:t.party ~pid ~cat ~ph name)
 
 let span_begin (t : t) ~(pid : string) ~(cat : string) ?(args = [])

@@ -27,6 +27,15 @@ val party : t -> int
 val now : t -> float
 (** The current virtual time, read through the context's clock. *)
 
+val cause : t -> int
+(** The flow id of the message currently being handled on this party, or
+    -1 outside a handler.  Maintained by the network layer. *)
+
+val set_cause : t -> int -> unit
+(** Install (or, with -1, clear) the current causal flow id.  Every record
+    subsequently emitted through this context carries a ["cause"] argument
+    until the id is cleared, which is how protocol spans join the DAG. *)
+
 val emit_at :
   t -> time:float -> pid:string -> cat:string -> ph:Event.phase ->
   ?level:Event.level -> ?args:(string * Event.arg) list -> string -> unit

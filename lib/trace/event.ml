@@ -18,6 +18,8 @@ type phase =
   | Span_end                      (* Chrome "E" *)
   | Instant                       (* Chrome "i" *)
   | Counter                       (* Chrome "C" *)
+  | Flow_start                    (* Chrome "s": a causal edge leaves here *)
+  | Flow_end                      (* Chrome "f": the edge lands here *)
 
 type level = Info | Warn
 
@@ -40,6 +42,17 @@ let phase_letter = function
   | Span_end -> "E"
   | Instant -> "i"
   | Counter -> "C"
+  | Flow_start -> "s"
+  | Flow_end -> "f"
+
+let phase_of_letter = function
+  | "B" -> Some Span_begin
+  | "E" -> Some Span_end
+  | "i" -> Some Instant
+  | "C" -> Some Counter
+  | "s" -> Some Flow_start
+  | "f" -> Some Flow_end
+  | _ -> None
 
 let level_name = function Info -> "info" | Warn -> "warn"
 

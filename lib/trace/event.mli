@@ -14,6 +14,8 @@ type phase =
   | Span_end                      (** Chrome "E" *)
   | Instant                       (** Chrome "i" *)
   | Counter                       (** Chrome "C" *)
+  | Flow_start                    (** Chrome "s": a causal edge leaves here *)
+  | Flow_end                      (** Chrome "f": the edge lands here *)
 
 type level = Info | Warn
 
@@ -34,7 +36,10 @@ val make :
 (** Build a record; [level] defaults to [Info], [args] to []. *)
 
 val phase_letter : phase -> string
-(** The Chrome trace-event phase letter ("B", "E", "i" or "C"). *)
+(** The Chrome trace-event phase letter ("B", "E", "i", "C", "s" or "f"). *)
+
+val phase_of_letter : string -> phase option
+(** The inverse of {!phase_letter}; [None] on an unknown letter. *)
 
 val level_name : level -> string
 (** ["info"] or ["warn"]. *)

@@ -134,6 +134,30 @@ let merge_into ~(into : hist) (src : hist) : unit =
   into.h_sum <- into.h_sum +. src.h_sum;
   into.h_count <- into.h_count + src.h_count
 
+(* Publish p50/p90/p99 of every histogram as counters named
+   "<hist>/p50" etc., so percentile summaries appear in any plain counter
+   dump (the published registry, --stats, BENCH_trace.json).  Idempotent:
+   counters are overwritten with [set]. *)
+let publish_quantiles (t : t) : unit =
+  let hist_names =
+    List.filter
+      (fun name ->
+        match Hashtbl.find_opt t.tbl name with
+        | Some (H _) -> true
+        | Some (C _) | None -> false)
+      (List.sort compare t.names)
+  in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (H h) ->
+        List.iter
+          (fun (label, q) ->
+            set (counter t (name ^ "/" ^ label)) (hist_quantile h q))
+          [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+      | Some (C _) | None -> ())
+    hist_names
+
 (* --- deterministic enumeration --- *)
 
 let sorted_names (t : t) : string list = List.sort compare t.names

@@ -68,6 +68,11 @@ val merge_into : into:hist -> hist -> unit
 (** Add [src]'s buckets into [into].
     @raise Invalid_argument if bucket bounds differ. *)
 
+val publish_quantiles : t -> unit
+(** For every histogram [h], set counters ["<h>/p50"], ["<h>/p90"] and
+    ["<h>/p99"] to {!hist_quantile} at those ranks, so percentiles appear
+    in plain counter dumps.  Idempotent. *)
+
 (** {2 Deterministic enumeration} *)
 
 val dump : t -> (string * float) list

@@ -85,8 +85,22 @@ let chrome_event_json ~(tid : int) (ev : Event.t) : string =
     | Event.Info -> ev.Event.args
     | Event.Warn -> ev.Event.args @ [ ("level", Event.Str "warn") ]
   in
+  (* Flow events need a top-level "id" binding the arrow's two ends, and the
+     landing end needs "bp":"e" so Perfetto attaches it to the enclosing
+     slice.  The id travels in the args at emission time; hoist it. *)
+  let flow_id =
+    match ev.Event.ph with
+    | Event.Flow_start | Event.Flow_end ->
+      (match List.assoc_opt "id" args with Some (Event.Int i) -> Some i | _ -> Some 0)
+    | Event.Span_begin | Event.Span_end | Event.Instant | Event.Counter ->
+      None
+  in
   let extra =
-    match ev.Event.ph with Event.Instant -> ",\"s\":\"t\"" | _ -> ""
+    match ev.Event.ph, flow_id with
+    | Event.Instant, _ -> ",\"s\":\"t\""
+    | Event.Flow_start, Some id -> Printf.sprintf ",\"id\":%d" id
+    | Event.Flow_end, Some id -> Printf.sprintf ",\"id\":%d,\"bp\":\"e\"" id
+    | _, _ -> ""
   in
   Printf.sprintf
     "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\
@@ -168,7 +182,8 @@ let chrome_contents (c : chrome) : string =
         (match Hashtbl.find_opt open_spans key with
         | Some (_ :: rest) -> Hashtbl.replace open_spans key rest
         | Some [] | None -> ())
-      | Event.Instant | Event.Counter -> ());
+      | Event.Instant | Event.Counter | Event.Flow_start | Event.Flow_end ->
+        ());
       add_json (chrome_event_json ~tid ev))
     events;
   (* Close anything still open, innermost first, in thread-first-seen order. *)

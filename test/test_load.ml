@@ -59,11 +59,11 @@ let suite = [
   Alcotest.test_case "closed loop: one outstanding, latency recorded" `Quick
     (fun () ->
       let engine = Sim.Engine.create ~seed:"gen-closed" () in
-      let g = Load.Gen.create ~engine in
+      let g = Load.Gen.create ~engine () in
       let submitted = ref [] in
       (* A fake channel with a constant 0.05 s commit latency: echo every
          submitted marker back to the client's party after the delay. *)
-      let submit p =
+      let submit ~cause:_ p =
         submitted := p :: !submitted;
         Sim.Engine.schedule engine ~delay:0.05 (fun () ->
           Load.Gen.deliver g ~party:0 p)
@@ -83,10 +83,10 @@ let suite = [
   Alcotest.test_case "closed loop: foreign payloads and parties ignored" `Quick
     (fun () ->
       let engine = Sim.Engine.create ~seed:"gen-ignore" () in
-      let g = Load.Gen.create ~engine in
+      let g = Load.Gen.create ~engine () in
       let marker = ref "" in
       Load.Gen.add_closed g ~party:0 ~think:1.0 ~until:100.0
-        ~submit:(fun p -> marker := p);
+        ~submit:(fun ~cause:_ p -> marker := p);
       Alcotest.(check int) "one issued" 1 (Load.Gen.issued g);
       (* not a marker at all *)
       Load.Gen.deliver g ~party:0 "application payload";
@@ -105,12 +105,12 @@ let suite = [
   Alcotest.test_case "open loop: issues at arrival instants, ignores overload"
     `Quick (fun () ->
       let engine = Sim.Engine.create ~seed:"gen-open" () in
-      let g = Load.Gen.create ~engine in
+      let g = Load.Gen.create ~engine () in
       let count = ref 0 in
       (* Nothing is ever delivered back: an open-loop client keeps issuing
          on its arrival process anyway. *)
       Load.Gen.add_open g ~party:0 ~arrival:(Load.Arrival.fixed ~period:0.5)
-        ~until:5.0 ~submit:(fun _ -> incr count);
+        ~until:5.0 ~submit:(fun ~cause:_ _ -> incr count);
       ignore (Sim.Engine.run engine);
       Alcotest.(check int) "arrivals at 0.5 .. 5.0" 10 !count;
       Alcotest.(check int) "issued matches" 10 (Load.Gen.issued g);

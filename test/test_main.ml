@@ -22,6 +22,7 @@ let () =
       ("regression", Test_regression.suite);
       ("faults", Test_faults.suite);
       ("trace", Test_trace.suite);
+      ("causal", Test_causal.suite);
       ("lint", Test_lint.suite);
       ("vopr", Test_vopr.suite);
     ]
