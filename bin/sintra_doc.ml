@@ -8,7 +8,9 @@
 
    Exit status 0 when clean, 1 on any finding. *)
 
-let default_strict = [ "bignum"; "crypto"; "vopr"; "sim"; "trace"; "load" ]
+let default_strict =
+  [ "bignum"; "crypto"; "vopr"; "sim"; "trace"; "load";
+    "sintra"; "lint"; "wire"; "det"; "hashes" ]
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in

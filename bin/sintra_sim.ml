@@ -65,14 +65,29 @@ let no_batching_arg =
                  round, the pre-batching baseline of the throughput \
                  benchmarks.")
 
+let pipeline_depth_arg =
+  Arg.(value & opt int 4
+       & info [ "pipeline-depth" ] ~docv:"W"
+           ~doc:"Atomic-broadcast rounds in flight concurrently (the \
+                 pipeline window); 1 reproduces the strictly sequential \
+                 protocol.")
+
+let no_adaptive_batch_arg =
+  Arg.(value & flag
+       & info [ "no-adaptive-batch" ]
+           ~doc:"Pin the per-round vector cap at max_batch instead of \
+                 AIMD self-tuning from the observed queue depth.")
+
 let make_cluster ~seed ~scheme ?(no_fast_path = false) ?(no_batching = false)
-    (topo : Sim.Topology.t) : Cluster.t =
+    ?(pipeline_depth = 4) ?(adaptive_batch = true) (topo : Sim.Topology.t) :
+    Cluster.t =
   let n = Sim.Topology.n topo in
   let t = faults_t topo in
   let cfg =
     Config.make ~tsig_scheme:scheme ~perm_mode:Config.Random_local
       ~crypto_fast_path:(not no_fast_path)
       ~max_batch:(if no_batching then 1 else 256)
+      ~pipeline_depth ~adaptive_batch
       ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()
   in
   Cluster.create ~seed ~topo cfg
@@ -188,9 +203,13 @@ let channel_arg =
        & info [ "channel" ] ~docv:"KIND" ~doc:"atomic, secure, reliable or consistent.")
 
 let run_cmd =
-  let run channel topo seed scheme no_fast_path no_batching senders messages
-      crashes verbose trace_file trace_format stats =
-    let c = make_cluster ~seed ~scheme ~no_fast_path ~no_batching topo in
+  let run channel topo seed scheme no_fast_path no_batching pipeline_depth
+      no_adaptive_batch senders messages crashes verbose trace_file
+      trace_format stats =
+    let c =
+      make_cluster ~seed ~scheme ~no_fast_path ~no_batching ~pipeline_depth
+        ~adaptive_batch:(not no_adaptive_batch) topo
+    in
     let finish_trace = setup_trace c trace_file trace_format in
     let n = Cluster.n c in
     let senders = List.filter (fun s -> s >= 0 && s < n) senders in
@@ -273,7 +292,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Drive a broadcast channel over a simulated test-bed.")
     Term.(const run $ channel_arg $ topology_arg $ seed_arg $ scheme_arg
-          $ no_fast_path_arg $ no_batching_arg $ senders $ messages
+          $ no_fast_path_arg $ no_batching_arg $ pipeline_depth_arg
+          $ no_adaptive_batch_arg $ senders $ messages
           $ crashes_arg $ verbose $ trace_file_arg $ trace_format_arg
           $ stats_arg)
 
@@ -564,8 +584,9 @@ let critical_path_cmd =
 (* --- bench-latency: traced offered-load ladder with phase attribution --- *)
 
 let bench_latency_cmd =
-  let run smoke out duration seed =
-    let report = Load.Latency.run ~smoke ?duration ~seed () in
+  let run smoke out duration rates seed =
+    let rates = match rates with [] -> None | rs -> Some rs in
+    let report = Load.Latency.run ~smoke ?duration ?rates ~seed () in
     List.iter
       (fun (p : Load.Latency.point) ->
         Printf.printf
@@ -594,6 +615,12 @@ let bench_latency_cmd =
              ~doc:"Virtual seconds per measurement point (default 8, or 1 \
                    with --smoke).")
   in
+  let rates =
+    Arg.(value & opt (list float) []
+         & info [ "rates" ] ~docv:"R1,R2,..."
+             ~doc:"Offered-rate ladder in requests per virtual second \
+                   (default 5,10,20,40,80, or 10,20,40 with --smoke).")
+  in
   let seed =
     Arg.(value & opt string "latency"
          & info [ "seed" ] ~docv:"SEED" ~doc:"Determinism seed.")
@@ -604,7 +631,7 @@ let bench_latency_cmd =
              loads with end-to-end causal tracing: per-point percentiles \
              plus a critical-path phase breakdown, written as \
              BENCH_latency.json.")
-    Term.(const run $ smoke $ out $ duration $ seed)
+    Term.(const run $ smoke $ out $ duration $ rates $ seed)
 
 (* --- latency-check: validate BENCH_latency.json --- *)
 
@@ -827,12 +854,13 @@ let explore_cmd =
           ("consistent", Vopr.Oracle.Consistent); ("aba", Vopr.Oracle.Aba);
           ("mvba", Vopr.Oracle.Mvba); ("atomic", Vopr.Oracle.Atomic);
           ("secure", Vopr.Oracle.Secure);
-          ("throughput", Vopr.Oracle.Throughput) ]
+          ("throughput", Vopr.Oracle.Throughput);
+          ("pipeline", Vopr.Oracle.Pipeline) ]
     in
     Arg.(value & opt workload_conv Vopr.Oracle.Atomic
          & info [ "workload" ] ~docv:"KIND"
-             ~doc:"reliable, consistent, aba, mvba, atomic, secure or \
-                   throughput.")
+             ~doc:"reliable, consistent, aba, mvba, atomic, secure, \
+                   throughput or pipeline.")
   in
   let seeds =
     Arg.(value & opt int 100
@@ -961,8 +989,12 @@ let perf_check_cmd =
 (* --- bench-throughput: the latency-vs-offered-load sweep --- *)
 
 let bench_throughput_cmd =
-  let run smoke out duration seed =
-    let report = Load.Sweep.run ~smoke ?duration ~seed () in
+  let run smoke out duration rates clients seed =
+    let rates = match rates with [] -> None | rs -> Some rs in
+    let report =
+      Load.Sweep.run ~smoke ?duration ?rates ?clients_per_party:clients ~seed
+        ()
+    in
     List.iter
       (fun (s : Load.Sweep.series) ->
         Printf.printf
@@ -998,6 +1030,20 @@ let bench_throughput_cmd =
              ~doc:"Virtual seconds per measurement point (default 10, or 2 \
                    with --smoke).")
   in
+  let rates =
+    Arg.(value & opt (list float) []
+         & info [ "rates" ] ~docv:"R1,R2,..."
+             ~doc:"Offered-rate ladder in requests per virtual second \
+                   (default 5,10,20,40,80, or a single rate with --smoke); \
+                   lets a report be reproduced byte for byte from the \
+                   command line.")
+  in
+  let clients =
+    Arg.(value & opt (some int) None
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Closed-loop clients per party for the saturation probe \
+                   (default 64).")
+  in
   let seed =
     Arg.(value & opt string "throughput"
          & info [ "seed" ] ~docv:"SEED" ~doc:"Determinism seed.")
@@ -1008,7 +1054,71 @@ let bench_throughput_cmd =
              (--no-batching semantics): open-loop latency-vs-offered-load \
              curves plus a closed-loop saturation probe, written as \
              BENCH_throughput.json.")
-    Term.(const run $ smoke $ out $ duration $ seed)
+    Term.(const run $ smoke $ out $ duration $ rates $ clients $ seed)
+
+(* --- adaptive-check: AIMD batch-cap convergence under a bursty load --- *)
+
+let adaptive_check_cmd =
+  let run seed max_batch =
+    (* A bursty closed-loop workload on the benchmark configuration: the
+       adaptive cap must rise above its floor while the backlog is deep,
+       and must never leave [min 8 max_batch, max_batch]. *)
+    let cfg = Load.Sweep.sweep_cfg ~n:4 ~t:1 ~max_batch () in
+    let c = Load.Sweep.make_cluster ~seed:("adaptive|" ^ seed) cfg in
+    let chans =
+      Array.init 4 (fun i ->
+        Atomic_channel.create (Cluster.runtime c i) ~pid:"adapt"
+          ~on_deliver:(fun ~sender:_ _ -> ()) ())
+    in
+    for wave = 0 to 7 do
+      Cluster.at c ~time:(0.01 +. (0.25 *. float_of_int wave)) (fun () ->
+        for i = 0 to 3 do
+          Cluster.inject c i (fun () ->
+            for k = 0 to 5 do
+              Atomic_channel.send chans.(i)
+                (Printf.sprintf "m%d.%d.%d" i wave k)
+            done)
+        done)
+    done;
+    let floor = min 8 max_batch in
+    let hi = ref 0 and lo = ref max_int in
+    for k = 1 to 750 do
+      Cluster.at c ~time:(float_of_int k *. 0.02) (fun () ->
+        let cap = Atomic_channel.batch_limit chans.(0) in
+        if cap > !hi then hi := cap;
+        if cap < !lo then lo := cap)
+    done;
+    ignore (Cluster.run c ~until:300.0);
+    let delivered = Atomic_channel.deliveries chans.(0) in
+    Printf.printf
+      "adaptive-check: cap ranged [%d, %d] (floor %d, ceiling %d), %d \
+       payloads delivered\n"
+      !lo !hi floor max_batch delivered;
+    let ok =
+      !lo >= floor && !hi <= max_batch && !hi > floor && delivered = 192
+    in
+    if not ok then begin
+      Printf.eprintf
+        "adaptive-check: FAILED (want floor <= cap <= ceiling, growth \
+         above the floor, and all 192 payloads)\n";
+      exit 1
+    end
+  in
+  let seed =
+    Arg.(value & opt string "adaptive"
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Determinism seed.")
+  in
+  let max_batch =
+    Arg.(value & opt int 256
+         & info [ "max-batch" ] ~docv:"B"
+             ~doc:"Vector-cap ceiling for the run (default 256).")
+  in
+  Cmd.v
+    (Cmd.info "adaptive-check"
+       ~doc:"Drive a bursty atomic-broadcast workload and verify the \
+             adaptive batch cap converges between its AIMD floor and the \
+             max-batch ceiling.")
+    Term.(const run $ seed $ max_batch)
 
 (* --- throughput-check: validate BENCH_throughput.json --- *)
 
@@ -1100,7 +1210,7 @@ let throughput_check_cmd =
          & info [ "min-ratio" ] ~docv:"X"
              ~doc:"Fail unless the batched/unbatched saturation ratio is at \
                    least $(docv) (the committed full-run report is held to \
-                   3.0).")
+                   10.0).")
   in
   Cmd.v
     (Cmd.info "throughput-check"
@@ -1116,5 +1226,5 @@ let () =
        (Cmd.group (Cmd.info "sintra_sim" ~doc)
           [ run_cmd; agree_cmd; explore_cmd; topologies_cmd; crypto_cmd;
             trace_check_cmd; critical_path_cmd; perf_check_cmd;
-            bench_throughput_cmd; throughput_check_cmd; bench_latency_cmd;
-            latency_check_cmd ]))
+            bench_throughput_cmd; throughput_check_cmd; adaptive_check_cmd;
+            bench_latency_cmd; latency_check_cmd ]))

@@ -13,15 +13,18 @@ val bindings : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> ('k * 'v) list
     [Hashtbl.replace]/guarded [Hashtbl.add] have one binding per key. *)
 
 val keys : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> 'k list
+(** Keys in sorted order, one per binding. *)
 
 val values : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> 'v list
 (** Values in key order — the common case: votes/shares by sender index. *)
 
 val iter : ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) -> ('k -> 'v -> unit) -> unit
+(** [Hashtbl.iter] in ascending key order. *)
 
 val fold :
   ('k, 'v) Hashtbl.t -> compare:('k -> 'k -> int) ->
   ('k -> 'v -> 'acc -> 'acc) -> 'acc -> 'acc
+(** [Hashtbl.fold] in ascending key order (left to right). *)
 
 val by_int : int -> int -> int
 (** [Int.compare], for 0-based party / sequence-number keys. *)

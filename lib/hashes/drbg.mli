@@ -7,7 +7,11 @@
 type t
 
 val create : seed:string -> t
+(** A fresh generator; equal seeds yield identical output streams. *)
+
 val of_int_seed : int -> t
+(** {!create} with the decimal rendering of the seed — for callers that
+    derive streams from party indices or counters. *)
 
 val reseed : t -> string -> unit
 (** Mix extra entropy into the state and reset the output stream. *)
@@ -23,6 +27,7 @@ val float : t -> float -> float
 (** [float t bound] is uniform in [[0, bound)]. *)
 
 val bool : t -> bool
+(** A uniform coin flip (one byte consumed). *)
 
 val fork : t -> string -> t
 (** [fork t label] derives an independent child stream.  Forks are keyed by

@@ -3,7 +3,10 @@
 type ctx
 
 val init : unit -> ctx
+(** A fresh hashing context. *)
+
 val feed_string : ctx -> string -> unit
+(** Absorb the next chunk of input. *)
 
 val finish : ctx -> string
 (** Finalize and return the 32-byte digest. The context must not be reused. *)

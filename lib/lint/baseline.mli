@@ -18,6 +18,7 @@
 type t
 
 val empty : t
+(** The policy with no entries: every finding is new. *)
 
 val parse : string -> (t, string) result
 (** Parse policy text; [Error] names the offending line (unknown rule,

@@ -35,3 +35,4 @@ val concat : token list -> string
 (** Reassemble the exact input text (the round-trip property). *)
 
 val is_keyword : string -> bool
+(** Whether a [Word] token's text is an OCaml keyword. *)

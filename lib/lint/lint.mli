@@ -44,6 +44,8 @@ val per_rule : finding list -> (string * int) list
 (** Finding counts per rule, in [rule_names] order (zero counts kept). *)
 
 val summary : ?suppressed:int -> files:int -> finding list -> string
+(** One-line human summary: files scanned, new findings, suppressed
+    count (when [?suppressed] is given). *)
 
 val render_json : files:int -> suppressed:int -> finding list -> string
 (** One JSON object: [{"tool","files","suppressed","new","by_rule",

@@ -23,9 +23,16 @@ type finding = Rules.finding = {
 }
 
 val s1 : string
+(** The [determinism] rule name. *)
+
 val s2 : string
+(** The [charge-coverage] rule name. *)
+
 val s3 : string
+(** The [handler-flow] rule name. *)
+
 val s4 : string
+(** The [quorum-literal] rule name. *)
 
 val rule_names : (string * string) list
 (** [(name, one-line description)] for the S rules. *)

@@ -9,16 +9,27 @@
 type t
 
 val of_string : path:string -> string -> t
+(** Parse file contents already in memory; [path] is used only for
+    reporting. *)
+
 val load : string -> t
+(** {!of_string} over a file on disk. *)
 
 val path : t -> string
+(** The path the file was loaded under. *)
+
 val line_count : t -> int
+(** Number of lines in the file. *)
 
 val masked_line : t -> int -> string
 (** The masked text of a 1-based line. *)
 
 val allowed : t -> rule:string -> line:int -> bool
+(** Whether an allowlist directive suppresses [rule] on this line. *)
+
 val allowed_anywhere : t -> rule:string -> bool
+(** Whether any directive in the file names [rule] — used by whole-file
+    rules that have no single anchor line. *)
 
 val tokenize : string -> string list
 (** Split a masked line into tokens: qualified identifiers ([Hashtbl.fold]

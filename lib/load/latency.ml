@@ -107,7 +107,7 @@ let run ?(smoke = false) ?n ?t ?duration ?rates ?(max_batch = 256)
     | Some r -> r
     | None -> if smoke then [ 10.0; 20.0; 40.0 ] else [ 5.0; 10.0; 20.0; 40.0; 80.0 ]
   in
-  let cfg = Sweep.sweep_cfg ~n ~t ~max_batch in
+  let cfg = Sweep.sweep_cfg ~n ~t ~max_batch () in
   let points =
     List.map
       (fun rate ->

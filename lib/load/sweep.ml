@@ -33,8 +33,10 @@ type report = {
    depend on max_batch or the load shape). *)
 let dealer_cache : (string, Dealer.t) Hashtbl.t = Hashtbl.create 4
 
-let sweep_cfg ~(n : int) ~(t : int) ~(max_batch : int) : Config.t =
-  Config.make ~max_batch ~perm_mode:Config.Random_local
+let sweep_cfg ?pipeline_depth ?adaptive_batch ~(n : int) ~(t : int)
+    ~(max_batch : int) () : Config.t =
+  Config.make ~max_batch ?pipeline_depth ?adaptive_batch
+    ~perm_mode:Config.Random_local
     ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96
     ~model_rsa_bits:1024 ~model_dl_pbits:1024 ~model_dl_qbits:160 ~n ~t ()
 
@@ -133,7 +135,13 @@ let run_point ~(seed : string) ~(cfg : Config.t) ~(duration : float)
 let run_series ~(seed : string) ~(n : int) ~(t : int) ~(batched : bool)
     ~(max_batch : int) ~(duration : float) ~(rates : float list)
     ~(clients_per_party : int) : series =
-  let cfg = sweep_cfg ~n ~t ~max_batch:(if batched then max_batch else 1) in
+  (* The unbatched series is the pre-batching baseline: one payload per
+     party per round AND one round in flight at a time. *)
+  let cfg =
+    if batched then sweep_cfg ~n ~t ~max_batch ()
+    else
+      sweep_cfg ~n ~t ~max_batch:1 ~pipeline_depth:1 ~adaptive_batch:false ()
+  in
   let mode = if batched then "batched" else "unbatched" in
   let points =
     List.map
@@ -153,7 +161,7 @@ let run_series ~(seed : string) ~(n : int) ~(t : int) ~(batched : bool)
   in
   { n; t; batched; points; saturation; rounds }
 
-let run ?(smoke = false) ?sizes ?duration ?rates ?(clients_per_party = 8)
+let run ?(smoke = false) ?sizes ?duration ?rates ?(clients_per_party = 64)
     ?(max_batch = 256) ?(seed = "throughput") () : report =
   let sizes =
     match sizes with

@@ -45,9 +45,13 @@ type report = {
   series : series list;
 }
 
-val sweep_cfg : n:int -> t:int -> max_batch:int -> Sintra.Config.t
+val sweep_cfg :
+  ?pipeline_depth:int -> ?adaptive_batch:bool -> n:int -> t:int ->
+  max_batch:int -> unit -> Sintra.Config.t
 (** The benchmark configuration: real 256-bit cryptography priced at the
-    paper's 1024-bit key sizes, pseudo-random candidate permutation. *)
+    paper's 1024-bit key sizes, pseudo-random candidate permutation.
+    [pipeline_depth]/[adaptive_batch] default to the {!Sintra.Config.make}
+    defaults (window of 4 rounds, adaptive cap). *)
 
 val make_cluster : seed:string -> Sintra.Config.t -> Sintra.Cluster.t
 (** A fresh simulated group for one measurement run.  Dealers are cached
@@ -66,8 +70,12 @@ val run :
     virtual seconds per point over rates [{5, 10, 20, 40, 80}] requests/s;
     [~smoke:true] shrinks this to [n = 4], 2 virtual seconds and a single
     rate so the whole sweep finishes in CI time.  [clients_per_party]
-    sizes the closed-loop population (default 8); [max_batch] is the cap
-    used by the batched series (default 256). *)
+    sizes the closed-loop population (default 64 — enough outstanding
+    requests that the pipelined, batched channel saturates on round cost
+    rather than on the population bound); [max_batch] is the cap used by
+    the batched series (default 256).  The unbatched series always runs
+    [max_batch = 1] with [pipeline_depth = 1]: the paper's original
+    one-payload-per-party sequential rounds. *)
 
 val to_json : report -> string
 (** Render the report in the [sintra-bench-throughput-v1] schema (see

@@ -5,14 +5,14 @@
    whole queues of undelivered payloads per round; HoneyBadgerBFT calls the
    same lever "batching" and shows it is what turns agreement latency into
    throughput):
-   - each party signs the vector of ALL its locally-queued undelivered
-     payloads — capped at [Config.max_batch] — together with r, and sends
-     this INIT to everyone; one RSA signature covers the whole vector, so
-     per-round crypto cost is amortized over every payload in it.  A party
-     with nothing of its own to send adopts (and re-signs) the undelivered
-     payloads it has seen in this round's INITs; failing that it signs an
-     empty vector, which keeps the round from stalling without spinning up
-     rounds of its own;
+   - each party signs the vector of its locally-queued undelivered
+     payloads — capped at the adaptive batch limit, at most
+     [Config.max_batch] — together with r, and sends this INIT to everyone;
+     one RSA signature covers the whole vector, so per-round crypto cost is
+     amortized over every payload in it.  A party with nothing of its own
+     to send adopts (and re-signs) the undelivered payloads it has seen in
+     this round's INITs; failing that it signs an empty vector, which keeps
+     the round from stalling without spinning up rounds of its own;
    - once a party holds INITs from B = batch_size distinct signers (and a
      vote quorum of n-t, which is guaranteed to arrive) it proposes that
      batch of vectors to the round's multi-valued agreement, whose external
@@ -27,9 +27,25 @@
    Payloads are identified by (original sender, per-sender sequence number),
    exactly the weakened integrity the paper adopts for practicality.
 
-   With [max_batch = 1] each vector carries at most one payload and the
-   channel degrades to the original one-payload-per-party rounds (the
-   benchmarks' --no-batching baseline).
+   Pipelining: up to [Config.pipeline_depth] rounds run their agreements
+   concurrently.  [base] is the next round to deliver; rounds in the window
+   [base, base + w) may be INITed and proposed while earlier rounds are
+   still undecided, each round carrying a disjoint chunk of the local queue
+   (an own payload is assigned to exactly one in-flight round at a time).
+   Decisions can land out of order; a decided round parks in the reorder
+   buffer ([decided_batches] entries at or beyond [base]) until every
+   earlier round has delivered, so delivery order — and hence the paper's
+   total-order obligation — is exactly the sequential protocol's.  With
+   [pipeline_depth = 1] the window is one round and the channel reproduces
+   the strictly sequential protocol.
+
+   Batching adapts: when [Config.adaptive_batch] is set the per-round
+   vector cap self-tunes by AIMD on the observed queue depth — additive
+   increase while the backlog exceeds the cap, halving when the backlog
+   falls below a quarter of it — between a floor of [min 8 max_batch] and
+   the [max_batch] ceiling.  With [max_batch = 1] each vector carries at
+   most one payload and the channel degrades to the original
+   one-payload-per-party rounds (the benchmarks' --no-batching baseline).
 
    Termination: [close] broadcasts a termination request as a regular
    payload; the channel closes after the round in which t+1 distinct
@@ -42,14 +58,16 @@
    found exactly this: delay one link long enough and the victim stalls
    forever, losing its own payloads.)  Three extra message kinds repair it:
    - REQUEST(r): broadcast when we see a validly signed INIT for a round
-     ahead of ours — proof that someone finished our current round;
+     beyond our window — proof that someone delivered our base round;
    - DECIDED(r, batch): sent point-to-point in reply to a REQUEST or to a
      stale INIT, carrying the whole batch we decided in round r (catch-up
      moves whole batches, never single payloads);
-   - a straggler adopts a batch for its current round once t+1 distinct
+   - a straggler adopts a batch for any undelivered round once t+1 distinct
      parties claim the same one — any t+1 set contains an honest party, so
      the batch really is the round's decision and agreement is preserved
-     without re-verifying its signatures. *)
+     without re-verifying its signatures.  Adopted rounds beyond [base]
+     park in the reorder buffer like any other decision, so a rebuilt party
+     can absorb a whole backlog while its own window is still open. *)
 
 type item = {
   it_orig : int;          (* original sender, 0-based *)
@@ -73,7 +91,7 @@ type t = {
   (* outgoing queue of this party's own payloads *)
   queue : (int * string) Queue.t;               (* seq, marked payload *)
   mutable next_seq : int;
-  mutable round : int;
+  mutable base : int;                  (* next round to deliver, in order *)
   (* round -> signer -> (arrival rank, entry); the rank (table size at
      insertion) reproduces the paper's behaviour of considering messages in
      the order they arrive in the current round *)
@@ -81,15 +99,17 @@ type t = {
   delivered : (int * int, unit) Hashtbl.t;          (* (orig, seq) *)
   term_requests : (int, unit) Hashtbl.t;            (* parties asking to close *)
   my_init : (int, entry) Hashtbl.t;         (* round -> our own INIT *)
-  mutable mvba : Array_agreement.t option;
-  past_mvba : (int, Array_agreement.t) Hashtbl.t;  (* decided, awaiting GC *)
-  mutable proposed : bool;
+  mvbas : (int, Array_agreement.t) Hashtbl.t;      (* open, per in-flight round *)
+  past_mvba : (int, Array_agreement.t) Hashtbl.t;  (* delivered, awaiting GC *)
+  proposed_rounds : (int, unit) Hashtbl.t;  (* rounds we proposed a batch for *)
+  mutable cur_batch : int;         (* adaptive per-round vector cap *)
+  mutable parked : int;            (* decided-but-undelivered rounds *)
   mutable closing : bool;                            (* close requested here *)
   mutable closed : bool;
   mutable deliveries : int;
   mutable rounds_completed : int;
   (* Backpressure: while the gate is closed this party neither INITs nor
-     proposes for the current round.  Models a consumer that has not yet
+     proposes for any in-window round.  Models a consumer that has not yet
      drained the channel's outputs (the paper: "if the outputs are not
      removed ... the channel will stall"). *)
   mutable gate : unit -> bool;
@@ -97,8 +117,9 @@ type t = {
   (* Catch-up state.  [decided_batches] keeps every decided batch so we can
      serve stragglers arbitrarily far behind (a rebuilt party restarts at
      round 0); bounding it would need snapshot-based state transfer, out of
-     scope for the simulator.  [claims] tallies DECIDED messages for rounds
-     we have not finished: round -> batch -> claiming senders. *)
+     scope for the simulator.  Entries at or beyond [base] double as the
+     reorder buffer.  [claims] tallies DECIDED messages for rounds we have
+     not finished: round -> batch -> claiming senders. *)
   decided_batches : (int, string) Hashtbl.t;
   claims : (int, (string, (int, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
   mutable requested_for : int;   (* highest future round that triggered a REQUEST *)
@@ -115,6 +136,11 @@ let catchup_window = 8
 (* Future-round DECIDED claims kept at most this far ahead, bounding what a
    Byzantine flood can make us store. *)
 let max_claim_lead = 256
+
+(* AIMD parameters for the adaptive vector cap: grow by [adaptive_step]
+   while the backlog exceeds the cap, halve when it falls below a quarter
+   of it, never below the floor. *)
+let adaptive_step = 8
 
 (* Batch-occupancy and queue-depth buckets: payload counts, not latencies. *)
 let count_buckets =
@@ -157,6 +183,21 @@ let init_stmt (t : t) ~(round : int) ~(signer : int) (items : item list) : strin
 
 let mvba_pid (t : t) (round : int) : string = Printf.sprintf "%s/mv.%d" t.pid round
 
+(* The in-flight window: rounds [base, base + window) may run concurrently. *)
+let window (t : t) : int = t.rt.Runtime.cfg.Config.pipeline_depth
+
+let batch_floor (t : t) : int = min adaptive_step t.rt.Runtime.cfg.Config.max_batch
+
+(* How deep the agreement pipeline currently runs: proposed, undecided
+   rounds inside the window. *)
+let inflight_rounds (t : t) : int =
+  let count = ref 0 in
+  for r = t.base to t.base + window t - 1 do
+    if Hashtbl.mem t.proposed_rounds r && not (Hashtbl.mem t.decided_batches r)
+    then incr count
+  done;
+  !count
+
 let entry_signature_valid (t : t) ~(round : int) (en : entry) : bool =
   en.en_signer >= 0 && en.en_signer < t.rt.Runtime.cfg.Config.n
   && List.for_all
@@ -192,7 +233,9 @@ let batch_valid (t : t) ~(round : int) (batch : string) : bool =
     && List.for_all (fun en -> entry_signature_valid t ~round en) entries
 
 (* --- tracing: queue -> agree -> deliver, one round span per round on the
-   channel's thread with the agreement span nested inside it. --- *)
+   channel's thread with the agreement span nested inside it; concurrent
+   rounds interleave their spans on the same lane (the Chrome sink checks
+   begin/end balance, not nesting). --- *)
 
 let trace (t : t) : Trace.Ctx.t = t.rt.Runtime.trace
 
@@ -226,9 +269,11 @@ let decode_msg (body : string) : msg option =
     else if tag = tag_request then Request round
     else Wire.fail "abc: unknown tag %d" tag)
 
-(* Reply to a straggler with the batches it is missing, oldest first. *)
+(* Reply to a straggler with the batches it is missing, oldest first; only
+   rounds already delivered here — parked decisions are served once they
+   clear our own reorder buffer. *)
 let send_backlog (t : t) ~(dst : int) ~(from_round : int) : unit =
-  let upto = min (from_round + catchup_window - 1) (t.round - 1) in
+  let upto = min (from_round + catchup_window - 1) (t.base - 1) in
   for r = from_round to upto do
     match Hashtbl.find_opt t.decided_batches r with
     | Some batch ->
@@ -240,9 +285,8 @@ let send_backlog (t : t) ~(dst : int) ~(from_round : int) : unit =
     | None -> ()
   done
 
-(* Sign and broadcast our INIT vector for the current round. *)
-let send_init (t : t) (items : item list) : unit =
-  let round = t.round in
+(* Sign and broadcast our INIT vector for one in-window round. *)
+let send_init (t : t) (round : int) (items : item list) : unit =
   trace_phase t "round" round Trace.Event.Span_begin;
   Charge.rsa_sign t.rt.Runtime.charge;
   let signature =
@@ -259,11 +303,8 @@ let send_init (t : t) (items : item list) : unit =
   in
   Runtime.broadcast t.rt ~pid:t.pid body
 
-(* The undelivered prefix of our own queue, up to [max_batch] payloads;
-   already-delivered heads are dropped as we pass them. *)
-let own_items (t : t) : item list =
-  let cap = t.rt.Runtime.cfg.Config.max_batch in
-  (* Drop the delivered prefix so the queue never regrows past deliveries. *)
+(* Drop the delivered prefix so the queue never regrows past deliveries. *)
+let trim_queue (t : t) : unit =
   let rec trim () =
     match Queue.peek_opt t.queue with
     | Some (seq, _) when Hashtbl.mem t.delivered (t.rt.Runtime.me, seq) ->
@@ -271,7 +312,70 @@ let own_items (t : t) : item list =
       trim ()
     | Some _ | None -> ()
   in
-  trim ();
+  trim ()
+
+(* After a state-losing rebuild our early sequence numbers can collide with
+   pre-crash history adopted through catch-up: the old payload owns the
+   (party, seq) identity, so a queued payload reusing that seq would be
+   silently treated as delivered and lost.  When a delivered own item
+   reveals such a clash, renumber the whole undelivered queue past the
+   adopted history (relative order — and so FIFO — is preserved; any
+   in-flight vector still carrying the stale identity deduplicates away at
+   delivery). *)
+let heal_seq_collision (t : t) (it : item) : unit =
+  let me = t.rt.Runtime.me in
+  let clash =
+    Queue.fold
+      (fun acc (seq, framed) ->
+        acc || (seq = it.it_seq && not (String.equal framed it.it_payload)))
+      false t.queue
+  in
+  if clash then begin
+    let entries = List.rev (Queue.fold (fun acc e -> e :: acc) [] t.queue) in
+    Queue.clear t.queue;
+    List.iter
+      (fun (old_seq, framed) ->
+        while Hashtbl.mem t.delivered (me, t.next_seq) do
+          t.next_seq <- t.next_seq + 1
+        done;
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        Queue.push (seq, framed) t.queue;
+        match Hashtbl.find_opt t.enqueued_at old_seq with
+        | Some t0 ->
+          Hashtbl.remove t.enqueued_at old_seq;
+          Hashtbl.replace t.enqueued_at seq t0
+        | None -> ())
+      entries
+  end
+
+(* AIMD self-tuning of the vector cap from the observed backlog. *)
+let adapt_batch (t : t) (depth : int) : unit =
+  let cfg = t.rt.Runtime.cfg in
+  if cfg.Config.adaptive_batch then begin
+    let floor = batch_floor t in
+    let cur = t.cur_batch in
+    let next =
+      if depth > cur then min cfg.Config.max_batch (cur + adaptive_step)
+      else if depth * 4 < cur then max floor (cur / 2)
+      else cur
+    in
+    if next <> cur then begin
+      t.cur_batch <- next;
+      Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.batch_limit"
+        (float_of_int next)
+    end
+  end
+
+(* The undelivered prefix of our own queue, up to the current adaptive cap.
+   Every in-flight round's vector is such a prefix — never a disjoint
+   chunk — which is what preserves per-sender FIFO order under pipelining:
+   a batch can only carry our payload s together with (or after the
+   delivery of) every earlier payload, whichever rounds our vectors end up
+   riding in.  Concurrent rounds deduplicate the overlap at delivery. *)
+let own_items (t : t) : item list =
+  let cap = t.cur_batch in
+  trim_queue t;
   let items = ref [] in
   let count = ref 0 in
   (try
@@ -288,12 +392,40 @@ let own_items (t : t) : item list =
    with Exit -> ());
   List.rev !items
 
-(* Undelivered payloads seen in this round's INITs, in arrival order and
+(* The highest own sequence number riding in any open INIT of ours; fresh
+   payloads beyond it are what justify opening a deeper pipeline round. *)
+let own_hwm (t : t) : int =
+  Det.fold t.my_init ~compare:Det.by_int
+    (fun _ en acc ->
+      List.fold_left
+        (fun acc it ->
+          if it.it_orig = t.rt.Runtime.me && it.it_seq > acc then it.it_seq
+          else acc)
+        acc en.en_items)
+    (-1)
+
+(* Is there an undelivered own payload no open INIT of ours carries yet? *)
+let has_fresh_items (t : t) : bool =
+  let hwm = own_hwm t in
+  let fresh = ref false in
+  (try
+     Queue.iter
+       (fun (seq, _) ->
+         if seq > hwm && not (Hashtbl.mem t.delivered (t.rt.Runtime.me, seq))
+         then begin
+           fresh := true;
+           raise Exit
+         end)
+       t.queue
+   with Exit -> ());
+  !fresh
+
+(* Undelivered payloads seen in one round's INITs, in arrival order and
    capped — what an empty-queue party adopts so that slow parties' payloads
    appear in more than one vector (the fairness lever). *)
-let adoptable_items (t : t) : item list =
-  let cap = t.rt.Runtime.cfg.Config.max_batch in
-  let tbl = round_inits t t.round in
+let adoptable_items (t : t) (round : int) : item list =
+  let cap = t.cur_batch in
+  let tbl = round_inits t round in
   let entries = Det.values tbl ~compare:Det.by_int in
   let entries = List.sort (fun (r1, _) (r2, _) -> compare r1 r2) entries in
   let chosen = Hashtbl.create 8 in
@@ -315,27 +447,44 @@ let adoptable_items (t : t) : item list =
     entries;
   List.rev !items
 
-let rec try_send_init (t : t) : unit =
-  if not t.closed && t.gate () && not (Hashtbl.mem t.my_init t.round) then begin
-    match own_items t with
-    | _ :: _ as items ->
-      Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.queue_depth"
-        (float_of_int (Queue.length t.queue));
-      send_init t items
-    | [] ->
-      (* Nothing of our own: participate in a round someone else started —
-         adopt their undelivered payloads, or contribute an empty vector.
-         Never start a round unprompted, or idle parties would spin empty
-         rounds forever. *)
-      if Hashtbl.length (round_inits t t.round) > 0 then
-        send_init t (adoptable_items t)
+(* Anti-spin, generalized per in-window round: INIT round r only when we
+   have fresh payloads no open INIT of ours carries yet (new content
+   justifies a deeper pipeline round), or someone else already started
+   round r — then we join it, with our undelivered prefix if we have one,
+   adopting their undelivered payloads or contributing an empty vector
+   otherwise.  Never start a round unprompted, or idle parties would spin
+   empty (or redundant) rounds forever. *)
+let rec try_send_init_round (t : t) (round : int) : unit =
+  if not t.closed && t.gate () && round >= t.base && round < t.base + window t
+     && not (Hashtbl.mem t.my_init round)
+  then begin
+    trim_queue t;
+    let depth = Queue.length t.queue in
+    if depth > 0 then adapt_batch t depth;
+    let joined = Hashtbl.length (round_inits t round) > 0 in
+    if has_fresh_items t || joined then begin
+      match own_items t with
+      | _ :: _ as items ->
+        Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.queue_depth"
+          (float_of_int (Queue.length t.queue));
+        send_init t round items
+      | [] -> if joined then send_init t round (adoptable_items t round)
+    end
   end
 
-and try_propose (t : t) : unit =
-  if not t.closed && not t.proposed && Hashtbl.mem t.my_init t.round then begin
-    let tbl = round_inits t t.round in
+and try_send_inits (t : t) : unit =
+  for r = t.base to t.base + window t - 1 do
+    try_send_init_round t r
+  done
+
+and try_propose_round (t : t) (round : int) : unit =
+  if not t.closed && round >= t.base && round < t.base + window t
+     && not (Hashtbl.mem t.proposed_rounds round)
+     && Hashtbl.mem t.my_init round
+  then begin
+    let tbl = round_inits t round in
     (* Include our own INIT in the pool. *)
-    (match Hashtbl.find_opt t.my_init t.round with
+    (match Hashtbl.find_opt t.my_init round with
      | Some en ->
        if not (Hashtbl.mem tbl en.en_signer) then
          Hashtbl.replace tbl en.en_signer (Hashtbl.length tbl, en)
@@ -380,121 +529,164 @@ and try_propose (t : t) : unit =
       in
       let batch = List.filteri (fun i _ -> i < b) (primary @ rest) in
       let encoded = Wire.encode (fun b -> Wire.Enc.list b enc_entry batch) in
-      t.proposed <- true;
-      let round = t.round in
+      Hashtbl.replace t.proposed_rounds round ();
       trace_phase t "agree" round Trace.Event.Span_begin;
       let mvba =
-        match t.mvba with
+        match Hashtbl.find_opt t.mvbas round with
         | Some m -> m
         | None ->
           let m =
             Array_agreement.create t.rt ~pid:(mvba_pid t round)
               ~validator:(fun batch -> batch_valid t ~round batch)
-              ~on_decide:(fun decided -> finish_round t round decided)
+              ~on_decide:(fun decided -> round_decided t round decided)
           in
-          t.mvba <- Some m;
+          Hashtbl.replace t.mvbas round m;
           m
       in
-      Array_agreement.propose mvba encoded
+      Array_agreement.propose mvba encoded;
+      Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.inflight_rounds"
+        (float_of_int (inflight_rounds t))
     end
   end
 
-and finish_round (t : t) (round : int) (batch : string) : unit =
-  if round = t.round && not t.closed then begin
+and try_propose_all (t : t) : unit =
+  for r = t.base to t.base + window t - 1 do
+    try_propose_round t r
+  done
+
+(* A round decided — through its own agreement or a claims quorum.  Park
+   the batch in the reorder buffer and deliver whatever prefix is ready:
+   out-of-order decisions wait here until every earlier round has
+   delivered, which is all it takes to keep total order. *)
+and round_decided (t : t) (round : int) (batch : string) : unit =
+  if (not t.closed) && round >= t.base
+     && not (Hashtbl.mem t.decided_batches round)
+  then begin
     Hashtbl.replace t.decided_batches round batch;
-    if t.proposed then trace_phase t "agree" round Trace.Event.Span_end;
-    (match Wire.decode batch (fun d -> Wire.Dec.list d dec_entry) with
-     | None -> ()   (* cannot happen: validator enforced the format *)
-     | Some entries ->
-       (* Deterministic union order: flatten every vector, sort by original
-          sender then sequence number, drop duplicates.  The decided bytes
-          are identical at every party, so this order is too. *)
-       let items = List.concat_map (fun en -> en.en_items) entries in
-       let items =
-         List.sort_uniq
-           (fun a b -> compare (a.it_orig, a.it_seq) (b.it_orig, b.it_seq))
-           items
-       in
-       let fresh = ref 0 in
-       List.iter
-         (fun it ->
-           if not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq)) then begin
-             Hashtbl.replace t.delivered (it.it_orig, it.it_seq) ();
-             t.deliveries <- t.deliveries + 1;
-             incr fresh;
-             (* Own-payload end-to-end latency: enqueue -> atomic delivery
-                (the per-message latency of Figures 4 and 5). *)
-             if it.it_orig = t.rt.Runtime.me then begin
-               match Hashtbl.find_opt t.enqueued_at it.it_seq with
-               | Some t0 ->
-                 Hashtbl.remove t.enqueued_at it.it_seq;
-                 Trace.Ctx.observe (trace t) "abc.latency" (Runtime.now t.rt -. t0)
-               | None -> ()
-             end;
-             let tr = trace t in
-             if Trace.Ctx.enabled tr then
-               Trace.Ctx.instant tr ~pid:t.pid ~cat:"abc"
-                 ~args:
-                   [ ("sender", Trace.Event.Int it.it_orig);
-                     ("seq", Trace.Event.Int it.it_seq) ]
-                 "deliver";
-             if it.it_payload = frame_term then
-               Hashtbl.replace t.term_requests it.it_orig ()
-             else if String.length it.it_payload >= 1 && it.it_payload.[0] = '\x01' then
-               t.on_deliver ~sender:it.it_orig
-                 (String.sub it.it_payload 1 (String.length it.it_payload - 1))
-           end)
-         items;
-       t.rounds_completed <- t.rounds_completed + 1;
-       (* Throughput accounting: rounds, payloads carried, and how full the
-          decided batches run (the batch-occupancy histogram behind the
-          latency-vs-throughput crossover). *)
-       Trace.Ctx.incr (trace t) "abc.rounds";
-       Trace.Ctx.count (trace t) "abc.batch_payloads" (float_of_int !fresh);
-       Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.batch_occupancy"
-         (float_of_int !fresh));
-    (* Rounds adopted through catch-up never opened a round span. *)
-    if Hashtbl.mem t.my_init round then
-      trace_phase t "round" round Trace.Event.Span_end;
-    (* Close once t+1 distinct parties asked. *)
-    if Hashtbl.length t.term_requests >= Config.one_honest t.rt.Runtime.cfg then begin
-      t.closed <- true;
-      (match t.mvba with Some m -> Array_agreement.abort m | None -> ());
-      t.on_close ()
-    end
-    else begin
-      t.round <- round + 1;
-      t.proposed <- false;
-      (* Keep the decided agreement registered for a grace period: lagging
-         parties may still need our (already broadcast) messages replayed
-         from their orphan buffers, but instances two rounds back are dead
-         weight.  This GC is what makes catch-up necessary: a party whose
-         round-r traffic was delayed past this point can no longer finish
-         round r through the agreement, and recovers by adopting DECIDED
-         claims instead. *)
-      (match t.mvba with
-       | Some m -> Hashtbl.replace t.past_mvba round m
-       | None -> ());
-      t.mvba <- None;
-      (match Hashtbl.find_opt t.past_mvba (round - 2) with
-       | Some old ->
-         Array_agreement.abort old;
-         Hashtbl.remove t.past_mvba (round - 2)
-       | None -> ());
-      Hashtbl.remove t.inits round;
-      Hashtbl.remove t.my_init round;
-      Hashtbl.remove t.claims round;
-      try_send_init t;
-      try_propose t;
-      try_adopt_claims t
-    end
+    t.parked <- t.parked + 1;
+    if Hashtbl.mem t.proposed_rounds round then
+      trace_phase t "agree" round Trace.Event.Span_end;
+    Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.reorder_depth"
+      (float_of_int t.parked);
+    advance t
   end
 
-(* Adopt the current round's batch once t+1 distinct parties claim the same
-   one; cascades through [finish_round] until the claims run out. *)
-and try_adopt_claims (t : t) : unit =
-  if not t.closed then
-    match Hashtbl.find_opt t.claims t.round with
+(* Deliver decided rounds in round order from the reorder buffer, opening
+   the window one round at a time; after each delivery give the freed
+   window slot a chance to INIT/propose and absorb any claims that became
+   adoptable. *)
+and advance (t : t) : unit =
+  match Hashtbl.find_opt t.decided_batches t.base with
+  | None -> ()
+  | Some batch ->
+    deliver_round t t.base batch;
+    if not t.closed then begin
+      try_send_inits t;
+      try_propose_all t;
+      try_adopt_claims t;
+      advance t
+    end
+
+(* Deliver round [base]'s batch (union order: by original sender, then
+   sequence number) and slide the window forward one round. *)
+and deliver_round (t : t) (round : int) (batch : string) : unit =
+  t.parked <- t.parked - 1;
+  (match Wire.decode batch (fun d -> Wire.Dec.list d dec_entry) with
+   | None -> ()   (* cannot happen: validator enforced the format *)
+   | Some entries ->
+     (* Deterministic union order: flatten every vector, sort by original
+        sender then sequence number, drop duplicates.  The decided bytes
+        are identical at every party, so this order is too. *)
+     let items = List.concat_map (fun en -> en.en_items) entries in
+     let items =
+       List.sort_uniq
+         (fun a b -> compare (a.it_orig, a.it_seq) (b.it_orig, b.it_seq))
+         items
+     in
+     let fresh = ref 0 in
+     List.iter
+       (fun it ->
+         if not (Hashtbl.mem t.delivered (it.it_orig, it.it_seq)) then begin
+           Hashtbl.replace t.delivered (it.it_orig, it.it_seq) ();
+           t.deliveries <- t.deliveries + 1;
+           incr fresh;
+           (* Own-payload end-to-end latency: enqueue -> atomic delivery
+              (the per-message latency of Figures 4 and 5). *)
+           if it.it_orig = t.rt.Runtime.me then begin
+             heal_seq_collision t it;
+             match Hashtbl.find_opt t.enqueued_at it.it_seq with
+             | Some t0 ->
+               Hashtbl.remove t.enqueued_at it.it_seq;
+               Trace.Ctx.observe (trace t) "abc.latency" (Runtime.now t.rt -. t0)
+             | None -> ()
+           end;
+           let tr = trace t in
+           if Trace.Ctx.enabled tr then
+             Trace.Ctx.instant tr ~pid:t.pid ~cat:"abc"
+               ~args:
+                 [ ("sender", Trace.Event.Int it.it_orig);
+                   ("seq", Trace.Event.Int it.it_seq) ]
+               "deliver";
+           if it.it_payload = frame_term then
+             Hashtbl.replace t.term_requests it.it_orig ()
+           else if String.length it.it_payload >= 1 && it.it_payload.[0] = '\x01' then
+             t.on_deliver ~sender:it.it_orig
+               (String.sub it.it_payload 1 (String.length it.it_payload - 1))
+         end)
+       items;
+     t.rounds_completed <- t.rounds_completed + 1;
+     (* Throughput accounting: rounds, payloads carried, and how full the
+        decided batches run (the batch-occupancy histogram behind the
+        latency-vs-throughput crossover). *)
+     Trace.Ctx.incr (trace t) "abc.rounds";
+     Trace.Ctx.count (trace t) "abc.batch_payloads" (float_of_int !fresh);
+     Trace.Ctx.observe (trace t) ~buckets:count_buckets "abc.batch_occupancy"
+       (float_of_int !fresh));
+  (* Rounds adopted through catch-up never opened a round span. *)
+  if Hashtbl.mem t.my_init round then
+    trace_phase t "round" round Trace.Event.Span_end;
+  (* Close once t+1 distinct parties asked. *)
+  if Hashtbl.length t.term_requests >= Config.one_honest t.rt.Runtime.cfg then begin
+    t.closed <- true;
+    Det.iter t.mvbas ~compare:Det.by_int (fun _ m -> Array_agreement.abort m);
+    Hashtbl.reset t.mvbas;
+    t.on_close ()
+  end
+  else begin
+    t.base <- round + 1;
+    (* Keep the delivered round's agreement registered for a grace period:
+       lagging parties may still need our (already broadcast) messages
+       replayed from their orphan buffers, but instances a full window
+       behind the base are dead weight.  This GC is what makes catch-up
+       necessary: a party whose round-r traffic was delayed past this point
+       can no longer finish round r through the agreement, and recovers by
+       adopting DECIDED claims instead. *)
+    (match Hashtbl.find_opt t.mvbas round with
+     | Some m ->
+       Hashtbl.remove t.mvbas round;
+       Hashtbl.replace t.past_mvba round m
+     | None -> ());
+    let gc = round - max 2 (window t) in
+    (match Hashtbl.find_opt t.past_mvba gc with
+     | Some old ->
+       Array_agreement.abort old;
+       Hashtbl.remove t.past_mvba gc
+     | None -> ());
+    Hashtbl.remove t.inits round;
+    Hashtbl.remove t.my_init round;
+    Hashtbl.remove t.claims round;
+    Hashtbl.remove t.proposed_rounds round
+  end
+
+(* Adopt a round's batch once t+1 distinct parties claim the same one; the
+   adopted decision parks in the reorder buffer like any other, so claims
+   for any undelivered round — in-window or far ahead — are usable the
+   moment their quorum completes. *)
+and maybe_adopt_round (t : t) (round : int) : unit =
+  if (not t.closed) && round >= t.base
+     && not (Hashtbl.mem t.decided_batches round)
+  then
+    match Hashtbl.find_opt t.claims round with
     | None -> ()
     | Some by_batch ->
       let quorum = Config.one_honest t.rt.Runtime.cfg in
@@ -503,8 +695,13 @@ and try_adopt_claims (t : t) : unit =
         if !winner = None && Hashtbl.length senders >= quorum then
           winner := Some batch);
       (match !winner with
-       | Some batch -> finish_round t t.round batch
+       | Some batch -> round_decided t round batch
        | None -> ())
+
+and try_adopt_claims (t : t) : unit =
+  if not t.closed then
+    Det.iter t.claims ~compare:Det.by_int (fun round _ ->
+      maybe_adopt_round t round)
 
 let handle (t : t) ~src body =
   if not t.closed then begin
@@ -519,7 +716,7 @@ let handle (t : t) ~src body =
         | Decided _ -> "decided"
         | Request _ -> "request");
       match m with
-      | Init (round, en) when en.en_signer = src && round >= t.round ->
+      | Init (round, en) when en.en_signer = src && round >= t.base ->
         let tbl = round_inits t round in
         (* A conflicting, validly signed INIT from a signer we already hold
            one from is Byzantine evidence — record it, drop the duplicate. *)
@@ -537,18 +734,31 @@ let handle (t : t) ~src body =
         then begin
           Invariant.fresh_sender inv tbl src "INIT pool";
           Hashtbl.add tbl src (Hashtbl.length tbl, en);
-          (* An INIT for a round ahead of ours proves its signer finished
-             our current round: ask everyone for the decided batches. *)
-          if round > t.round && round > t.requested_for then begin
+          (* An INIT for a round beyond our window proves its signer
+             delivered our base round: ask everyone for the decided
+             batches.  An INIT merely ahead of [base] is normal pipelining —
+             unless our base round shows no activity at all (no INITs, no
+             decision), which after a rebuild means the round is long dead
+             and only catch-up can revive us. *)
+          let base_dark () =
+            (not (Hashtbl.mem t.decided_batches t.base))
+            && (not (Hashtbl.mem t.my_init t.base))
+            && (match Hashtbl.find_opt t.inits t.base with
+                | Some tbl -> Hashtbl.length tbl = 0
+                | None -> true)
+          in
+          if round > t.base && round > t.requested_for
+             && (round >= t.base + window t || base_dark ())
+          then begin
             t.requested_for <- round;
             Runtime.broadcast t.rt ~pid:t.pid
               (Wire.encode (fun b ->
                 Wire.Enc.u8 b tag_request;
-                Wire.Enc.int b t.round))
+                Wire.Enc.int b t.base))
           end;
-          if round = t.round then begin
-            try_send_init t;
-            try_propose t
+          if round < t.base + window t then begin
+            try_send_init_round t round;
+            try_propose_round t round
           end
         end
       | Init (round, en) when en.en_signer = src ->
@@ -556,10 +766,10 @@ let handle (t : t) ~src body =
         send_backlog t ~dst:src ~from_round:round
       | Init _ -> ()
       | Request round ->
-        if round >= 0 && round < t.round then
+        if round >= 0 && round < t.base then
           send_backlog t ~dst:src ~from_round:round
       | Decided (round, batch) ->
-        if round >= t.round && round <= t.round + max_claim_lead then begin
+        if round >= t.base && round <= t.base + max_claim_lead then begin
           let by_batch =
             match Hashtbl.find_opt t.claims round with
             | Some m -> m
@@ -588,7 +798,7 @@ let handle (t : t) ~src body =
                 s
             in
             Hashtbl.replace srcs src ();
-            if round = t.round then try_adopt_claims t
+            maybe_adopt_round t round
           end
         end
   end
@@ -596,18 +806,23 @@ let handle (t : t) ~src body =
 let create (rt : Runtime.t) ~(pid : string)
     ~(on_deliver : sender:int -> string -> unit)
     ?(on_close = fun () -> ()) () : t =
+  let cfg = rt.Runtime.cfg in
   let t = {
     rt; pid; on_deliver; on_close;
     queue = Queue.create ();
     next_seq = 0;
-    round = 0;
+    base = 0;
     inits = Hashtbl.create 16;
     delivered = Hashtbl.create 64;
     term_requests = Hashtbl.create 4;
     my_init = Hashtbl.create 16;
-    mvba = None;
+    mvbas = Hashtbl.create 8;
     past_mvba = Hashtbl.create 8;
-    proposed = false;
+    proposed_rounds = Hashtbl.create 8;
+    cur_batch =
+      (if cfg.Config.adaptive_batch then min adaptive_step cfg.Config.max_batch
+       else cfg.Config.max_batch);
+    parked = 0;
     closing = false;
     closed = false;
     deliveries = 0;
@@ -638,8 +853,8 @@ let enqueue (t : t) (framed : string) : unit =
     Trace.Ctx.instant tr ~pid:t.pid ~cat:"abc"
       ~args:[ ("seq", Trace.Event.Int seq) ]
       "enqueue";
-  try_send_init t;
-  try_propose t
+  try_send_inits t;
+  try_propose_all t
 
 (* Broadcast a payload on the channel (the paper's send event). *)
 let send (t : t) (payload : string) : unit =
@@ -655,20 +870,23 @@ let close (t : t) : unit =
 
 let is_closed (t : t) = t.closed
 let deliveries (t : t) = t.deliveries
-let current_round (t : t) = t.round
+let current_round (t : t) = t.base
 let rounds_completed (t : t) = t.rounds_completed
 let queue_depth (t : t) = Queue.length t.queue
+let batch_limit (t : t) = t.cur_batch
+let reorder_depth (t : t) = t.parked
 
 (* Install a backpressure gate; call {!kick} when it opens again. *)
 let set_gate (t : t) (gate : unit -> bool) : unit = t.gate <- gate
 
 let kick (t : t) : unit =
-  try_send_init t;
-  try_propose t
+  try_send_inits t;
+  try_propose_all t
 
 let abort (t : t) : unit =
   t.closed <- true;
-  (match t.mvba with Some m -> Array_agreement.abort m | None -> ());
+  Det.iter t.mvbas ~compare:Det.by_int (fun _ m -> Array_agreement.abort m);
+  Hashtbl.reset t.mvbas;
   Det.iter t.past_mvba ~compare:Det.by_int (fun _ m -> Array_agreement.abort m);
   Hashtbl.reset t.past_mvba;
   Runtime.unregister t.rt ~pid:t.pid

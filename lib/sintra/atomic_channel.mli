@@ -11,6 +11,15 @@
     amortized over every payload in it; with [max_batch = 1] the channel
     degrades to the original one-payload-per-party rounds.
 
+    {b Pipelining}: up to [pipeline_depth] ({!Config.t}) rounds run their
+    agreements concurrently, each carrying a disjoint chunk of the local
+    queue; decisions that land out of round order park in a reorder buffer
+    and deliver strictly in round order, so the delivered sequence is the
+    sequential protocol's.  [pipeline_depth = 1] reproduces the strictly
+    sequential channel exactly.  When [adaptive_batch] is set the
+    per-round vector cap self-tunes by AIMD on the observed queue depth
+    between [min 8 max_batch] and [max_batch].
+
     {b Agreement & total order}: all honest parties deliver the same
     sequence.  {b Fairness}: a payload known to [f >= t+1] parties is
     delivered within a bounded number of rounds ([batch = n - f + 1]).
@@ -35,7 +44,7 @@ val create :
 val send : t -> string -> unit
 (** Queue a payload for broadcast (the paper's send event); any number of
     sends per party.  Payloads queued while a round is in flight ride in
-    the next round's vector together.
+    the next free in-window round's vector together.
     @raise Invalid_argument after the channel closed. *)
 
 val close : t -> unit
@@ -48,7 +57,8 @@ val deliveries : t -> int
 (** Payloads delivered locally so far. *)
 
 val current_round : t -> int
-(** The agreement round this party is currently in. *)
+(** The next round to deliver — the base of the pipeline window; rounds up
+    to [pipeline_depth - 1] ahead of it may already be running. *)
 
 val rounds_completed : t -> int
 (** Agreement rounds finished locally — [deliveries / rounds_completed] is
@@ -58,14 +68,29 @@ val queue_depth : t -> int
 (** This party's own payloads queued and not yet known delivered (the
     backlog a closed-loop generator watches). *)
 
+val batch_limit : t -> int
+(** The current adaptive per-round vector cap: between [min 8 max_batch]
+    and [max_batch] when [adaptive_batch] is set, pinned at [max_batch]
+    otherwise. *)
+
+val inflight_rounds : t -> int
+(** In-window rounds whose agreement this party has proposed to but which
+    have not decided locally — never exceeds [pipeline_depth]. *)
+
+val reorder_depth : t -> int
+(** Rounds decided but not yet delivered — the reorder-buffer occupancy
+    (0 when the pipeline is drained; bursts above 1 mean decisions landed
+    out of round order). *)
+
 val set_gate : t -> (unit -> bool) -> unit
 (** Backpressure: while the gate returns false this party neither INITs nor
-    proposes for its current round — models a consumer that has not drained
-    the outputs (the paper: an undrained channel "will stall").  Call
-    {!kick} when the gate opens. *)
+    proposes for any in-window round — models a consumer that has not
+    drained the outputs (the paper: an undrained channel "will stall").
+    Call {!kick} when the gate opens. *)
 
 val kick : t -> unit
-(** Re-attempt INIT/propose for the current round (after the gate opens). *)
+(** Re-attempt INIT/propose for every in-window round (after the gate
+    opens). *)
 
 val abort : t -> unit
 (** Tear the channel down without the termination protocol (test harness). *)

@@ -31,5 +31,7 @@ val propose : ?proof:string -> t -> bool -> unit
     the proof does not validate the value. *)
 
 val decided : t -> bool option
+(** The decision at this party, if reached. *)
 
 val abort : t -> unit
+(** Terminate the local instance immediately. *)

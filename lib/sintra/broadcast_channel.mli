@@ -12,9 +12,14 @@ module type BROADCAST = sig
 
   val create :
     Runtime.t -> pid:string -> sender:int -> on_deliver:(string -> unit) -> t
+  (** One single-shot broadcast instance with [sender] as its designated
+      origin, delivering at most once through [on_deliver]. *)
 
   val send : t -> string -> unit
+  (** Start the broadcast (designated sender only). *)
+
   val abort : t -> unit
+  (** Tear the instance down: unregister handlers, ignore late frames. *)
 end
 
 module Make (_ : BROADCAST) : sig
@@ -24,13 +29,23 @@ module Make (_ : BROADCAST) : sig
     Runtime.t -> pid:string ->
     on_deliver:(sender:int -> string -> unit) ->
     ?on_close:(unit -> unit) -> unit -> t
+  (** The aggregated channel: [n] underlying instances, re-allocated as
+      they deliver; [on_close] fires once when termination completes. *)
 
   val send : t -> string -> unit
   (** Queue a payload on this party's current instance.
       @raise Invalid_argument once closing or closed. *)
 
   val close : t -> unit
+  (** Send the termination request as this party's last message. *)
+
   val is_closed : t -> bool
+  (** Whether termination has completed at this party. *)
+
   val deliveries : t -> int
+  (** Total payloads delivered here so far, across all senders. *)
+
   val abort : t -> unit
+  (** Tear the channel and its live instances down without the closing
+      handshake. *)
 end

@@ -19,21 +19,51 @@ type t = {
 }
 
 val rsa_sign : t -> unit
+(** One RSA signature at the model key size (a full private
+    exponentiation). *)
+
 val rsa_verify : t -> unit
+(** One RSA verification (short public exponent). *)
 
 val tsig_release : t -> unit
+(** Releasing one threshold-signature share: the share exponentiation
+    plus its proof of correctness. *)
+
 val tsig_verify_share : t -> unit
+(** Checking one received signature share against its proof. *)
+
 val tsig_assemble : t -> k:int -> unit
+(** Combining [k] verified shares into the group signature (Lagrange
+    interpolation in the exponent). *)
+
 val tsig_verify : t -> k:int -> unit
+(** Verifying an assembled [k]-share group signature. *)
 
 val coin_release : t -> unit
+(** Releasing one common-coin share with its proof. *)
+
 val coin_verify_share : t -> unit
+(** Checking one received coin share against its proof. *)
+
 val coin_assemble : t -> k:int -> unit
+(** Combining [k] verified coin shares into the coin value. *)
 
 val enc_encrypt : t -> bytes:int -> unit
+(** Threshold-encrypting a [bytes]-long payload (label hashing included). *)
+
 val enc_ct_valid : t -> unit
+(** The public ciphertext-validity check run before decryption shares are
+    released. *)
+
 val enc_dec_share : t -> unit
+(** Computing one decryption share with its proof. *)
+
 val enc_verify_share : t -> unit
+(** Checking one received decryption share against its proof. *)
+
 val enc_combine : t -> k:int -> bytes:int -> unit
+(** Combining [k] decryption shares and unmasking a [bytes]-long
+    plaintext. *)
 
 val hash : t -> bytes:int -> unit
+(** Hashing [bytes] of input (charged per compression-function block). *)

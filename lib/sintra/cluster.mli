@@ -17,12 +17,16 @@ val create : ?seed:string -> ?loss:float -> topo:Sim.Topology.t -> Config.t -> t
     @raise Invalid_argument if the topology size differs from [cfg.n]. *)
 
 val runtime : t -> int -> Runtime.t
+(** Party [i]'s runtime. *)
+
 val n : t -> int
+(** The group size [cfg.n]. *)
 
 val run : ?until:float -> ?max_events:int -> t -> int
 (** Run the simulation to quiescence (or a bound); returns events executed. *)
 
 val now : t -> float
+(** Current virtual time of the engine. *)
 
 val inject : ?cause:int -> t -> int -> (unit -> unit) -> unit
 (** Schedule an application action on party [i]'s virtual CPU now (e.g. a
@@ -30,23 +34,34 @@ val inject : ?cause:int -> t -> int -> (unit -> unit) -> unit
     causal flow id (a load generator's submit) triggering the action. *)
 
 val at : t -> time:float -> (unit -> unit) -> unit
+(** Schedule an arbitrary action at an absolute virtual time (test
+    scripting: staged sends, probes, fault injection). *)
 
 val crash : t -> int -> unit
+(** Net-level crash of party [i]: frames to and from it are dropped until
+    {!recover}. *)
 
 val recover : t -> int -> unit
 (** Net-level recovery of a crashed party (protocol state intact — a pause,
     not a power failure; see {!Runtime.crash} for the state-losing kind). *)
 
 val set_intercept : t -> (src:int -> dst:int -> string -> Sim.Net.action) -> unit
+(** Install a per-frame adversary hook deciding deliver/drop/delay/replace
+    for every frame on every link. *)
+
 val clear_intercept : t -> unit
+(** Remove the intercept; subsequent frames deliver normally. *)
 
 val honest_indices : t -> corrupted:int list -> int list
+(** Party indices not listed in [corrupted], ascending. *)
 
 val set_sink : t -> Trace.Sink.t -> unit
 (** Install a trace sink on the cluster's engine; every party's
     instrumentation reports through it. *)
 
 val metrics : t -> Trace.Metrics.t
+(** The cluster's metrics registry (counters and histograms accumulate
+    here as the simulation runs). *)
 
 val publish_metrics : t -> Trace.Metrics.t
 (** Flush per-node network/CPU counters (and orphan-drop counts) into the

@@ -20,6 +20,8 @@ type t = {
   t : int;
   batch_size : int;          (* atomic broadcast batch (paper: t + 1) *)
   max_batch : int;           (* payloads per party per atomic round; 1 = unbatched *)
+  pipeline_depth : int;      (* atomic rounds in flight concurrently; 1 = sequential *)
+  adaptive_batch : bool;     (* AIMD self-tuning of the per-round vector cap *)
   tsig_scheme : tsig_scheme;
   perm_mode : perm_mode;
   (* actual cryptographic sizes *)
@@ -52,6 +54,7 @@ let validate (c : t) : unit =
   if c.batch_size < 1 || c.batch_size > c.n - c.t then
     invalid_arg "Config: batch size must satisfy 1 <= B <= n - t";
   if c.max_batch < 1 then invalid_arg "Config: max batch must be >= 1";
+  if c.pipeline_depth < 1 then invalid_arg "Config: pipeline depth must be >= 1";
   ()
 
 (* Quorum sizes used throughout the protocols. *)
@@ -67,7 +70,8 @@ let one_honest (c : t) : int = c.t + 1
 
 (* Default: real crypto at modest sizes, cost model at the paper's 1024-bit
    RSA / 1024-bit p with 160-bit q. *)
-let make ?(batch_size : int option) ?(max_batch = 256) ?(tsig_scheme = Multi)
+let make ?(batch_size : int option) ?(max_batch = 256) ?(pipeline_depth = 4)
+    ?(adaptive_batch = true) ?(tsig_scheme = Multi)
     ?(perm_mode = Fixed)
     ?(rsa_bits = 512) ?(tsig_bits = 512) ?(dl_pbits = 512) ?(dl_qbits = 160)
     ?(model_rsa_bits = 1024) ?(model_dl_pbits = 1024) ?(model_dl_qbits = 160)
@@ -75,7 +79,8 @@ let make ?(batch_size : int option) ?(max_batch = 256) ?(tsig_scheme = Multi)
     ~n ~t () : t =
   let batch_size = match batch_size with Some b -> b | None -> t + 1 in
   let c = {
-    n; t; batch_size; max_batch; tsig_scheme; perm_mode;
+    n; t; batch_size; max_batch; pipeline_depth; adaptive_batch;
+    tsig_scheme; perm_mode;
     rsa_bits; tsig_bits; dl_pbits; dl_qbits;
     model_rsa_bits; model_dl_pbits; model_dl_qbits;
     check_invariants; crypto_fast_path;
@@ -86,7 +91,8 @@ let make ?(batch_size : int option) ?(max_batch = 256) ?(tsig_scheme = Multi)
 
 (* A small fast configuration for unit tests: tiny real keys. *)
 let test ?(n = 4) ?(t = 1) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
-    ?(batch_size : int option) ?max_batch ?check_invariants ?crypto_fast_path ()
-    : t =
-  make ?batch_size ?max_batch ?check_invariants ?crypto_fast_path ~tsig_scheme
+    ?(batch_size : int option) ?max_batch ?pipeline_depth ?adaptive_batch
+    ?check_invariants ?crypto_fast_path () : t =
+  make ?batch_size ?max_batch ?pipeline_depth ?adaptive_batch
+    ?check_invariants ?crypto_fast_path ~tsig_scheme
     ~perm_mode ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()

@@ -25,6 +25,16 @@ type t = {
       undelivered payloads under one signature, so agreement cost is
       amortized over the whole vector.  [1] reproduces the original
       one-payload-per-party rounds (the benchmarks' [--no-batching]). *)
+  pipeline_depth : int;
+  (** Bound on atomic-broadcast rounds in flight concurrently: parties may
+      INIT and run agreement for round [k + pipeline_depth - 1] while rounds
+      [k ..] are still undecided; delivery stays strictly in round order via
+      a reorder buffer.  [1] reproduces the strictly sequential protocol
+      (round [k+1] starts only after round [k] delivers). *)
+  adaptive_batch : bool;
+  (** Self-tune the per-round vector cap by AIMD on the observed queue
+      depth, between a floor of [min 8 max_batch] and the [max_batch]
+      ceiling.  When off, every round uses the full [max_batch] cap. *)
   tsig_scheme : tsig_scheme;
   perm_mode : perm_mode;
   rsa_bits : int;            (** actual: signing keys / multi-signatures *)
@@ -68,19 +78,21 @@ val one_honest : t -> int
     amplification, batch adoption, termination-request counting). *)
 
 val make :
-  ?batch_size:int -> ?max_batch:int -> ?tsig_scheme:tsig_scheme ->
+  ?batch_size:int -> ?max_batch:int -> ?pipeline_depth:int ->
+  ?adaptive_batch:bool -> ?tsig_scheme:tsig_scheme ->
   ?perm_mode:perm_mode ->
   ?rsa_bits:int -> ?tsig_bits:int -> ?dl_pbits:int -> ?dl_qbits:int ->
   ?model_rsa_bits:int -> ?model_dl_pbits:int -> ?model_dl_qbits:int ->
   ?check_invariants:bool -> ?crypto_fast_path:bool ->
   n:int -> t:int -> unit -> t
 (** Defaults: batch [t+1], max batch 256 payloads per party per round,
-    multi-signatures, fixed candidate order, modest real key sizes, modeled
-    1024-bit RSA and 1024/160-bit discrete logs, fast-path cost accounting
-    on. *)
+    pipeline depth 4 with adaptive batching, multi-signatures, fixed
+    candidate order, modest real key sizes, modeled 1024-bit RSA and
+    1024/160-bit discrete logs, fast-path cost accounting on. *)
 
 val test :
   ?n:int -> ?t:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
-  ?batch_size:int -> ?max_batch:int -> ?check_invariants:bool ->
+  ?batch_size:int -> ?max_batch:int -> ?pipeline_depth:int ->
+  ?adaptive_batch:bool -> ?check_invariants:bool ->
   ?crypto_fast_path:bool -> unit -> t
 (** A fast configuration for unit tests (tiny real keys; default n=4, t=1). *)

@@ -15,11 +15,14 @@ type t
 
 val create :
   Runtime.t -> pid:string -> sender:int -> on_deliver:(string -> unit) -> t
+(** Join echo-broadcast instance [pid] with the given designated [sender];
+    [on_deliver] fires at most once. *)
 
 val send : t -> string -> unit
 (** @raise Invalid_argument if not the sender, or already sent. *)
 
 val delivered : t -> bool
+(** Whether this instance has delivered its payload here. *)
 
 val get_closing : t -> string option
 (** The closing message of a delivered instance (the paper's getClosing). *)
@@ -39,12 +42,18 @@ val deliver_closing : t -> string -> bool
     already delivered).  The paper's deliverClosing. *)
 
 val abort : t -> unit
+(** Terminate the local instance immediately. *)
 
 (** {2 Wire format} (exposed for adversarial tests) *)
 
 val tag_send : int
+(** Message tag of the sender's initial SEND. *)
+
 val tag_echo : int
+(** Message tag of the signed ECHO replies. *)
+
 val tag_final : int
+(** Message tag of the FINAL (closing) message. *)
 
 val statement : pid:string -> string -> string
 (** The string actually threshold-signed: binds instance and payload. *)

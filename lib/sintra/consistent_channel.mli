@@ -12,9 +12,21 @@ val create :
   Runtime.t -> pid:string ->
   on_deliver:(sender:int -> string -> unit) ->
   ?on_close:(unit -> unit) -> unit -> t
+(** Join channel [pid]; [on_deliver] fires per delivered payload with its
+    sender, [on_close] once when termination completes. *)
 
 val send : t -> string -> unit
+(** Queue a payload on this party's current broadcast instance.
+    @raise Invalid_argument once closing or closed. *)
+
 val close : t -> unit
+(** Send the termination request as this party's last message. *)
+
 val is_closed : t -> bool
+(** Whether termination has completed at this party. *)
+
 val deliveries : t -> int
+(** Total payloads delivered here so far, across all senders. *)
+
 val abort : t -> unit
+(** Tear the channel down without the closing handshake. *)

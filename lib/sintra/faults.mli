@@ -7,7 +7,10 @@
 type spec = src:int -> dst:int -> string -> Sim.Net.action
 
 val install : Cluster.t -> spec -> unit
+(** Make [spec] the cluster's active network intercept. *)
+
 val clear : Cluster.t -> unit
+(** Remove the active spec; traffic flows normally again. *)
 
 val silence : int -> spec
 (** Drop all traffic to and from one party (a network-level crash). *)

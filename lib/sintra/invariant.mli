@@ -16,6 +16,7 @@ val create : Config.t -> t option
     checker below is a no-op on [None], so call sites stay unconditional. *)
 
 val enabled : t option -> bool
+(** Whether checks are live (i.e. the option is [Some]). *)
 
 val require : t option -> bool -> string -> unit
 (** Assert a local invariant.  @raise Violation when enabled and false. *)

@@ -82,11 +82,13 @@ let tag_ack = 1
 let tag_complain = 2
 let tag_report = 3
 
-(* Leader window: at most this many assigned-but-incomplete VCBC slots.
-   Requests arriving while the window is full wait in [requests] and ride
-   the next free slot together — without the window the leader would open
-   one slot per arriving request and batching would never happen. *)
-let max_outstanding = 4
+(* Leader window: at most this many assigned-but-incomplete VCBC slots,
+   scaled by the configured pipeline depth (4 slots per depth unit, so
+   [pipeline_depth = 1] keeps the original 4-slot sequencer).  Requests
+   arriving while the window is full wait in [requests] and ride the next
+   free slot together — without the window the leader would open one slot
+   per arriving request and batching would never happen. *)
+let max_outstanding (t : t) : int = 4 * t.rt.Runtime.cfg.Config.pipeline_depth
 
 let vcbc_pid (t : t) ~(epoch : int) ~(seq : int) : string =
   Printf.sprintf "%s/e.%d.%d" t.pid epoch seq
@@ -233,7 +235,7 @@ and leader_pump (t : t) : unit =
     in
     List.iter
       (fun batch ->
-        if t.next_assign - t.vcbc_prefix < max_outstanding then begin
+        if t.next_assign - t.vcbc_prefix < max_outstanding t then begin
           List.iter
             (fun rq -> Hashtbl.replace t.assigned_ids (rq.rq_orig, rq.rq_cseq) ())
             batch;

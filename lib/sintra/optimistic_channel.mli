@@ -27,7 +27,10 @@ val send : t -> string -> unit
 (** Broadcast a payload; any number per party. *)
 
 val current_epoch : t -> int
+(** The epoch this party is in (bumped by each recovery). *)
+
 val current_leader : t -> int
+(** The sequencer of the current epoch ([epoch mod n]). *)
 
 val deliveries_fast : t -> int
 (** Locally delivered on the fast path. *)
@@ -36,3 +39,4 @@ val deliveries_recovered : t -> int
 (** Locally delivered during epoch-change recovery. *)
 
 val abort : t -> unit
+(** Terminate the local instance and its live sub-protocols. *)

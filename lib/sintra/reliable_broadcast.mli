@@ -18,6 +18,7 @@ val send : t -> string -> unit
     @raise Invalid_argument otherwise. *)
 
 val delivered : t -> bool
+(** Whether this instance has delivered its payload here. *)
 
 val abort : t -> unit
 (** Terminate the local instance immediately (the paper's abort: the state
@@ -28,6 +29,14 @@ val abort : t -> unit
     Exposed so tests can play a Byzantine sender. *)
 
 val tag_send : int
+(** Message tag of the sender's initial SEND. *)
+
 val tag_echo : int
+(** Message tag of the first-phase ECHO votes. *)
+
 val tag_ready : int
+(** Message tag of the second-phase READY votes. *)
+
 val encode : tag:int -> string -> string
+(** A raw protocol frame for [pid]-less injection: [tag] then the
+    payload, in the instance wire format. *)

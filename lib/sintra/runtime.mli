@@ -26,11 +26,14 @@ type t = {
 val create :
   engine:Sim.Engine.t -> net:Sim.Net.t -> cfg:Config.t ->
   keys:Dealer.party_keys -> t
+(** One party's runtime, wired to its network endpoint; installs the
+    frame-dispatch handler on creation. *)
 
 val register : t -> pid:string -> (src:int -> string -> unit) -> unit
 (** @raise Invalid_argument on a duplicate pid. *)
 
 val unregister : t -> pid:string -> unit
+(** Remove a pid's handler; later messages for it are buffered again. *)
 
 val handling : t -> pid:string -> cat:string -> string -> unit
 (** Emit an ["h.<kind>"] instant tagging the message currently being
@@ -46,6 +49,7 @@ val broadcast : t -> pid:string -> string -> unit
     network, keeping protocol code uniform). *)
 
 val now : t -> float
+(** Current virtual time at this party. *)
 
 val on_rebuild : t -> (unit -> unit) -> unit
 (** Register a durable-state reconstruction hook, run (in registration

@@ -33,5 +33,10 @@ val send_ciphertext : t -> string -> unit
     sendCiphertext). *)
 
 val close : t -> unit
+(** Close the underlying atomic channel (this party's last message). *)
+
 val is_closed : t -> bool
+(** Whether the underlying channel has terminated at this party. *)
+
 val abort : t -> unit
+(** Terminate the local instance and the underlying channel. *)

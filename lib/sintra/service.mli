@@ -21,7 +21,10 @@ val submit : 'state t -> string -> int
     submitting replica). *)
 
 val state : 'state t -> 'state
+(** The replica's current state. *)
+
 val executed : 'state t -> int
+(** Number of requests executed so far at this replica. *)
 
 val reply : 'state t -> origin:int -> tag:int -> string option
 (** The reply computed for the request submitted via replica [origin] with
@@ -32,4 +35,7 @@ val reply_digest : 'state t -> string
     executed the same prefix; useful for cross-replica auditing. *)
 
 val close : 'state t -> unit
+(** Close the underlying atomic channel (no further submissions here). *)
+
 val abort : 'state t -> unit
+(** Terminate the replica and the underlying channel. *)

@@ -19,6 +19,7 @@ type share =
   | Multi_share of Crypto.Multi_sig.share
 
 val public_of_secret : secret -> public
+(** The public key packaged inside a party's secret share. *)
 
 val k : public -> int
 (** The reconstruction threshold. *)
@@ -27,18 +28,26 @@ val share_origin : share -> int
 (** The 1-based index of the releasing party. *)
 
 val release : drbg:Hashes.Drbg.t -> secret -> ctx:string -> string -> share
+(** This party's signature share on a message; [ctx] domain-separates
+    protocol instances so shares cannot be replayed across them. *)
+
 val verify_share : public -> ctx:string -> string -> share -> bool
+(** Check one received share (and its proof) against the message. *)
 
 val assemble : public -> ctx:string -> string -> share list -> string
 (** @raise Invalid_argument with fewer than [k] distinct valid-scheme
     shares. *)
 
 val verify : public -> ctx:string -> signature:string -> string -> bool
+(** Check an assembled group signature on a message. *)
+
 val signature_bytes : public -> int
+(** Wire size of an assembled signature, for bandwidth accounting. *)
 
 (** Wire codec for shares. *)
 
 val enc_share : Wire.Enc.t -> share -> unit
+(** Encode a share (scheme-tagged) into a wire buffer. *)
 
 val dec_share : Wire.Dec.t -> share
 (** @raise Wire.Decode on malformed input. *)

@@ -12,13 +12,17 @@ val create :
   Runtime.t -> pid:string ->
   validator:(bool -> string -> bool) ->
   on_decide:(bool -> proof:string -> unit) -> t
+(** [on_decide value ~proof] fires exactly once, with validation data for
+    the decided value. *)
 
 val propose : t -> bool -> proof:string -> unit
 (** @raise Invalid_argument on re-proposal or failing validation. *)
 
 val decided : t -> bool option
+(** The decision at this party, if reached. *)
 
 val get_proof : t -> string option
 (** Validation data for the decided value (after decision). *)
 
 val abort : t -> unit
+(** Terminate the local instance immediately. *)

@@ -13,7 +13,8 @@
      majority, and only for messages submitted by never-degraded honest
      senders. *)
 
-type kind = Reliable | Consistent | Aba | Mvba | Atomic | Secure | Throughput
+type kind =
+  Reliable | Consistent | Aba | Mvba | Atomic | Secure | Throughput | Pipeline
 
 let kind_to_string (k : kind) : string =
   match k with
@@ -24,6 +25,7 @@ let kind_to_string (k : kind) : string =
   | Atomic -> "atomic"
   | Secure -> "secure"
   | Throughput -> "throughput"
+  | Pipeline -> "pipeline"
 
 let kind_of_string (s : string) : kind option =
   match s with
@@ -34,6 +36,7 @@ let kind_of_string (s : string) : kind option =
   | "atomic" -> Some Atomic
   | "secure" -> Some Secure
   | "throughput" -> Some Throughput
+  | "pipeline" -> Some Pipeline
   | _ -> None
 
 type obs = {
@@ -119,7 +122,7 @@ let agreement : oracle =
           | Some other ->
             Fail (Printf.sprintf "honest decisions differ: %S vs %S" first other)
           | None -> Pass))
-    | Reliable | Consistent | Atomic | Secure | Throughput ->
+    | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline ->
       let honest_parties = List.filter (honest o) (parties o) in
       let per_origin (p : int) (origin : int) : string list =
         List.filter_map
@@ -181,7 +184,7 @@ let total_order : oracle =
   let check (o : obs) : verdict =
     match o.kind with
     | Reliable | Consistent | Aba | Mvba -> Pass
-    | Atomic | Secure | Throughput ->
+    | Atomic | Secure | Throughput | Pipeline ->
       let honest_parties = List.filter (honest o) (parties o) in
       let logs = List.map (fun p -> (p, o.delivered.(p))) honest_parties in
       let breach =
@@ -261,7 +264,7 @@ let integrity : oracle =
 let validity : oracle =
   let check (o : obs) : verdict =
     match o.kind with
-    | Reliable | Consistent | Atomic | Secure | Throughput -> Pass
+    | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline -> Pass
     | Aba | Mvba ->
       if o.corrupted <> [] then Pass
       else begin
@@ -321,7 +324,7 @@ let liveness : oracle =
          with
          | Some p -> Fail (Printf.sprintf "party %d never decided" p)
          | None -> Pass)
-      | Reliable | Consistent | Atomic | Secure | Throughput ->
+      | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline ->
         let required =
           List.sort cmp_entry
             (List.filter (fun (origin, _) -> steady o origin) o.sent)
@@ -382,5 +385,5 @@ let all (k : kind) : oracle list =
   match k with
   | Reliable | Consistent -> [ agreement; integrity; liveness; flags ]
   | Aba | Mvba -> [ agreement; validity; liveness; flags ]
-  | Atomic | Secure | Throughput ->
+  | Atomic | Secure | Throughput | Pipeline ->
     [ agreement; total_order; integrity; liveness; flags ]

@@ -20,6 +20,11 @@ type kind =
       (** atomic broadcast under bursty multi-payload traffic: the same
           oracle suite as the [Atomic] kind, run against rounds whose decided
           batches carry many payloads per party *)
+  | Pipeline
+      (** atomic broadcast with several rounds in flight: staggered payload
+          waves keep the pipeline window full, so the [Atomic] oracle suite
+          checks the reorder buffer and window-aware catch-up under the same
+          adversarial schedules (crashes, drops, replays) *)
 
 val kind_to_string : kind -> string
 (** Lower-case CLI name, e.g. ["atomic"]. *)

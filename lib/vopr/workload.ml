@@ -38,13 +38,16 @@ let no_tweaks : tweaks =
 let byz_supported (k : Oracle.kind) : bool =
   match k with
   | Oracle.Reliable | Oracle.Consistent | Oracle.Aba -> true
-  | Oracle.Mvba | Oracle.Atomic | Oracle.Secure | Oracle.Throughput -> false
+  | Oracle.Mvba | Oracle.Atomic | Oracle.Secure | Oracle.Throughput
+  | Oracle.Pipeline ->
+    false
 
 (* Key material is independent of the run seed; share it across the sweep. *)
 let dealer_cache : (string, Dealer.t) Hashtbl.t = Hashtbl.create 4
 
-let make_cluster ~(run_seed : string) ~(n : int) ~(t : int) : Cluster.t =
-  let cfg = Config.test ~n ~t ~check_invariants:true () in
+let make_cluster ?max_batch ~(run_seed : string) ~(n : int) ~(t : int) () :
+    Cluster.t =
+  let cfg = Config.test ~n ~t ?max_batch ~check_invariants:true () in
   let topo = Sim.Topology.uniform ~count:n () in
   let key = Printf.sprintf "%d|%d" n t in
   let dealer =
@@ -72,7 +75,12 @@ let framed (s : string) : string = "\x01" ^ s
 let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
     ~(kind : Oracle.kind) ~(seed : string) (sched : Schedule.t) : Oracle.obs =
   let n = 4 and t = 1 in
-  let c = make_cluster ~run_seed:seed ~n ~t in
+  (* The pipeline workload caps vectors low so its staggered waves spread
+     over several concurrent rounds instead of one big batch. *)
+  let max_batch =
+    match kind with Oracle.Pipeline -> Some 6 | _ -> None
+  in
+  let c = make_cluster ?max_batch ~run_seed:seed ~n ~t () in
   let corrupted =
     if byz_supported kind then Schedule.equivocators sched else []
   in
@@ -91,7 +99,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
       "vopr planted spurious flag";
   (match kind with
    | Oracle.Reliable | Oracle.Consistent | Oracle.Atomic | Oracle.Secure
-   | Oracle.Throughput ->
+   | Oracle.Throughput | Oracle.Pipeline ->
      let chans : chan option array = Array.make n None in
      List.iter
        (fun p ->
@@ -111,7 +119,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
                   Consistent_channel.create rt ~pid:"vopr" ~on_deliver ()
                 in
                 { send = (fun m -> Consistent_channel.send ch m) }
-              | Oracle.Atomic | Oracle.Throughput ->
+              | Oracle.Atomic | Oracle.Throughput | Oracle.Pipeline ->
                 let ch = Atomic_channel.create rt ~pid:"vopr" ~on_deliver () in
                 { send = (fun m -> Atomic_channel.send ch m) }
               | Oracle.Secure ->
@@ -132,6 +140,10 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
      let times =
        match kind with
        | Oracle.Throughput -> [ 0.0; 0.0; 0.0; 0.0; 2.0; 2.0; 2.0; 2.0 ]
+       | Oracle.Pipeline ->
+         (* staggered waves: fresh payloads arrive while earlier rounds are
+            still in flight, keeping several rounds open concurrently *)
+         [ 0.0; 0.0; 0.3; 0.6; 0.9; 2.0 ]
        | _ -> [ 0.0; 2.0 ]
      in
      List.iter
@@ -163,7 +175,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
            Faults.equivocating_cbc_sender c ~party:p ~pid:ipid ~to_a
              ~a:(framed "equiv-a") ~b:(framed "equiv-b")
          | Oracle.Reliable | Oracle.Atomic | Oracle.Secure | Oracle.Aba
-         | Oracle.Mvba | Oracle.Throughput ->
+         | Oracle.Mvba | Oracle.Throughput | Oracle.Pipeline ->
            let to_a = match honest with q0 :: _ -> [ q0 ] | [] -> [] in
            Faults.equivocate_send c ~party:p ~pid:ipid ~to_a
              ~a:(framed "equiv-a") ~b:(framed "equiv-b"))

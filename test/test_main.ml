@@ -13,6 +13,7 @@ let () =
       ("agreement", Test_agreement.suite);
       ("channels", Test_channels.suite);
       ("batching", Test_batching.suite);
+      ("pipeline", Test_pipeline.suite);
       ("load", Test_load.suite);
       ("optimistic", Test_optimistic.suite);
       ("system", Test_system.suite);

@@ -9,11 +9,11 @@ let default_topo ?(count = 4) () = Sim.Topology.uniform ~count ()
 let dealer_cache : (string, Dealer.t) Hashtbl.t = Hashtbl.create 8
 
 let cluster ?(seed = "test") ?(n = 4) ?(t = 1) ?(tsig_scheme = Config.Multi)
-    ?(perm_mode = Config.Fixed) ?batch_size ?max_batch ?check_invariants ?topo
-    () : Cluster.t =
+    ?(perm_mode = Config.Fixed) ?batch_size ?max_batch ?pipeline_depth
+    ?adaptive_batch ?check_invariants ?topo () : Cluster.t =
   let cfg =
     Config.test ~n ~t ~tsig_scheme ~perm_mode ?batch_size ?max_batch
-      ?check_invariants ()
+      ?pipeline_depth ?adaptive_batch ?check_invariants ()
   in
   let topo = match topo with Some tp -> tp | None -> default_topo ~count:n () in
   let key =
