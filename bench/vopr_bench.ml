@@ -6,7 +6,7 @@
 let workloads =
   [ Vopr.Oracle.Reliable; Vopr.Oracle.Consistent; Vopr.Oracle.Aba;
     Vopr.Oracle.Mvba; Vopr.Oracle.Atomic; Vopr.Oracle.Secure;
-    Vopr.Oracle.Throughput ]
+    Vopr.Oracle.Throughput; Vopr.Oracle.Amortized ]
 
 let run ?(quick = true) ?(out = "BENCH_vopr.json") () : unit =
   let seeds = if quick then 20 else 200 in

@@ -169,6 +169,20 @@ val powmod2 : t -> t -> t -> t -> t -> t
     Montgomery domain for odd [m], Barrett otherwise.
     @raise Division_by_zero if [m] is zero. *)
 
+val powmod_multi : (t * t) list -> t -> t
+(** [powmod_multi [(b1, e1); ...; (bk, ek)] m] is the k-way simultaneous
+    multi-exponentiation [b1]{^ [e1]}[ * ... * bk]{^ [ek]}[ mod m],
+    generalizing {!powmod2} to any number of bases: one shared squaring
+    chain over the longest exponent, with the bases grouped into blocks of
+    two sharing {!powmod2}-style 16-entry digit-pair tables, so each block
+    adds at most one multiplication per two exponent bits to the shared
+    chain.  For [k] full-width exponents this costs ~[(1 + k/2) * e/2 + e]
+    multiplications where [k] separate {!powmod} calls pay ~[1.5 * k * e] —
+    the shape of batched share verification and Lagrange combination over
+    all [k] shares.  [powmod_multi [] m = 1 mod m]; one pair delegates to
+    {!powmod}, two to {!powmod2}.
+    @raise Division_by_zero if [m] is zero. *)
+
 (** Fixed-base precomputation (HAC 14.109 family): for a base reused across
     many exponentiations — the group generator, a party's public key —
     precompute [base]{^ d*16{^i}} for every 4-bit digit position [i] and

@@ -4,13 +4,26 @@
    A proof for ((g1, h1), (g2, h2)) convinces a verifier that
    log_{g1} h1 = log_{g2} h2 without revealing the exponent.  These proofs
    justify threshold-coin shares and threshold-decryption shares, making both
-   schemes robust: a corrupted party cannot inject a bogus share. *)
+   schemes robust: a corrupted party cannot inject a bogus share.
+
+   The proof carries the two commitments (a1, a2) and the response z; the
+   challenge is recomputed by the verifier as c = H(statement, a1, a2).
+   Carrying commitments instead of the challenge costs two group elements of
+   wire size but makes the verification equations
+
+       g1^z = a1 * h1^c        g2^z = a2 * h2^c
+
+   algebraic in the proof components, which is what allows many proofs to be
+   checked together by a small-exponent random linear combination (see
+   {!Batch}); a challenge-carrying proof hides the commitments inside the
+   hash and admits no batching at all. *)
 
 open Bignum
 
 type t = {
-  challenge : Group.exponent;  (* c = H(g1,h1,g2,h2,a1,a2,ctx) *)
-  response : Group.exponent;   (* z = r + c*x mod q *)
+  a1 : Group.elt;              (* commitment g1^r *)
+  a2 : Group.elt;              (* commitment g2^r *)
+  response : Group.exponent;   (* z = r + c*x mod q, c = H(...,a1,a2) *)
 }
 
 let transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2 =
@@ -19,38 +32,49 @@ let transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2 =
     Group.elt_to_bytes grp g2; Group.elt_to_bytes grp h2;
     Group.elt_to_bytes grp a1; Group.elt_to_bytes grp a2 ]
 
+(* The commitments must be serializable into the transcript, so reject
+   out-of-range field elements up front (proofs arrive off the wire). *)
+let well_formed grp (proof : t) : bool =
+  not (Nat.is_zero proof.a1)
+  && Nat.compare proof.a1 grp.Group.p < 0
+  && not (Nat.is_zero proof.a2)
+  && Nat.compare proof.a2 grp.Group.p < 0
+
+let challenge grp ~(ctx : string) ~g1 ~h1 ~g2 ~h2 (proof : t) : Group.exponent =
+  Group.hash_to_exponent grp
+    (transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1:proof.a1 ~a2:proof.a2)
+
 (* [prove grp ~drbg ~ctx ~g1 ~h1 ~g2 ~h2 ~x] with h1 = g1^x, h2 = g2^x. *)
 let prove grp ~(drbg : Hashes.Drbg.t) ~(ctx : string) ~g1 ~h1 ~g2 ~h2 ~(x : Group.exponent) : t =
   let r = Group.random_exponent grp ~drbg in
   let a1 = Group.pow grp g1 r and a2 = Group.pow grp g2 r in
-  let challenge = Group.hash_to_exponent grp (transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2) in
-  let response = Nat.rem (Nat.add r (Nat.mul challenge x)) grp.Group.q in
-  { challenge; response }
+  let c = Group.hash_to_exponent grp (transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2) in
+  let response = Nat.rem (Nat.add r (Nat.mul c x)) grp.Group.q in
+  { a1; a2; response }
 
-(* Fast verification.  The commitments are recomputed as
+(* Fast verification.  Each commitment is recomputed as
      a_i = g_i^z * h_i^(q-c)
    — valid because h_i passed the order-q membership test, so h_i^(q-c) =
-   h_i^(-c) with no modular inversion.  Each pair costs one simultaneous
-   double exponentiation (Shamir's trick) instead of two exponentiations
-   plus an inversion; when the verifier holds fixed-base tables (g1 = g
-   hits the group's own table inside [Group.pow], and [h1_tbl] covers the
-   long-lived verification key) the first pair drops to two table hits. *)
+   h_i^(-c) with no modular inversion — and compared against the carried
+   commitment.  Each pair costs one simultaneous double exponentiation
+   (Shamir's trick) instead of two exponentiations plus an inversion; when
+   the verifier holds fixed-base tables (g1 = g hits the group's own table
+   inside [Group.pow], and [h1_tbl] covers the long-lived verification key)
+   the first pair drops to two table hits. *)
 let verify grp ~(ctx : string) ?h1_tbl ~g1 ~h1 ~g2 ~h2 (proof : t) : bool =
-  (* c >= q cannot have come from hash_to_exponent, so reject up front
-     (the reference path rejects it at the final hash comparison). *)
-  Nat.compare proof.challenge grp.Group.q < 0
+  well_formed grp proof
   && Group.is_member grp h1 && Group.is_member grp h2
   && begin
-    let neg_c = Nat.sub grp.Group.q proof.challenge in
+    let c = challenge grp ~ctx ~g1 ~h1 ~g2 ~h2 proof in
+    let neg_c = Nat.sub grp.Group.q c in
     let a1 =
       match h1_tbl with
       | Some tbl ->
         Group.mul grp (Group.pow grp g1 proof.response) (Group.pow_table tbl neg_c)
       | None -> Group.mul_exp2 grp g1 proof.response h1 neg_c
     in
-    let a2 = Group.mul_exp2 grp g2 proof.response h2 neg_c in
-    let c = Group.hash_to_exponent grp (transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2) in
-    Nat.equal c proof.challenge
+    Group.elt_equal a1 proof.a1
+    && Group.elt_equal (Group.mul_exp2 grp g2 proof.response h2 neg_c) proof.a2
   end
 
 (* The pre-fast-path verifier (two powmods + an inversion per pair), kept
@@ -58,27 +82,31 @@ let verify grp ~(ctx : string) ?h1_tbl ~g1 ~h1 ~g2 ~h2 (proof : t) : bool =
    the generator table when g_i = g; [Nat.powmod_barrett] below it is the
    benchmark's fully-plain baseline. *)
 let verify_reference grp ~(ctx : string) ~g1 ~h1 ~g2 ~h2 (proof : t) : bool =
-  Group.is_member grp h1 && Group.is_member grp h2
+  well_formed grp proof
+  && Group.is_member grp h1 && Group.is_member grp h2
   && begin
+    let c = challenge grp ~ctx ~g1 ~h1 ~g2 ~h2 proof in
     (* Recompute the commitments: a_i = g_i^z * h_i^(-c). *)
     let recompute g h =
       Group.div grp
         (Nat.powmod g proof.response grp.Group.p)
-        (Nat.powmod h proof.challenge grp.Group.p)
+        (Nat.powmod h c grp.Group.p)
     in
-    let a1 = recompute g1 h1 and a2 = recompute g2 h2 in
-    let c = Group.hash_to_exponent grp (transcript grp ~ctx ~g1 ~h1 ~g2 ~h2 ~a1 ~a2) in
-    Nat.equal c proof.challenge
+    Group.elt_equal (recompute g1 h1) proof.a1
+    && Group.elt_equal (recompute g2 h2) proof.a2
   end
 
 let to_bytes grp (t : t) : string =
-  Group.exponent_to_bytes grp t.challenge ^ Group.exponent_to_bytes grp t.response
+  Group.elt_to_bytes grp t.a1 ^ Group.elt_to_bytes grp t.a2
+  ^ Group.exponent_to_bytes grp t.response
 
 let of_bytes grp (s : string) : t option =
+  let pbytes = (Nat.numbits grp.Group.p + 7) / 8 in
   let qbytes = (Nat.numbits grp.Group.q + 7) / 8 in
-  if String.length s <> 2 * qbytes then None
+  if String.length s <> (2 * pbytes) + qbytes then None
   else
     Some {
-      challenge = Group.exponent_of_bytes (String.sub s 0 qbytes);
-      response = Group.exponent_of_bytes (String.sub s qbytes qbytes);
+      a1 = Group.elt_of_bytes (String.sub s 0 pbytes);
+      a2 = Group.elt_of_bytes (String.sub s pbytes pbytes);
+      response = Group.exponent_of_bytes (String.sub s (2 * pbytes) qbytes);
     }

@@ -4,11 +4,20 @@
     A proof for [(g1, h1, g2, h2)] shows [log_g1 h1 = log_g2 h2] without
     revealing the exponent.  These proofs make the threshold coin and the
     TDH2 threshold cryptosystem {e robust}: a corrupted party cannot inject
-    a malformed share. *)
+    a malformed share.
+
+    Proofs carry the two Fiat-Shamir {e commitments} [(a1, a2)] and the
+    response [z]; the challenge [c] is recomputed by the verifier as the
+    hash of the statement and commitments.  This makes the verification
+    equations [g1^z = a1 * h1^c] and [g2^z = a2 * h2^c] algebraic in the
+    proof components, so many proofs can be verified together with one
+    small-exponent random linear combination (see {!Batch}); the
+    challenge-carrying encoding admits no batching at all. *)
 
 type t = {
-  challenge : Group.exponent;
-  response : Group.exponent;
+  a1 : Group.elt;             (** commitment [g1^r] *)
+  a2 : Group.elt;             (** commitment [g2^r] *)
+  response : Group.exponent;  (** [z = r + c*x mod q] *)
 }
 
 val prove :
@@ -18,16 +27,23 @@ val prove :
 (** Prove knowledge of [x] with [h1 = g1^x] and [h2 = g2^x], bound to the
     domain-separation string [ctx]. *)
 
+val challenge :
+  Group.t -> ctx:string ->
+  g1:Group.elt -> h1:Group.elt -> g2:Group.elt -> h2:Group.elt -> t ->
+  Group.exponent
+(** The Fiat-Shamir challenge [c = H(statement, a1, a2)] this proof is
+    checked against — exposed for {!Batch}'s combined verification. *)
+
 val verify :
   Group.t -> ctx:string -> ?h1_tbl:Group.table ->
   g1:Group.elt -> h1:Group.elt -> g2:Group.elt -> h2:Group.elt -> t -> bool
 (** Verify a proof.  Fast path: each commitment is recomputed as
     [g_i^z * h_i^(q-c)] by one {!Group.mul_exp2} (no inversion — [h_i] is
-    order-[q], so [h_i^(q-c) = h_i^(-c)]); passing [h1_tbl] (the
-    verification key's fixed-base table) turns the first pair into two
-    table hits, and [g1 = g] hits the group's generator table
-    automatically.  ~2-3x faster than {!verify_reference}; accepts exactly
-    the same proofs. *)
+    order-[q], so [h_i^(q-c) = h_i^(-c)]) and compared to the carried
+    commitment; passing [h1_tbl] (the verification key's fixed-base table)
+    turns the first pair into two table hits, and [g1 = g] hits the group's
+    generator table automatically.  ~2-3x faster than {!verify_reference};
+    accepts exactly the same proofs. *)
 
 val verify_reference :
   Group.t -> ctx:string ->
@@ -37,7 +53,8 @@ val verify_reference :
     benchmark baseline. *)
 
 val to_bytes : Group.t -> t -> string
-(** Serialize as [challenge || response], each [ceil(|q|/8)] bytes. *)
+(** Serialize as [a1 || a2 || response]: two [ceil(|p|/8)]-byte elements
+    and one [ceil(|q|/8)]-byte exponent. *)
 
 val of_bytes : Group.t -> string -> t option
 (** Inverse of {!to_bytes}; [None] on wrong length. *)

@@ -64,6 +64,11 @@ let pow_table (tbl : table) (e : exponent) : elt = Bignum.Nat.Fixed_base.pow tbl
 let mul_exp2 (grp : t) (a : elt) (ea : exponent) (b : elt) (eb : exponent) : elt =
   Bignum.Nat.powmod2 a ea b eb grp.p
 
+(* k-way simultaneous multi-exponentiation — Lagrange combination over all
+   k shares and batched share verification in one shared squaring chain. *)
+let mul_exp_multi (grp : t) (pairs : (elt * exponent) list) : elt =
+  Bignum.Nat.powmod_multi pairs grp.p
+
 let inv (grp : t) (a : elt) : elt =
   let open Bignum in
   Bigint.to_nat (Bigint.invmod (Bigint.of_nat a) (Bigint.of_nat grp.p))

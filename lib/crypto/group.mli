@@ -81,6 +81,13 @@ val mul_exp2 : t -> elt -> exponent -> elt -> exponent -> elt
     exponentiation ({!Nat.powmod2}): ~1.9x faster than two {!pow} calls,
     and no inversion when used as [a^z * b^(q-c)]. *)
 
+val mul_exp_multi : t -> (elt * exponent) list -> elt
+(** [mul_exp_multi grp [(a1, e1); ...; (ak, ek)]] is the k-way simultaneous
+    product [a1^e1 * ... * ak^ek mod p] ({!Nat.powmod_multi}): one shared
+    squaring chain for all [k] exponents, ~[|q|/4] marginal multiplications
+    per extra base.  The shape of Lagrange combination over all [k] shares
+    and of batched share verification. *)
+
 val pow_signed : t -> elt -> Bignum.Bigint.t -> elt
 (** Power with a signed exponent (Lagrange interpolation in the exponent);
     negative exponents cost one extra inversion. *)

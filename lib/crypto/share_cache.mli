@@ -1,0 +1,55 @@
+(** A bounded, deterministic cache of verified shares.
+
+    Retransmits, replays and catch-up DECIDED batches carry shares the
+    receiver has already verified; this cache remembers
+    [(scheme, message digest, sender, share index)] for every share that
+    passed verification so the second sighting costs a hash-table probe
+    instead of a multi-exponentiation.
+
+    Keys are built over a {e digest} of the message (SHA-1 or SHA-256
+    output, enforced by length here and by the sintra-lint S5 rule
+    [cache-key-digest] at call sites), membership and insertion never
+    iterate the table, and eviction is FIFO in insertion order — cache
+    behaviour is a pure function of the call sequence.  Entries belong to
+    a [group] (protocol-instance id) evicted wholesale when the instance
+    is garbage-collected, and the table never exceeds its capacity. *)
+
+type t
+(** A cache instance (one per party; volatile — crash discards it). *)
+
+val create : cap:int -> t
+(** An empty cache holding at most [cap] entries.
+    @raise Invalid_argument if [cap < 1]. *)
+
+val mem :
+  t -> scheme:string -> digest:string -> sender:int -> index:int -> bool
+(** Membership probe; updates the hit/miss counters.
+    @raise Invalid_argument if [digest] is not a SHA-1/SHA-256 digest. *)
+
+val add :
+  t -> group:string -> scheme:string -> digest:string -> sender:int ->
+  index:int -> unit
+(** Record a verified share under eviction group [group], evicting the
+    oldest live entry first when at capacity.  Idempotent.
+    @raise Invalid_argument if [digest] is not a SHA-1/SHA-256 digest. *)
+
+val evict_group : t -> string -> unit
+(** Drop every entry added under this group — called when the owning
+    protocol instance is garbage-collected, so replayed frames cannot
+    resurrect verification state. *)
+
+val clear : t -> unit
+(** Drop everything (crash recovery). *)
+
+val size : t -> int
+(** Current number of live entries ([<= cap] always) — the cache-size
+    gauge. *)
+
+val cap : t -> int
+(** The capacity the cache was created with. *)
+
+val hits : t -> int
+(** Probes that found their key. *)
+
+val misses : t -> int
+(** Probes that did not. *)

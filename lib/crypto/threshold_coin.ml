@@ -74,6 +74,21 @@ let verify_share (pub : public) ~(name : string) (s : share) : bool =
       ~g2:gtilde ~h2:s.value s.proof
   end
 
+(* Reference twin of {!verify_share}: the same proof checked by
+   {!Dleq.verify_reference} (inversions and plain exponentiations, no
+   precomputed tables).  The equivalence tests and the amortization
+   benchmarks compare the fast single and batch paths against it. *)
+let verify_share_reference (pub : public) ~(name : string) (s : share) : bool =
+  s.origin >= 1 && s.origin <= pub.n
+  && begin
+    let grp = pub.group in
+    let gtilde = coin_base pub name in
+    Dleq.verify_reference grp
+      ~ctx:("coin-share|" ^ name ^ "|" ^ string_of_int s.origin)
+      ~g1:grp.Group.g ~h1:pub.share_vks.(s.origin - 1)
+      ~g2:gtilde ~h2:s.value s.proof
+  end
+
 (* Assemble k distinct valid shares into the coin value: [len] pseudo-random
    bytes derived from g~^x.  Shares are assumed already verified. *)
 let assemble (pub : public) ~(name : string) (shares : share list) ~(len : int) : string =
@@ -90,14 +105,18 @@ let assemble (pub : public) ~(name : string) (shares : share list) ~(len : int) 
   in
   let grp = pub.group in
   let points = List.map (fun s -> s.origin) shares in
+  (* Interpolate g~^x in the exponent with one k-way multi-exponentiation:
+     all k Lagrange powers share a single squaring chain (Nat.powmod_multi)
+     instead of k separate windowed exponentiations. *)
   let acc =
-    List.fold_left
-      (fun acc s ->
-        let lam =
-          Shamir.lagrange_coeff ~modulus:grp.Group.q ~points ~j:s.origin ~at:0
-        in
-        Group.mul grp acc (Group.pow grp s.value lam))
-      (Group.one grp) shares
+    Group.mul_exp_multi grp
+      (List.map
+         (fun s ->
+           let lam =
+             Shamir.lagrange_coeff ~modulus:grp.Group.q ~points ~j:s.origin ~at:0
+           in
+           (s.value, lam))
+         shares)
   in
   (* Expand H(g~^x) into len output bytes. *)
   let seed = Group.elt_to_bytes grp acc in

@@ -48,6 +48,12 @@ val verify_share : public -> name:string -> share -> bool
 (** Check the share's DLEQ proof against [VK_origin] — table-driven on the
     [g] side via {!share_vk_tbls} (see {!Dleq.verify}). *)
 
+val verify_share_reference : public -> name:string -> share -> bool
+(** {!verify_share}'s exact accept set checked by {!Dleq.verify_reference}
+    (no precomputed tables) — the reference twin the equivalence tests and
+    the amortization benchmarks compare the fast single and {!Batch} paths
+    against. *)
+
 val assemble : public -> name:string -> share list -> len:int -> string
 (** Combine [k] distinct verified shares into [len] pseudo-random bytes.
     Any [k]-subset yields the same value.

@@ -34,10 +34,18 @@ type secret_share = {
   s_i : Nat.t;                  (* polynomial share of d, mod m *)
 }
 
+(* The correctness proof carries its two Fiat-Shamir commitments (v^r and
+   xtilde^r) and the integer response; the challenge is recomputed by the
+   verifier as c = H(..., v', x').  Commitment-carrying proofs make the
+   verification equations v^z = v' * v_i^c and xtilde^z = x' * (x_i^2)^c
+   algebraic in the proof components — checkable for many shares at once by
+   a small-exponent random linear combination (see {!Batch}), and with no
+   modular inversions even one at a time. *)
 type share = {
   origin : int;
   x_i : Nat.t;                  (* x^{2 Delta s_i} *)
-  proof_c : Nat.t;              (* Fiat-Shamir challenge *)
+  proof_v : Nat.t;              (* commitment v^r *)
+  proof_x : Nat.t;              (* commitment xtilde^r *)
   proof_z : Nat.t;              (* integer response z = s_i*c + r *)
 }
 
@@ -114,34 +122,59 @@ let release ~(drbg : Hashes.Drbg.t) (pub : public) (sk : secret_share) ~(ctx : s
   let x' = Nat.powmod xtilde r pub.n_mod in
   let c = hash_challenge [ pub.v; xtilde; pub.vks.(sk.index - 1); x_i_sq; v'; x' ] in
   let z = Nat.add (Nat.mul sk.s_i c) r in
-  { origin = sk.index; x_i; proof_c = c; proof_z = z }
+  { origin = sk.index; x_i; proof_v = v'; proof_x = x'; proof_z = z }
+
+(* The challenge a share's proof is checked against, given the message
+   representative's xtilde = x^{4 Delta} (shared by every share on the same
+   message — batch verification computes it once). *)
+let share_challenge (pub : public) ~(xtilde : Nat.t) (s : share) : Nat.t =
+  let x_i_sq = Nat.rem (Nat.sqr s.x_i) pub.n_mod in
+  hash_challenge [ pub.v; xtilde; pub.vks.(s.origin - 1); x_i_sq; s.proof_v; s.proof_x ]
+
+let xtilde_rep (pub : public) ~(ctx : string) (msg : string) : Nat.t =
+  let x = message_rep pub ~ctx msg in
+  Nat.powmod x (Nat.shift_left (delta pub) 2) pub.n_mod
 
 let verify_share (pub : public) ~(ctx : string) (msg : string) (s : share) : bool =
   s.origin >= 1 && s.origin <= pub.nparties
   && Nat.compare s.x_i pub.n_mod < 0
   && not (Nat.is_zero s.x_i)
   && begin
-    let x = message_rep pub ~ctx msg in
-    let dlt = delta pub in
-    let xtilde = Nat.powmod x (Nat.shift_left dlt 2) pub.n_mod in
+    let xtilde = xtilde_rep pub ~ctx msg in
     let x_i_sq = Nat.rem (Nat.sqr s.x_i) pub.n_mod in
-    let v_i = pub.vks.(s.origin - 1) in
-    (* Recompute commitments: v^z * v_i^{-c} and xtilde^z * (x_i^2)^{-c}.
-       The negative exponents become one modular inversion each followed by
-       a short c-exponentiation; v^z hits v's fixed-base table (no
-       squarings over the |n|+512-bit z), and the xtilde pair runs as one
-       simultaneous double exponentiation. *)
-    let nb = Bigint.of_nat pub.n_mod in
-    let invmod_n a = Bigint.to_nat (Bigint.invmod (Bigint.of_nat a) nb) in
-    let v' =
-      Nat.rem
-        (Nat.mul (Nat.Fixed_base.pow pub.v_tbl s.proof_z)
-           (Nat.powmod (invmod_n v_i) s.proof_c pub.n_mod))
-        pub.n_mod
-    in
-    let x' = Nat.powmod2 xtilde s.proof_z (invmod_n x_i_sq) s.proof_c pub.n_mod in
-    let c = hash_challenge [ pub.v; xtilde; v_i; x_i_sq; v'; x' ] in
-    Nat.equal c s.proof_c
+    let c = share_challenge pub ~xtilde s in
+    (* Check v^z = v' * v_i^c and xtilde^z = x' * (x_i^2)^c.  All exponents
+       positive — no inversions; v^z hits v's fixed-base table (no
+       squarings over the |n|+512-bit z) and the c-powers are short
+       (challenge_bits).  Out-of-range commitments reject on the compare:
+       the recomputed sides are reduced mod n. *)
+    Nat.equal (Nat.Fixed_base.pow pub.v_tbl s.proof_z)
+      (Nat.rem (Nat.mul s.proof_v (Nat.powmod pub.vks.(s.origin - 1) c pub.n_mod))
+         pub.n_mod)
+    && Nat.equal (Nat.powmod xtilde s.proof_z pub.n_mod)
+         (Nat.rem (Nat.mul s.proof_x (Nat.powmod x_i_sq c pub.n_mod)) pub.n_mod)
+  end
+
+(* The textbook verification path: both equations by plain modular
+   exponentiation, no fixed-base table — the reference twin of
+   {!verify_share} (compare {!Dleq.verify_reference}).  The equivalence
+   tests hold the production and batch paths to exactly this accept set,
+   and the amortization benchmarks measure k-share batch verification
+   against k of these. *)
+let verify_share_reference (pub : public) ~(ctx : string) (msg : string)
+    (s : share) : bool =
+  s.origin >= 1 && s.origin <= pub.nparties
+  && Nat.compare s.x_i pub.n_mod < 0
+  && not (Nat.is_zero s.x_i)
+  && begin
+    let xtilde = xtilde_rep pub ~ctx msg in
+    let x_i_sq = Nat.rem (Nat.sqr s.x_i) pub.n_mod in
+    let c = share_challenge pub ~xtilde s in
+    Nat.equal (Nat.powmod pub.v s.proof_z pub.n_mod)
+      (Nat.rem (Nat.mul s.proof_v (Nat.powmod pub.vks.(s.origin - 1) c pub.n_mod))
+         pub.n_mod)
+    && Nat.equal (Nat.powmod xtilde s.proof_z pub.n_mod)
+         (Nat.rem (Nat.mul s.proof_x (Nat.powmod x_i_sq c pub.n_mod)) pub.n_mod)
   end
 
 (* Combine k verified shares into a standard RSA signature on the FDH of
@@ -159,18 +192,32 @@ let assemble (pub : public) ~(ctx : string) (msg : string) (shares : share list)
   let x = message_rep pub ~ctx msg in
   let points = List.map (fun s -> s.origin) shares in
   let nb = Bigint.of_nat pub.n_mod in
-  let w =
+  (* w = prod x_i^{2 lambda_i}: one k-way multi-exponentiation per sign
+     (the integer Lagrange coefficients are signed), then a single
+     inversion folds the negative-exponent half in — against k separate
+     signed powmods, the shared squaring chain does the combination in
+     ~1/3 the multiplications at k = 3. *)
+  let pos, neg =
     List.fold_left
-      (fun acc s ->
+      (fun (pos, neg) s ->
         let lam =
           Shamir.integer_lagrange_coeff ~n:pub.nparties ~points ~j:s.origin ~at:0
         in
-        let contrib =
-          Bigint.powmod_signed (Bigint.of_nat s.x_i)
-            (Bigint.shift_left lam 1) nb
-        in
-        Bigint.erem (Bigint.mul acc contrib) nb)
-      Bigint.one shares
+        let e2 = Bigint.shift_left lam 1 in
+        if Bigint.is_neg e2 then (pos, (s.x_i, Bigint.to_nat (Bigint.abs e2)) :: neg)
+        else ((s.x_i, Bigint.to_nat e2) :: pos, neg))
+      ([], []) shares
+  in
+  let p_part = Nat.powmod_multi pos pub.n_mod in
+  let w =
+    if neg = [] then Bigint.of_nat p_part
+    else begin
+      let n_part = Nat.powmod_multi neg pub.n_mod in
+      Bigint.erem
+        (Bigint.mul (Bigint.of_nat p_part)
+           (Bigint.invmod (Bigint.of_nat n_part) nb))
+        nb
+    end
   in
   (* w = x^{e' d} with e' = 4*Delta^2; recover y = x^d via egcd(e', e) = 1. *)
   let dlt = Bigint.of_nat (delta pub) in

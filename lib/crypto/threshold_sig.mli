@@ -32,9 +32,15 @@ type secret_share = {
 type share = {
   origin : int;
   x_i : Bignum.Nat.t;           (** [x^(2*Delta*s_i) mod n] *)
-  proof_c : Bignum.Nat.t;       (** Fiat-Shamir challenge *)
+  proof_v : Bignum.Nat.t;       (** proof commitment [v^r] *)
+  proof_x : Bignum.Nat.t;       (** proof commitment [xtilde^r] *)
   proof_z : Bignum.Nat.t;       (** integer response [s_i*c + r] *)
 }
+(** The equality-of-logs proof carries its commitments; the Fiat-Shamir
+    challenge is recomputed by verifiers.  This keeps the verification
+    equations [v^z = v' * v_i^c] and [xtilde^z = x' * (x_i^2)^c] algebraic
+    in the proof components, so {!Batch.tsig_shares} can check many shares
+    with one small-exponent random linear combination. *)
 
 type keys = { public : public; shares : secret_share array }
 
@@ -52,11 +58,27 @@ val release : drbg:Hashes.Drbg.t -> public -> secret_share -> ctx:string -> stri
     correctness; the proof commitment [v^r] rides the {!v_tbl}
     fixed-base table. *)
 
+val xtilde_rep : public -> ctx:string -> string -> Bignum.Nat.t
+(** [xtilde = x^(4*Delta) mod n] for the message representative [x] — the
+    common base of every share proof on the same message.  Exposed so batch
+    verification computes it once per message instead of once per share. *)
+
+val share_challenge : public -> xtilde:Bignum.Nat.t -> share -> Bignum.Nat.t
+(** The Fiat-Shamir challenge [c = H(v, xtilde, v_i, x_i^2, v', x')] this
+    share's proof is checked against — exposed for {!Batch}'s combined
+    verification equation. *)
+
 val verify_share : public -> ctx:string -> string -> share -> bool
-(** Check the share's equality-of-logs proof.  The two proof checks are a
-    fixed-base [v]-power ({!v_tbl}) and one simultaneous double
-    exponentiation ([Bignum.Nat.powmod2]) — the Montgomery/multi-exp fast
-    path for the hot verification loop. *)
+(** Check the share's equality-of-logs proof: recompute the challenge from
+    the carried commitments and check both verification equations.  All
+    exponents positive (no inversions); the [v]-power is a fixed-base
+    table walk ({!v_tbl}) and the challenge powers are short. *)
+
+val verify_share_reference : public -> ctx:string -> string -> share -> bool
+(** The textbook path: {!verify_share}'s exact accept set computed with
+    plain modular exponentiations only (no fixed-base table) — the
+    reference twin the equivalence tests and the amortization benchmarks
+    compare the fast single and {!Batch} paths against. *)
 
 val assemble : public -> ctx:string -> string -> share list -> string
 (** Combine [k] distinct verified shares into the standard RSA signature

@@ -21,7 +21,17 @@
    S4 quorum-literal inline n/3, 2t+1-style arithmetic on Config.n /
                      Config.t in protocol code; thresholds must come from
                      the Config/Invariant helpers so they stay consistent
-                     with the n > 3t validation. *)
+                     with the n > 3t validation.
+   S5 cache-key-digest a Share_cache.add insertion whose [~digest] key is
+                     not visibly a Hashes digest: raw statement bytes as
+                     keys defeat the cache's fixed-size-key contract (and
+                     its runtime length check only fires when the bad path
+                     executes).  The key expression's head — or, for a
+                     punned [~digest], its [let]-binding in the same item —
+                     must be a [Hashes.Sha1/Sha256.digest*] call or a
+                     helper whose name ends in [digest]; an item that
+                     receives [~digest] as a parameter is a trusted
+                     forwarder (its callers are in scope instead). *)
 
 type finding = Rules.finding = {
   file : string;
@@ -34,12 +44,14 @@ let s1 = "determinism"
 let s2 = "charge-coverage"
 let s3 = "handler-flow"
 let s4 = "quorum-literal"
+let s5 = "cache-key-digest"
 
 let rule_names : (string * string) list = [
   (s1, "wall clock / OS entropy (Unix.*, Random.*, Sys.time, Hashtbl.hash) in deterministic code");
   (s2, "priced crypto call without the paired Charge.* meter entry in the same function");
   (s3, "message constructor not both constructed (send) and matched (receive)");
   (s4, "inline quorum arithmetic on Config.n/Config.t; use the Config helpers");
+  (s5, "Share_cache insertion keyed by something other than a Hashes digest");
 ]
 
 (* --- path predicates --- *)
@@ -70,6 +82,13 @@ let s3_scope path = is_ml path && in_dir "sintra" path
 let s4_scope path =
   is_ml path && in_dir "sintra" path
   && not (List.mem (base path) [ "config.ml"; "invariant.ml" ])
+
+(* share_cache.ml is the definition site; everything that inserts into a
+   cache (protocol code today, crypto helpers tomorrow) is in scope. *)
+let s5_scope path =
+  is_ml path
+  && (in_dir "sintra" path || in_dir "crypto" path)
+  && base path <> "share_cache.ml"
 
 (* --- token helpers --- *)
 
@@ -166,6 +185,8 @@ let priced_ops : (string * string) list = [
   ("Crypto.Threshold_enc.dec_share", "enc_dec_share");
   ("Crypto.Threshold_enc.verify_dec_share", "enc_verify_share");
   ("Crypto.Threshold_enc.combine", "enc_combine");
+  ("Batch.tsig_shares", "tsig_verify_share_batch");
+  ("Batch.coin_shares", "coin_verify_share_batch");
   ("Crypto.Rsa.sign", "rsa_sign");
   ("Crypto.Rsa.verify", "rsa_verify");
   ("Hashes.Sha256.digest", "hash");
@@ -373,6 +394,105 @@ let check_s4_item (src : Source.t) (it : item) : finding list =
     List.rev !out
   end
 
+(* --- S5: cache-key-digest --- *)
+
+(* An expression head that visibly produces a digest: a Hashes.Sha* digest
+   call, or a lowercase helper whose name ends in "digest" (stmt_digest,
+   coin_digest, ... — the naming convention carries the obligation). *)
+let s5_producer (tok : string) : bool =
+  qualified_matches tok "Hashes.Sha256.digest"
+  || qualified_matches tok "Hashes.Sha256.digest_list"
+  || qualified_matches tok "Hashes.Sha1.digest"
+  || (match List.rev (segs_of_tok tok) with
+      | last :: _ ->
+        let n = String.length last and suf = "digest" in
+        let m = String.length suf in
+        (not (is_cap last)) && n >= m && String.sub last (n - m) m = suf
+      | [] -> false)
+
+(* The position of the defining [=] of a [let] item: label punning before
+   it is a parameter declaration, after it an argument. *)
+let defining_eq (toks : Lex.token array) : int =
+  let n = Array.length toks in
+  let rec find k = if k >= n then n else if toks.(k).Lex.text = "=" then k else find (k + 1) in
+  find 0
+
+let check_s5_item (src : Source.t) (it : item) : finding list =
+  if it.it_kind = "type" || it.it_kind = "exception" then []
+  else begin
+    let toks = it.it_toks in
+    let n = Array.length toks in
+    let inserts = ref false in
+    for k = 0 to n - 2 do
+      if toks.(k).Lex.kind = Lex.Word
+         && qualified_matches toks.(k).Lex.text "Share_cache.add"
+         && starts_argument toks.(k + 1)
+      then inserts := true
+    done;
+    if not !inserts then []
+    else begin
+      let eq = defining_eq toks in
+      (* [~digest] (or [~(digest : ...)]) before the defining [=] makes this
+         item a forwarding wrapper: the key was computed by its callers,
+         which the rule inspects at their own Share_cache/helper sites. *)
+      let wrapper = ref false in
+      for k = 0 to eq - 2 do
+        if toks.(k).Lex.text = "~"
+           && (toks.(k + 1).Lex.text = "digest"
+               || (toks.(k + 1).Lex.text = "(" && k + 2 < n
+                   && toks.(k + 2).Lex.text = "digest"))
+        then wrapper := true
+      done;
+      (* [let digest = <head> ...] anywhere in the item body. *)
+      let let_bound_ok = ref false in
+      for k = 0 to n - 3 do
+        if toks.(k).Lex.text = "let" && toks.(k + 1).Lex.text = "digest"
+           && toks.(k + 2).Lex.text = "="
+           && k + 3 < n
+           && toks.(k + 3).Lex.kind = Lex.Word
+           && s5_producer toks.(k + 3).Lex.text
+        then let_bound_ok := true
+      done;
+      let out = ref [] in
+      let flag line detail =
+        if not (Source.allowed src ~rule:s5 ~line) then
+          out :=
+            { file = Source.path src; line; rule = s5;
+              message =
+                detail
+                ^ "; Share_cache keys must be Hashes digests (fixed-size, \
+                   collision-resistant), not raw statement bytes" }
+            :: !out
+      in
+      for k = eq to n - 2 do
+        if toks.(k).Lex.text = "~" && toks.(k + 1).Lex.text = "digest" then begin
+          let line = toks.(k + 1).Lex.line in
+          if k + 2 < n && toks.(k + 2).Lex.text = ":" then begin
+            (* explicit argument: check the head of the expression *)
+            let head =
+              if k + 3 < n && toks.(k + 3).Lex.text = "(" && k + 4 < n
+              then Some toks.(k + 4)
+              else if k + 3 < n then Some toks.(k + 3)
+              else None
+            in
+            match head with
+            | Some h when h.Lex.kind = Lex.Word && s5_producer h.Lex.text -> ()
+            | Some h ->
+              flag line
+                (Printf.sprintf "cache key [~digest:%s...] is not a digest"
+                   h.Lex.text)
+            | None -> flag line "cache key [~digest:] has no argument"
+          end
+          else if not !wrapper && not !let_bound_ok then
+            flag line
+              "punned [~digest] is not let-bound from a digest in this \
+               function"
+        end
+      done;
+      List.rev !out
+    end
+  end
+
 (* --- driver --- *)
 
 let check_tree (files : (Source.t * Lex.token list) list) : finding list =
@@ -414,6 +534,10 @@ let check_tree (files : (Source.t * Lex.token list) list) : finding list =
           if s4_scope path then List.concat_map (check_s4_item src) items
           else []
         in
-        f1 @ f2 @ f3 @ f4
+        let f5 =
+          if s5_scope path then List.concat_map (check_s5_item src) items
+          else []
+        in
+        f1 @ f2 @ f3 @ f4 @ f5
       end)
     files

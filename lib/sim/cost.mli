@@ -14,6 +14,8 @@ type meter = {
   mutable exp_count : int;      (** modular exponentiations performed *)
   mutable exp2_count : int;     (** simultaneous double exponentiations *)
   mutable fixed_count : int;    (** fixed-base table-driven exponentiations *)
+  mutable multi_count : int;    (** k-way simultaneous exponentiations *)
+  mutable lookup_count : int;   (** verified-share cache probes charged *)
 }
 
 val create_meter : exp_ms:float -> meter
@@ -56,6 +58,20 @@ val exp_fixed : meter -> mod_bits:int -> exp_bits:int -> unit
 (** One fixed-base table hit ([Bignum.Nat.Fixed_base.pow]).  Charged at
     {!fixed_base_factor} of a plain exponentiation and counted in
     [fixed_count]. *)
+
+val exp_multi :
+  meter -> mod_bits:int -> sq_bits:int -> exp_bits:int list -> unit
+(** One k-way simultaneous exponentiation ([Bignum.Nat.powmod_multi]):
+    a single squaring chain of [sq_bits] squarings (2/3 of a baseline
+    exponentiation) plus ~e/4 table multiplies per {e pair} of bases —
+    [exp_bits] lists every exponent's width.  The marginal base costs
+    ~1/8 of a plain exponentiation, which is what makes batch
+    verification amortize.  Counted in [multi_count]. *)
+
+val lookup : meter -> unit
+(** One verified-share cache probe: a flat-key hash-table lookup, priced
+    far below any exponentiation but non-zero.  Counted in
+    [lookup_count]. *)
 
 val rsa_sign : meter -> bits:int -> unit
 (** CRT signing: a quarter of a full exponentiation. *)

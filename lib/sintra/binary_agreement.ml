@@ -53,6 +53,11 @@ type round_state = {
   mainvotes : (int, mainvote) Hashtbl.t;
   coin_shares : (int, Crypto.Threshold_coin.share) Hashtbl.t;
   mutable coin_value : bool option;
+  (* Our own coin share for this round, pre-released at the idle start of
+     the round ([Config.coin_pregen]) so [try_finish_round] finds it ready
+     instead of paying the exponentiations on the critical path.  Volatile:
+     a crash loses it, and the release path recomputes on demand. *)
+  mutable pregen_coin : Crypto.Threshold_coin.share option;
   mutable sent_prevote : bool;
   mutable sent_mainvote : bool;
   mutable released_coin : bool;
@@ -91,16 +96,18 @@ let coin_name (t : t) (r : int) : string = Printf.sprintf "aba-coin|%s|%d" t.pid
 let enc_coin_share (b : Wire.Enc.t) (s : Crypto.Threshold_coin.share) : unit =
   Wire.Enc.int b s.Crypto.Threshold_coin.origin;
   Wire.Enc.bytes b (Bignum.Nat.to_bytes_be s.Crypto.Threshold_coin.value);
-  Wire.Enc.bytes b (Bignum.Nat.to_bytes_be s.Crypto.Threshold_coin.proof.Crypto.Dleq.challenge);
+  Wire.Enc.bytes b (Bignum.Nat.to_bytes_be s.Crypto.Threshold_coin.proof.Crypto.Dleq.a1);
+  Wire.Enc.bytes b (Bignum.Nat.to_bytes_be s.Crypto.Threshold_coin.proof.Crypto.Dleq.a2);
   Wire.Enc.bytes b (Bignum.Nat.to_bytes_be s.Crypto.Threshold_coin.proof.Crypto.Dleq.response)
 
 let dec_coin_share (d : Wire.Dec.t) : Crypto.Threshold_coin.share =
   let origin = Wire.Dec.int d in
   let value = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
-  let challenge = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+  let a1 = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+  let a2 = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
   let response = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
   { Crypto.Threshold_coin.origin; value;
-    proof = { Crypto.Dleq.challenge; response } }
+    proof = { Crypto.Dleq.a1; a2; response } }
 
 let enc_prevote (b : Wire.Enc.t) (pv : prevote) : unit =
   Wire.Enc.int b pv.pv_round;
@@ -183,6 +190,7 @@ let round_state (t : t) (r : int) : round_state =
       mainvotes = Hashtbl.create 8;
       coin_shares = Hashtbl.create 8;
       coin_value = None;
+      pregen_coin = None;
       sent_prevote = false;
       sent_mainvote = false;
       released_coin = false;
@@ -225,23 +233,23 @@ let store_proof (t : t) (b : bool) (proof : string) : unit =
 (* --- verification of incoming votes --- *)
 
 (* Check the coin shares embedded in a J_coin justification and return the
-   coin value they determine, or None. *)
+   coin value they determine, or None.  The shares arrive together, so this
+   is the protocol's natural batch-verification site: [Verify.coin_shares]
+   checks them as one random-linear-combination equation (minus any already
+   cached from earlier justifications for the same coin). *)
 let check_coin_just (t : t) (r_prev : int) (shares : Crypto.Threshold_coin.share list)
     : bool option =
   let charge = t.rt.Runtime.charge in
   let pub = t.rt.Runtime.keys.Dealer.coin_pub in
   let name = coin_name t r_prev in
   let distinct = Hashtbl.create 8 in
-  let ok =
-    List.for_all
-      (fun s ->
-        Charge.coin_verify_share charge;
-        let fresh = not (Hashtbl.mem distinct s.Crypto.Threshold_coin.origin) in
-        Hashtbl.replace distinct s.Crypto.Threshold_coin.origin ();
-        fresh && Crypto.Threshold_coin.verify_share pub ~name s)
-      shares
-  in
-  if not ok || Hashtbl.length distinct < coin_k t then None
+  List.iter
+    (fun s -> Hashtbl.replace distinct s.Crypto.Threshold_coin.origin ())
+    shares;
+  if Hashtbl.length distinct < List.length shares    (* duplicated origin *)
+     || Hashtbl.length distinct < coin_k t
+     || not (Verify.coin_shares t.rt ~group:t.pid ~name shares)
+  then None
   else begin
     Charge.coin_assemble charge ~k:(coin_k t);
     Some (Crypto.Threshold_coin.assemble_bit pub ~name shares)
@@ -250,14 +258,10 @@ let check_coin_just (t : t) (r_prev : int) (shares : Crypto.Threshold_coin.share
 (* Full validity check of a pre-vote, including its justification; also
    harvests external-validity proofs and coin values as a side effect. *)
 let rec prevote_valid (t : t) ~(sender : int) (pv : prevote) : bool =
-  let charge = t.rt.Runtime.charge in
   pv.pv_round >= 1
   && Tsig.share_origin pv.pv_share = sender + 1
-  && begin
-    Charge.tsig_verify_share charge;
-    Tsig.verify_share (ag_pub t) ~ctx:t.pid
-      (pre_stmt t pv.pv_round pv.pv_value) pv.pv_share
-  end
+  && Verify.tsig_share t.rt ~pub:(ag_pub t) ~ctx:t.pid
+       (pre_stmt t pv.pv_round pv.pv_value) pv.pv_share
   && begin
     let just_ok =
       match pv.pv_just, pv.pv_round with
@@ -269,12 +273,12 @@ let rec prevote_valid (t : t) ~(sender : int) (pv : prevote) : bool =
             | Some proof -> valid pv.pv_value proof
             | None -> false))
       | J_hard sig_, r when r > 1 ->
-        Charge.tsig_verify charge ~k:(quorum t);
-        Tsig.verify (ag_pub t) ~ctx:t.pid ~signature:sig_
+        (* Every round-r pre-vote adopting bit b carries the SAME threshold
+           signature statement — all but the first check is a cache probe. *)
+        Verify.tsig_signature t.rt ~pub:(ag_pub t) ~ctx:t.pid ~signature:sig_
           (pre_stmt t (r - 1) pv.pv_value)
       | J_coin (sig_, shares), r when r > 1 ->
-        Charge.tsig_verify charge ~k:(quorum t);
-        Tsig.verify (ag_pub t) ~ctx:t.pid ~signature:sig_
+        Verify.tsig_signature t.rt ~pub:(ag_pub t) ~ctx:t.pid ~signature:sig_
           (main_stmt t (r - 1) MV_abstain)
         && begin
           match t.bias with
@@ -309,19 +313,15 @@ let rec prevote_valid (t : t) ~(sender : int) (pv : prevote) : bool =
   end
 
 and mainvote_valid (t : t) ~(sender : int) (mv : mainvote) : bool =
-  let charge = t.rt.Runtime.charge in
   mv.mv_round >= 1
   && Tsig.share_origin mv.mv_share = sender + 1
-  && begin
-    Charge.tsig_verify_share charge;
-    Tsig.verify_share (ag_pub t) ~ctx:t.pid
-      (main_stmt t mv.mv_round mv.mv_value) mv.mv_share
-  end
+  && Verify.tsig_share t.rt ~pub:(ag_pub t) ~ctx:t.pid
+       (main_stmt t mv.mv_round mv.mv_value) mv.mv_share
   && begin
     match mv.mv_value, mv.mv_just with
     | MV_bit b, MJ_value sig_ ->
-      Charge.tsig_verify charge ~k:(quorum t);
-      Tsig.verify (ag_pub t) ~ctx:t.pid ~signature:sig_ (pre_stmt t mv.mv_round b)
+      Verify.tsig_signature t.rt ~pub:(ag_pub t) ~ctx:t.pid ~signature:sig_
+        (pre_stmt t mv.mv_round b)
     | MV_abstain, MJ_abstain (pv0, pv1) ->
       pv0.pv_round = mv.mv_round && pv1.pv_round = mv.mv_round
       && pv0.pv_value = false && pv1.pv_value = true
@@ -346,7 +346,25 @@ let send_prevote (t : t) (r : int) (b : bool) (just : justification) : unit =
     let proof = Hashtbl.find_opt t.proofs b in
     let pv = { pv_round = r; pv_value = b; pv_share = share; pv_just = just; pv_proof = proof } in
     let body = Wire.encode (fun buf -> Wire.Enc.u8 buf tag_prevote; enc_prevote buf pv) in
-    Runtime.broadcast t.rt ~pid:t.pid body
+    Runtime.broadcast t.rt ~pid:t.pid body;
+    (* Coin pre-generation: our round-r coin share depends only on the coin
+       name, known now, so release it at the idle start of the round rather
+       than on the critical path when the round fails to decide.  The bias
+       stands in for the round-1 coin, so there is nothing to precompute
+       there.  Broadcasting still happens in [try_finish_round]: revealing
+       the share early would let the adversary see coins ahead of votes. *)
+    (match t.bias with
+     | Some _ when r = 1 -> ()
+     | Some _ | None ->
+       if t.rt.Runtime.cfg.Config.coin_pregen && st.pregen_coin = None
+       then begin
+         Charge.coin_release charge;
+         st.pregen_coin <-
+           Some
+             (Crypto.Threshold_coin.release ~drbg:t.rt.Runtime.drbg
+                t.rt.Runtime.keys.Dealer.coin_pub
+                t.rt.Runtime.keys.Dealer.coin_share ~name:(coin_name t r))
+       end)
   end
 
 let try_send_mainvote (t : t) (r : int) : unit =
@@ -457,11 +475,14 @@ let rec try_finish_round (t : t) (r : int) : unit =
             st.released_coin <- true;
             trace_coin t r Trace.Event.Span_begin [];
             let charge = t.rt.Runtime.charge in
-            Charge.coin_release charge;
             let share =
-              Crypto.Threshold_coin.release ~drbg:t.rt.Runtime.drbg
-                t.rt.Runtime.keys.Dealer.coin_pub t.rt.Runtime.keys.Dealer.coin_share
-                ~name:(coin_name t r)
+              match st.pregen_coin with
+              | Some share -> share    (* already paid for at round start *)
+              | None ->
+                Charge.coin_release charge;
+                Crypto.Threshold_coin.release ~drbg:t.rt.Runtime.drbg
+                  t.rt.Runtime.keys.Dealer.coin_pub
+                  t.rt.Runtime.keys.Dealer.coin_share ~name:(coin_name t r)
             in
             let body =
               Wire.encode (fun buf ->
@@ -636,9 +657,7 @@ let handle (t : t) ~src body =
             let st = round_state t r in
             if not (Hashtbl.mem st.coin_shares src) && st.coin_value = None then begin
               let charge = t.rt.Runtime.charge in
-              Charge.coin_verify_share charge;
-              if Crypto.Threshold_coin.verify_share t.rt.Runtime.keys.Dealer.coin_pub
-                   ~name:(coin_name t r) share
+              if Verify.coin_share t.rt ~group:t.pid ~name:(coin_name t r) share
               then begin
                 let inv = t.rt.Runtime.inv in
                 Invariant.share_index inv share.Crypto.Threshold_coin.origin;

@@ -84,37 +84,57 @@ let tsig_release (c : t) =
         exp c ~mod_bits:b ~exp_bits:(b + 512)
       end)
 
-(* Shoup share verification: recompute both commitments (z-bit exponents)
-   and the two challenge exponentiations.  Fast path: v^z is a table hit,
-   v_i^{-c} a short plain exponentiation, and the x~ pair one simultaneous
-   double exponentiation at the z width.  Multi: one RSA verification. *)
+(* Shoup share verification: recompute x~ (tiny exponent), the two
+   commitments v^z and x~^z (z-bit exponents) and the two challenge
+   powers VK_i^c and (x_i^2)^c.  Fast path: v^z is a table hit, the rest
+   have share- or message-dependent bases and stay plain.  Multi: one RSA
+   verification. *)
 let tsig_verify_share (c : t) =
   spanned c "tsig_verify_share" (fun () ->
     match c.cfg.Config.tsig_scheme with
     | Config.Multi -> rsa_verify c
     | Config.Shoup ->
       let b = c.cfg.Config.model_rsa_bits in
-      if fast c then begin
-        fixed c ~mod_bits:b ~exp_bits:(b + 512);
-        exp c ~mod_bits:b ~exp_bits:256;
-        exp2 c ~mod_bits:b ~exp_bits:(b + 512)
-      end
-      else begin
-        exp c ~mod_bits:b ~exp_bits:(b + 512);
-        exp c ~mod_bits:b ~exp_bits:(b + 512);
-        exp c ~mod_bits:b ~exp_bits:256;
-        exp c ~mod_bits:b ~exp_bits:256
-      end)
+      exp c ~mod_bits:b ~exp_bits:256;           (* x~ = x^{4 Delta} *)
+      if fast c then fixed c ~mod_bits:b ~exp_bits:(b + 512)
+      else exp c ~mod_bits:b ~exp_bits:(b + 512);  (* v^z *)
+      exp c ~mod_bits:b ~exp_bits:(b + 512);     (* x~^z *)
+      exp c ~mod_bits:b ~exp_bits:256;           (* VK_i^c *)
+      exp c ~mod_bits:b ~exp_bits:256)           (* (x_i^2)^c *)
 
-(* Shoup combination: k exponentiations with small (Lagrange) exponents plus
-   the extended-GCD correction pair.  Multi: concatenation, free. *)
+(* Batched Shoup share verification of k shares on one message: x~ once
+   for the whole batch, then ONE combined equation — a 2-way multi-exp at
+   the random-linear-combination width on the left against a 4k-way
+   multi-exp on the right (64-bit coefficients, coefficient*challenge
+   products).  Multi-signature shares are independent RSA signatures and
+   do not batch. *)
+let tsig_verify_share_batch (c : t) ~(k : int) =
+  spanned c "tsig_verify_share_batch" (fun () ->
+    match c.cfg.Config.tsig_scheme with
+    | Config.Multi -> for _ = 1 to k do rsa_verify c done
+    | Config.Shoup ->
+      let b = c.cfg.Config.model_rsa_bits in
+      exp c ~mod_bits:b ~exp_bits:256;           (* x~, once *)
+      let w = b + 512 + 64 in                    (* sum of delta_j * z_j *)
+      Sim.Cost.exp_multi c.meter ~mod_bits:b ~sq_bits:w ~exp_bits:[ w; w ];
+      Sim.Cost.exp_multi c.meter ~mod_bits:b ~sq_bits:320
+        ~exp_bits:(List.concat (List.init k (fun _ -> [ 64; 320; 64; 320 ]))))
+
+(* Shoup combination: one k-way multi-exponentiation with small (Lagrange)
+   exponents on the fast path — k plain small-exponent powers in the
+   paper's accounting — plus the extended-GCD correction pair.  Multi:
+   concatenation, free. *)
 let tsig_assemble (c : t) ~(k : int) =
   spanned c "tsig_assemble" (fun () ->
     match c.cfg.Config.tsig_scheme with
     | Config.Multi -> ()
     | Config.Shoup ->
       let b = c.cfg.Config.model_rsa_bits in
-      for _ = 1 to k do exp c ~mod_bits:b ~exp_bits:64 done;
+      if fast c then
+        Sim.Cost.exp_multi c.meter ~mod_bits:b ~sq_bits:64
+          ~exp_bits:(List.init k (fun _ -> 64))
+      else
+        for _ = 1 to k do exp c ~mod_bits:b ~exp_bits:64 done;
       exp c ~mod_bits:b ~exp_bits:64;
       exp c ~mod_bits:b ~exp_bits:64)
 
@@ -156,9 +176,26 @@ let coin_verify_share (c : t) =
     if fast c then begin dl_fixed c; dl_fixed c; dl_exp2 c end
     else begin dl_exp c; dl_exp c; dl_exp c; dl_exp c end)
 
-(* Assemble: k Lagrange exponentiations. *)
+(* Batched DLEQ verification of k coin (or decryption) shares: one
+   combined equation — a 2-way multi-exp on the left (combined responses,
+   exponents mod q) against a 4k-way multi-exp on the right (64-bit
+   coefficients and coefficient*challenge products mod q). *)
+let coin_verify_share_batch (c : t) ~(k : int) =
+  spanned c "coin_verify_share_batch" (fun () ->
+    let p = c.cfg.Config.model_dl_pbits and q = c.cfg.Config.model_dl_qbits in
+    Sim.Cost.exp_multi c.meter ~mod_bits:p ~sq_bits:q ~exp_bits:[ q; q ];
+    Sim.Cost.exp_multi c.meter ~mod_bits:p ~sq_bits:q
+      ~exp_bits:(List.concat (List.init k (fun _ -> [ 64; q; 64; q ]))))
+
+(* Assemble: a k-way Lagrange multi-exponentiation on the fast path; k
+   plain exponentiations in the paper's accounting. *)
 let coin_assemble (c : t) ~(k : int) =
-  spanned c "coin_assemble" (fun () -> for _ = 1 to k do dl_exp c done)
+  spanned c "coin_assemble" (fun () ->
+    if fast c then
+      Sim.Cost.exp_multi c.meter ~mod_bits:c.cfg.Config.model_dl_pbits
+        ~sq_bits:c.cfg.Config.model_dl_qbits
+        ~exp_bits:(List.init k (fun _ -> c.cfg.Config.model_dl_qbits))
+    else for _ = 1 to k do dl_exp c done)
 
 (* --- threshold encryption (TDH2) --- *)
 
@@ -193,6 +230,13 @@ let enc_combine (c : t) ~(k : int) ~(bytes : int) =
   spanned c "enc_combine" (fun () ->
     for _ = 1 to k do dl_exp c done;
     Sim.Cost.symmetric c.meter ~bytes)
+
+(* --- the verified-share cache --- *)
+
+(* A cache hit replaces a share verification with one flat-key hash-table
+   probe. *)
+let cache_hit (c : t) =
+  spanned c "cache_hit" (fun () -> Sim.Cost.lookup c.meter)
 
 (* --- symmetric / hashing --- *)
 

@@ -32,6 +32,13 @@ val tsig_release : t -> unit
 val tsig_verify_share : t -> unit
 (** Checking one received signature share against its proof. *)
 
+val tsig_verify_share_batch : t -> k:int -> unit
+(** Checking [k] signature shares on one message at once by random linear
+    combination: the shared base is computed once and the combined
+    equation costs two multi-exponentiations, far below [k] single
+    checks.  Multi-signature shares do not batch and charge [k] RSA
+    verifications. *)
+
 val tsig_assemble : t -> k:int -> unit
 (** Combining [k] verified shares into the group signature (Lagrange
     interpolation in the exponent). *)
@@ -44,6 +51,11 @@ val coin_release : t -> unit
 
 val coin_verify_share : t -> unit
 (** Checking one received coin share against its proof. *)
+
+val coin_verify_share_batch : t -> k:int -> unit
+(** Checking [k] coin (or decryption) shares at once by random linear
+    combination: two multi-exponentiations for the combined DLEQ
+    equation, far below [k] single checks. *)
 
 val coin_assemble : t -> k:int -> unit
 (** Combining [k] verified coin shares into the coin value. *)
@@ -64,6 +76,10 @@ val enc_verify_share : t -> unit
 val enc_combine : t -> k:int -> bytes:int -> unit
 (** Combining [k] decryption shares and unmasking a [bytes]-long
     plaintext. *)
+
+val cache_hit : t -> unit
+(** A verified-share cache hit: one flat-key hash-table probe in place of
+    a share verification. *)
 
 val hash : t -> bytes:int -> unit
 (** Hashing [bytes] of input (charged per compression-function block). *)

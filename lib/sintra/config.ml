@@ -45,6 +45,14 @@ type t = {
      `sintra_sim run --no-fast-path` and the benchmarks can switch it off
      to measure what the fast path buys. *)
   crypto_fast_path : bool;
+  (* The amortized-crypto layer.  Each knob preserves the reference
+     behaviour when off (`--no-batch-verify', `--no-share-cache',
+     `--no-coin-pregen'); delivery logs are byte-identical either way —
+     only the virtual-CPU charges (and thus timings) move. *)
+  batch_verify : bool;       (* RLC batch verification of share proofs *)
+  share_cache : bool;        (* remember verified shares across retransmits *)
+  coin_pregen : bool;        (* release coin shares during idle virtual time *)
+  share_cache_cap : int;     (* bound on cached verified shares per party *)
 }
 
 let validate (c : t) : unit =
@@ -55,6 +63,7 @@ let validate (c : t) : unit =
     invalid_arg "Config: batch size must satisfy 1 <= B <= n - t";
   if c.max_batch < 1 then invalid_arg "Config: max batch must be >= 1";
   if c.pipeline_depth < 1 then invalid_arg "Config: pipeline depth must be >= 1";
+  if c.share_cache_cap < 1 then invalid_arg "Config: share cache cap must be >= 1";
   ()
 
 (* Quorum sizes used throughout the protocols. *)
@@ -76,6 +85,8 @@ let make ?(batch_size : int option) ?(max_batch = 256) ?(pipeline_depth = 4)
     ?(rsa_bits = 512) ?(tsig_bits = 512) ?(dl_pbits = 512) ?(dl_qbits = 160)
     ?(model_rsa_bits = 1024) ?(model_dl_pbits = 1024) ?(model_dl_qbits = 160)
     ?(check_invariants = false) ?(crypto_fast_path = true)
+    ?(batch_verify = true) ?(share_cache = true) ?(coin_pregen = true)
+    ?(share_cache_cap = 4096)
     ~n ~t () : t =
   let batch_size = match batch_size with Some b -> b | None -> t + 1 in
   let c = {
@@ -84,6 +95,7 @@ let make ?(batch_size : int option) ?(max_batch = 256) ?(pipeline_depth = 4)
     rsa_bits; tsig_bits; dl_pbits; dl_qbits;
     model_rsa_bits; model_dl_pbits; model_dl_qbits;
     check_invariants; crypto_fast_path;
+    batch_verify; share_cache; coin_pregen; share_cache_cap;
   }
   in
   validate c;
@@ -92,7 +104,9 @@ let make ?(batch_size : int option) ?(max_batch = 256) ?(pipeline_depth = 4)
 (* A small fast configuration for unit tests: tiny real keys. *)
 let test ?(n = 4) ?(t = 1) ?(tsig_scheme = Multi) ?(perm_mode = Fixed)
     ?(batch_size : int option) ?max_batch ?pipeline_depth ?adaptive_batch
-    ?check_invariants ?crypto_fast_path () : t =
+    ?check_invariants ?crypto_fast_path
+    ?batch_verify ?share_cache ?coin_pregen ?share_cache_cap () : t =
   make ?batch_size ?max_batch ?pipeline_depth ?adaptive_batch
-    ?check_invariants ?crypto_fast_path ~tsig_scheme
+    ?check_invariants ?crypto_fast_path
+    ?batch_verify ?share_cache ?coin_pregen ?share_cache_cap ~tsig_scheme
     ~perm_mode ~rsa_bits:256 ~tsig_bits:256 ~dl_pbits:256 ~dl_qbits:96 ~n ~t ()

@@ -53,6 +53,24 @@ type t = {
       path the real bignum layer always uses; off prices everything as
       plain square-and-multiply, as in the paper's cost tables.  On by
       default. *)
+  batch_verify : bool;
+  (** Verify same-message share proofs in one random-linear-combination
+      batch instead of one at a time, with bisection fall-back so bad
+      shares are still attributed to their senders.  Accepts and rejects
+      exactly as the one-at-a-time path; only the virtual-CPU charge
+      changes.  On by default ([--no-batch-verify]). *)
+  share_cache : bool;
+  (** Remember verified shares by (scheme, message digest, sender, index)
+      so retransmits, replays and catch-up batches charge a hash-table
+      probe instead of re-verifying.  On by default
+      ([--no-share-cache]). *)
+  coin_pregen : bool;
+  (** Release the threshold-coin share for an ABA round when the round's
+      prevote is sent (idle virtual time) instead of on the vote-quorum
+      critical path.  Decisions are unchanged.  On by default
+      ([--no-coin-pregen]). *)
+  share_cache_cap : int;
+  (** Bound on cached verified shares per party (FIFO eviction). *)
 }
 
 val validate : t -> unit
@@ -84,15 +102,21 @@ val make :
   ?rsa_bits:int -> ?tsig_bits:int -> ?dl_pbits:int -> ?dl_qbits:int ->
   ?model_rsa_bits:int -> ?model_dl_pbits:int -> ?model_dl_qbits:int ->
   ?check_invariants:bool -> ?crypto_fast_path:bool ->
+  ?batch_verify:bool -> ?share_cache:bool -> ?coin_pregen:bool ->
+  ?share_cache_cap:int ->
   n:int -> t:int -> unit -> t
 (** Defaults: batch [t+1], max batch 256 payloads per party per round,
     pipeline depth 4 with adaptive batching, multi-signatures, fixed
     candidate order, modest real key sizes, modeled 1024-bit RSA and
-    1024/160-bit discrete logs, fast-path cost accounting on. *)
+    1024/160-bit discrete logs, fast-path cost accounting on, the
+    amortized-crypto layer (batch verification, share cache, coin
+    pre-generation) on with a 4096-entry cache. *)
 
 val test :
   ?n:int -> ?t:int -> ?tsig_scheme:tsig_scheme -> ?perm_mode:perm_mode ->
   ?batch_size:int -> ?max_batch:int -> ?pipeline_depth:int ->
   ?adaptive_batch:bool -> ?check_invariants:bool ->
-  ?crypto_fast_path:bool -> unit -> t
+  ?crypto_fast_path:bool ->
+  ?batch_verify:bool -> ?share_cache:bool -> ?coin_pregen:bool ->
+  ?share_cache_cap:int -> unit -> t
 (** A fast configuration for unit tests (tiny real keys; default n=4, t=1). *)

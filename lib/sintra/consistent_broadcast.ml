@@ -27,6 +27,12 @@ type t = {
   mutable echoed_payload : string option; (* what we signed, for equivocation checks *)
   mutable shares : Tsig.share list;       (* sender only *)
   share_origins : (int, unit) Hashtbl.t;
+  (* Sender only, batch-verify mode: echo shares awaiting verification.
+     Shares are parked here unverified until enough distinct origins are on
+     hand to close the quorum, then checked as ONE batch — the whole point
+     of amortized verification.  Invalid shares are flagged and dropped;
+     collection then continues. *)
+  pending : (int, Tsig.share) Hashtbl.t;
   mutable sent_payload : string option;   (* sender only *)
   mutable final_sent : bool;
   mutable delivered : bool;
@@ -98,32 +104,65 @@ let handle (t : t) ~src body =
           (match (try Some (Tsig.dec_share d) with Wire.Decode _ -> None) with
            | None -> ()
            | Some share ->
-             let origin = Tsig.share_origin share in
-             if origin = src + 1 && not (Hashtbl.mem t.share_origins origin) then begin
-               Charge.tsig_verify_share charge;
-               let pub = Tsig.public_of_secret t.rt.Runtime.keys.Dealer.bc_tsig in
-               if Tsig.verify_share pub ~ctx:t.pid (statement ~pid:t.pid payload) share
+             let stmt = statement ~pid:t.pid payload in
+             let pub = Tsig.public_of_secret t.rt.Runtime.keys.Dealer.bc_tsig in
+             let accept sh =
+               let o = Tsig.share_origin sh in
+               Invariant.share_index inv o;
+               Invariant.require inv (not (Hashtbl.mem t.share_origins o))
+                 "duplicate share origin in echo tally";
+               Hashtbl.replace t.share_origins o ();
+               t.shares <- sh :: t.shares
+             in
+             let try_final () =
+               if Hashtbl.length t.share_origins >= Config.echo_quorum cfg
                then begin
-                 Invariant.share_index inv origin;
-                 Invariant.require inv (not (Hashtbl.mem t.share_origins origin))
-                   "duplicate share origin in echo tally";
-                 Hashtbl.replace t.share_origins origin ();
-                 t.shares <- share :: t.shares;
-                 if Hashtbl.length t.share_origins >= Config.echo_quorum cfg then begin
-                   t.final_sent <- true;
-                   Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"bcast" "send";
-                   Charge.tsig_assemble charge ~k:(Config.echo_quorum cfg);
-                   let signature =
-                     Tsig.assemble pub ~ctx:t.pid (statement ~pid:t.pid payload) t.shares
+                 t.final_sent <- true;
+                 Trace.Ctx.span_end (trace t) ~pid:t.pid ~cat:"bcast" "send";
+                 Charge.tsig_assemble charge ~k:(Config.echo_quorum cfg);
+                 let signature = Tsig.assemble pub ~ctx:t.pid stmt t.shares in
+                 let body =
+                   Wire.encode (fun b ->
+                     Wire.Enc.u8 b tag_final;
+                     Wire.Enc.bytes b payload;
+                     Wire.Enc.bytes b signature)
+                 in
+                 Runtime.broadcast t.rt ~pid:t.pid body
+               end
+             in
+             let origin = Tsig.share_origin share in
+             if origin = src + 1 && not (Hashtbl.mem t.share_origins origin)
+             then begin
+               if cfg.Config.batch_verify then begin
+                 (* Park the share unverified; once enough distinct origins
+                    are on hand to close the quorum, check them as one
+                    batch.  Invalid shares are identified exactly (bisection
+                    in Crypto.Batch), flagged, and dropped — collection then
+                    resumes until the quorum really closes. *)
+                 Hashtbl.replace t.pending origin share;
+                 if Hashtbl.length t.share_origins + Hashtbl.length t.pending
+                    >= Config.echo_quorum cfg
+                 then begin
+                   let batch = Det.bindings t.pending ~compare:Det.by_int in
+                   Hashtbl.reset t.pending;
+                   let valid =
+                     Verify.tsig_shares t.rt ~pub ~ctx:t.pid stmt
+                       (List.map snd batch)
                    in
-                   let body =
-                     Wire.encode (fun b ->
-                       Wire.Enc.u8 b tag_final;
-                       Wire.Enc.bytes b payload;
-                       Wire.Enc.bytes b signature)
-                   in
-                   Runtime.broadcast t.rt ~pid:t.pid body
+                   List.iteri
+                     (fun i (o, sh) ->
+                       if valid.(i) then accept sh
+                       else
+                         Invariant.flag inv ~offender:(o - 1)
+                           (Printf.sprintf "cbc %s: invalid echo share" t.pid))
+                     batch;
+                   try_final ()
                  end
+               end
+               else if Verify.tsig_share t.rt ~pub ~ctx:t.pid stmt share
+               then begin
+                 accept share;
+                 try_final ()
                end
              end)
       end
@@ -138,8 +177,9 @@ let handle (t : t) ~src body =
         | None -> ()
         | Some (payload, signature) ->
           let pub = Tsig.public_of_secret t.rt.Runtime.keys.Dealer.bc_tsig in
-          Charge.tsig_verify charge ~k:(Tsig.k pub);
-          if Tsig.verify pub ~ctx:t.pid ~signature (statement ~pid:t.pid payload)
+          if
+            Verify.tsig_signature t.rt ~pub ~ctx:t.pid ~signature
+              (statement ~pid:t.pid payload)
           then begin
             (* A valid closing for a payload other than the one we signed
                means the sender showed different payloads to different
@@ -167,6 +207,7 @@ let create (rt : Runtime.t) ~(pid : string) ~(sender : int)
     echoed_payload = None;
     shares = [];
     share_origins = Hashtbl.create 8;
+    pending = Hashtbl.create 8;
     sent_payload = None;
     final_sent = false;
     delivered = false;
@@ -212,14 +253,16 @@ let payload_of_closing (v : string) : string option =
   Option.map fst (parse_closing v)
 
 (* Validity of a closing message for instance [pid], checkable by anyone who
-   knows the group's public keys. *)
+   knows the group's public keys.  Routed through the verified-share cache:
+   multi-valued agreement re-checks the same closings inside many
+   justification vectors, and catch-up re-validates DECIDED batches — all
+   repeats collapse to a cache probe. *)
 let closing_valid (rt : Runtime.t) ~(pid : string) (v : string) : bool =
   match parse_closing v with
   | None -> false
   | Some (payload, signature) ->
     let pub = Tsig.public_of_secret rt.Runtime.keys.Dealer.bc_tsig in
-    Charge.tsig_verify rt.Runtime.charge ~k:(Tsig.k pub);
-    Tsig.verify pub ~ctx:pid ~signature (statement ~pid payload)
+    Verify.tsig_signature rt ~pub ~ctx:pid ~signature (statement ~pid payload)
 
 (* Deliver from a closing message, terminating the instance locally without
    waiting for network messages. *)

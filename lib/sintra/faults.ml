@@ -147,6 +147,40 @@ let equivocating_cbc_sender (c : Cluster.t) ~(party : int) ~(pid : string)
   shares := own :: !shares;
   equivocate_send c ~party ~pid ~to_a ~a ~b
 
+(* A Byzantine echo responder against consistent broadcast: for each
+   instance in [pids], answer the sender's SEND (tag 0) with an echo (tag 1)
+   carrying a signature share released for a *corrupted* statement.  The
+   share parses, carries our genuine origin, and its proof is internally
+   consistent — it is just a proof about the wrong message, so every
+   verification path (single, batched, cached) must reject it.  Against an
+   amortizing sender this lands one bad share in the echo batch, forcing
+   {!Crypto.Batch}'s bisection fall-back to isolate it; the sender flags us
+   and still closes from the honest [echo_quorum]. *)
+let bad_share_cbc_responder (c : Cluster.t) ~(party : int)
+    ~(pids : string list) : unit =
+  let rt = Cluster.runtime c party in
+  List.iter
+    (fun pid ->
+      Runtime.register rt ~pid (fun ~src body ->
+        match
+          Wire.decode_prefix body (fun d ->
+            let tag = Wire.Dec.u8 d in
+            let payload = if tag = 0 then Wire.Dec.bytes d else "" in
+            (tag, payload))
+        with
+        | Some (0, payload) ->               (* tag_send *)
+          let bogus = cbc_statement ~pid (payload ^ "|corrupted") in
+          let share =
+            Tsig.release ~drbg:rt.Runtime.drbg rt.Runtime.keys.Dealer.bc_tsig
+              ~ctx:pid bogus
+          in
+          Runtime.send rt ~dst:src ~pid
+            (Wire.encode (fun buf ->
+               Wire.Enc.u8 buf 1;            (* tag_echo *)
+               Tsig.enc_share buf share))
+        | Some _ | None -> ()))
+    pids
+
 (* An equivocating binary-agreement party: validly signed round-1 pre-votes
    for [true] to the parties in [to_true] and for [false] to everyone else.
    No single honest party sees both directly; the conflict surfaces through

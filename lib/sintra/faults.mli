@@ -62,6 +62,16 @@ val equivocating_cbc_sender :
     [b], who deliver [a] anyway and flag the sender.  [to_a] needs at least
     [echo_quorum - 1] honest members for the closing to assemble. *)
 
+val bad_share_cbc_responder :
+  Cluster.t -> party:int -> pids:string list -> unit
+(** A Byzantine consistent-broadcast echo responder: for each instance in
+    [pids], answer the sender's SEND with a wire-well-formed signature share
+    released under [party]'s genuine key for a {e corrupted} statement.
+    Every verification path — single, batched, cached — must reject it; an
+    amortizing sender sees one bad share per echo batch, driving
+    {!Crypto.Batch} bisection, and still closes from the honest
+    [echo_quorum] while flagging [party]. *)
+
 val equivocating_aba :
   Cluster.t -> party:int -> pid:string -> to_true:int list -> unit
 (** An equivocating binary-agreement party: validly signed round-1

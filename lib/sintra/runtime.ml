@@ -23,6 +23,9 @@ type t = {
       (* src, body, causal flow id at buffering time *)
   mutable dropped_orphans : int;
   mutable rebuild : (unit -> unit) list;   (* newest first *)
+  cache : Crypto.Share_cache.t;
+      (* verified shares, grouped by pid; volatile (cleared on crash),
+         a pid's group is evicted when the instance unregisters *)
 }
 
 let orphan_cap_per_pid = 4096
@@ -66,6 +69,7 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
     orphans = Hashtbl.create 64;
     dropped_orphans = 0;
     rebuild = [];
+    cache = Crypto.Share_cache.create ~cap:cfg.Config.share_cache_cap;
   }
   in
   Sim.Net.set_handler net me (fun ~src payload ->
@@ -133,7 +137,11 @@ let register (rt : t) ~(pid : string) (h : src:int -> string -> unit) : unit =
         q;
       Trace.Ctx.set_cause rt.trace (-1))
 
-let unregister (rt : t) ~(pid : string) : unit = Hashtbl.remove rt.handlers pid
+let unregister (rt : t) ~(pid : string) : unit =
+  Hashtbl.remove rt.handlers pid;
+  (* The instance is gone: its cached verification state must go with it,
+     so a replayed frame arriving after GC cannot resurrect it. *)
+  Crypto.Share_cache.evict_group rt.cache pid
 
 (* Tag the in-flight dispatch with its decoded protocol message kind, so
    the causal analyzer can label the hop ("vcbc.echo", "aba.coinshare"…).
@@ -170,6 +178,7 @@ let crash (rt : t) : unit =
   Sim.Net.crash rt.net rt.me;
   Hashtbl.reset rt.handlers;
   Hashtbl.reset rt.orphans;
+  Crypto.Share_cache.clear rt.cache;
   Trace.Ctx.instant rt.trace ~pid:"runtime" ~cat:"runtime"
     ~level:Trace.Event.Warn "crash"
 

@@ -21,6 +21,10 @@ type t = {
   orphans : (string, (int * string * int) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;
   mutable rebuild : (unit -> unit) list;
+  cache : Crypto.Share_cache.t;
+  (** Verified shares, grouped by protocol instance (pid): {!unregister}
+      evicts the pid's group, {!crash} clears everything — the cache is
+      volatile and can never outlive the state it summarizes. *)
 }
 
 val create :

@@ -115,9 +115,7 @@ let apply_share (t : t) ~(src : int) (slot : slot)
      && not (Hashtbl.mem slot.shares src)
      && slot.plaintext = None
   then begin
-    Charge.enc_verify_share t.rt.Runtime.charge;
-    if Crypto.Threshold_enc.verify_dec_share t.rt.Runtime.keys.Dealer.enc_pub
-         slot.sl_ct share
+    if Verify.enc_dec_share t.rt ~group:(dec_pid t) ~ct:slot.sl_ct share
     then begin
       Hashtbl.add slot.shares src share;
       try_combine t slot
@@ -129,11 +127,12 @@ let parse_share (body : string) : (int * Crypto.Threshold_enc.dec_share) option 
     let index = Wire.Dec.int d in
     let origin = Wire.Dec.int d in
     let u_i = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
-    let challenge = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+    let a1 = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+    let a2 = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
     let response = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
     (index,
      { Crypto.Threshold_enc.origin; u_i;
-       proof = { Crypto.Dleq.challenge; response } }))
+       proof = { Crypto.Dleq.a1; a2; response } }))
 
 (* A ciphertext was atomically delivered: open a slot and release our
    decryption share. *)
@@ -179,7 +178,9 @@ let on_atomic_deliver (t : t) ~(sender : int) (ct_bytes : string) : unit =
             Wire.Enc.int b share.Crypto.Threshold_enc.origin;
             Wire.Enc.bytes b (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.u_i);
             Wire.Enc.bytes b
-              (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.proof.Crypto.Dleq.challenge);
+              (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.proof.Crypto.Dleq.a1);
+            Wire.Enc.bytes b
+              (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.proof.Crypto.Dleq.a2);
             Wire.Enc.bytes b
               (Bignum.Nat.to_bytes_be share.Crypto.Threshold_enc.proof.Crypto.Dleq.response))
         in

@@ -70,7 +70,8 @@ let enc_share (b : Wire.Enc.t) (s : share) : unit =
     Wire.Enc.u8 b 0;
     Wire.Enc.int b sh.Crypto.Threshold_sig.origin;
     Wire.Enc.bytes b (Bignum.Nat.to_bytes_be sh.Crypto.Threshold_sig.x_i);
-    Wire.Enc.bytes b (Bignum.Nat.to_bytes_be sh.Crypto.Threshold_sig.proof_c);
+    Wire.Enc.bytes b (Bignum.Nat.to_bytes_be sh.Crypto.Threshold_sig.proof_v);
+    Wire.Enc.bytes b (Bignum.Nat.to_bytes_be sh.Crypto.Threshold_sig.proof_x);
     Wire.Enc.bytes b (Bignum.Nat.to_bytes_be sh.Crypto.Threshold_sig.proof_z)
   | Multi_share sh ->
     Wire.Enc.u8 b 1;
@@ -82,9 +83,10 @@ let dec_share (d : Wire.Dec.t) : share =
   | 0 ->
     let origin = Wire.Dec.int d in
     let x_i = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
-    let proof_c = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+    let proof_v = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
+    let proof_x = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
     let proof_z = Bignum.Nat.of_bytes_be (Wire.Dec.bytes d) in
-    Shoup_share { Crypto.Threshold_sig.origin; x_i; proof_c; proof_z }
+    Shoup_share { Crypto.Threshold_sig.origin; x_i; proof_v; proof_x; proof_z }
   | 1 ->
     let origin = Wire.Dec.int d in
     let signature = Wire.Dec.bytes d in

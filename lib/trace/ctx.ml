@@ -76,3 +76,11 @@ let incr (t : t) (name : string) : unit = count t name 1.0
 
 let observe (t : t) ?buckets (name : string) (v : float) : unit =
   Metrics.observe (Metrics.histogram ?buckets t.metrics (scoped t name)) v
+
+(* A gauge is a counter written with [set] instead of [add]; the high-water
+   mark is published alongside as "<name>/max" so bounded-memory claims
+   (e.g. the verified-share cache) can be checked after a run. *)
+let gauge (t : t) (name : string) (v : float) : unit =
+  Metrics.set (Metrics.counter t.metrics (scoped t name)) v;
+  let peak = Metrics.counter t.metrics (scoped t (name ^ "/max")) in
+  if v > Metrics.value peak then Metrics.set peak v

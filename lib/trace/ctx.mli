@@ -71,3 +71,9 @@ val incr : t -> string -> unit
 val observe : t -> ?buckets:float array -> string -> float -> unit
 (** Record one sample into the per-party histogram [name]; [buckets]
     (upper bounds) only takes effect when the histogram is created. *)
+
+val gauge : t -> string -> float -> unit
+(** Overwrite the per-party counter [name] with the current level of some
+    quantity (a gauge), and keep its high-water mark in ["<name>/max"] —
+    used e.g. for the verified-share cache size, whose bound is asserted
+    after a run. *)

@@ -14,7 +14,8 @@
      senders. *)
 
 type kind =
-  Reliable | Consistent | Aba | Mvba | Atomic | Secure | Throughput | Pipeline
+  | Reliable | Consistent | Aba | Mvba | Atomic | Secure | Throughput
+  | Pipeline | Amortized
 
 let kind_to_string (k : kind) : string =
   match k with
@@ -26,6 +27,7 @@ let kind_to_string (k : kind) : string =
   | Secure -> "secure"
   | Throughput -> "throughput"
   | Pipeline -> "pipeline"
+  | Amortized -> "crypto-amortized"
 
 let kind_of_string (s : string) : kind option =
   match s with
@@ -37,6 +39,7 @@ let kind_of_string (s : string) : kind option =
   | "secure" -> Some Secure
   | "throughput" -> Some Throughput
   | "pipeline" -> Some Pipeline
+  | "crypto-amortized" -> Some Amortized
   | _ -> None
 
 type obs = {
@@ -122,7 +125,8 @@ let agreement : oracle =
           | Some other ->
             Fail (Printf.sprintf "honest decisions differ: %S vs %S" first other)
           | None -> Pass))
-    | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline ->
+    | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline
+    | Amortized ->
       let honest_parties = List.filter (honest o) (parties o) in
       let per_origin (p : int) (origin : int) : string list =
         List.filter_map
@@ -158,7 +162,8 @@ let agreement : oracle =
       (match consistency_breach with
        | Some why -> Fail why
        | None ->
-         if o.kind = Consistent || not o.quiesced then Pass
+         if o.kind = Consistent || o.kind = Amortized || not o.quiesced then
+           Pass
          else begin
            let steady_logs =
              List.filter_map
@@ -183,7 +188,7 @@ let agreement : oracle =
 let total_order : oracle =
   let check (o : obs) : verdict =
     match o.kind with
-    | Reliable | Consistent | Aba | Mvba -> Pass
+    | Reliable | Consistent | Aba | Mvba | Amortized -> Pass
     | Atomic | Secure | Throughput | Pipeline ->
       let honest_parties = List.filter (honest o) (parties o) in
       let logs = List.map (fun p -> (p, o.delivered.(p))) honest_parties in
@@ -264,7 +269,8 @@ let integrity : oracle =
 let validity : oracle =
   let check (o : obs) : verdict =
     match o.kind with
-    | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline -> Pass
+    | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline
+    | Amortized -> Pass
     | Aba | Mvba ->
       if o.corrupted <> [] then Pass
       else begin
@@ -324,7 +330,8 @@ let liveness : oracle =
          with
          | Some p -> Fail (Printf.sprintf "party %d never decided" p)
          | None -> Pass)
-      | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline ->
+      | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline
+      | Amortized ->
         let required =
           List.sort cmp_entry
             (List.filter (fun (origin, _) -> steady o origin) o.sent)
@@ -383,7 +390,8 @@ let flags : oracle =
 
 let all (k : kind) : oracle list =
   match k with
-  | Reliable | Consistent -> [ agreement; integrity; liveness; flags ]
+  | Reliable | Consistent | Amortized ->
+    [ agreement; integrity; liveness; flags ]
   | Aba | Mvba -> [ agreement; validity; liveness; flags ]
   | Atomic | Secure | Throughput | Pipeline ->
     [ agreement; total_order; integrity; liveness; flags ]

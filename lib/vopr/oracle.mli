@@ -25,6 +25,14 @@ type kind =
           waves keep the pipeline window full, so the [Atomic] oracle suite
           checks the reorder buffer and window-aware catch-up under the same
           adversarial schedules (crashes, drops, replays) *)
+  | Amortized
+      (** consistent broadcast under the amortized-crypto stress mix: a
+          deterministic retransmit storm (duplicated and replayed frames
+          exercising the verified-share cache) plus a Byzantine responder
+          that answers every SEND with a wire-well-formed but invalid
+          signature share, landing a bad share in echo batches so
+          {!Crypto.Batch} bisection must isolate it.  The [Consistent]
+          oracle suite applies (consistency without totality) *)
 
 val kind_to_string : kind -> string
 (** Lower-case CLI name, e.g. ["atomic"]. *)

@@ -37,7 +37,8 @@ let no_tweaks : tweaks =
 
 let byz_supported (k : Oracle.kind) : bool =
   match k with
-  | Oracle.Reliable | Oracle.Consistent | Oracle.Aba -> true
+  | Oracle.Reliable | Oracle.Consistent | Oracle.Aba | Oracle.Amortized ->
+    true
   | Oracle.Mvba | Oracle.Atomic | Oracle.Secure | Oracle.Throughput
   | Oracle.Pipeline ->
     false
@@ -81,6 +82,21 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
     match kind with Oracle.Pipeline -> Some 6 | _ -> None
   in
   let c = make_cluster ?max_batch ~run_seed:seed ~n ~t () in
+  (* The amortized-crypto workload layers a deterministic retransmit storm
+     over the generated schedule: every 4th frame duplicated, every 4th+2
+     frame replayed out of FIFO order.  Dups and replays re-present
+     already-verified echo shares and closings, so the verified-share cache
+     and the batch verifier absorb them; on a frame collision Schedule.arm
+     keeps the generated schedule's entry (it comes first). *)
+  let sched =
+    if kind = Oracle.Amortized then
+      sched
+      @ List.concat
+          (List.init 60 (fun i ->
+             [ Schedule.Dup_frame (4 * i);
+               Schedule.Replay_frame ((4 * i) + 2, 300 + (17 * i mod 900)) ]))
+    else sched
+  in
   let corrupted =
     if byz_supported kind then Schedule.equivocators sched else []
   in
@@ -99,7 +115,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
       "vopr planted spurious flag";
   (match kind with
    | Oracle.Reliable | Oracle.Consistent | Oracle.Atomic | Oracle.Secure
-   | Oracle.Throughput | Oracle.Pipeline ->
+   | Oracle.Throughput | Oracle.Pipeline | Oracle.Amortized ->
      let chans : chan option array = Array.make n None in
      List.iter
        (fun p ->
@@ -114,7 +130,7 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
               | Oracle.Reliable ->
                 let ch = Reliable_channel.create rt ~pid:"vopr" ~on_deliver () in
                 { send = (fun m -> Reliable_channel.send ch m) }
-              | Oracle.Consistent ->
+              | Oracle.Consistent | Oracle.Amortized ->
                 let ch =
                   Consistent_channel.create rt ~pid:"vopr" ~on_deliver ()
                 in
@@ -174,6 +190,17 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
            in
            Faults.equivocating_cbc_sender c ~party:p ~pid:ipid ~to_a
              ~a:(framed "equiv-a") ~b:(framed "equiv-b")
+         | Oracle.Amortized ->
+           (* Answer every honest sender's SEND — both instances — with a
+              well-formed-but-invalid echo share: each sender's echo batch
+              then carries a bad share for Batch bisection to isolate. *)
+           let pids =
+             List.concat_map
+               (fun q ->
+                 [ Printf.sprintf "vopr/%d.0" q; Printf.sprintf "vopr/%d.1" q ])
+               honest
+           in
+           Faults.bad_share_cbc_responder c ~party:p ~pids
          | Oracle.Reliable | Oracle.Atomic | Oracle.Secure | Oracle.Aba
          | Oracle.Mvba | Oracle.Throughput | Oracle.Pipeline ->
            let to_a = match honest with q0 :: _ -> [ q0 ] | [] -> [] in

@@ -131,8 +131,9 @@ let fastpath_tests = [
       let tweak = Bignum.Nat.rem (Bignum.Nat.add pf.Dleq.response Bignum.Nat.one) g.Group.q in
       let forged = [
         { pf with Dleq.response = tweak };
-        { pf with Dleq.challenge = Bignum.Nat.rem (Bignum.Nat.add pf.Dleq.challenge Bignum.Nat.one) g.Group.q };
-        { Dleq.challenge = Bignum.Nat.zero; response = Bignum.Nat.zero };
+        { pf with Dleq.a1 = Group.mul g pf.Dleq.a1 g.Group.g };
+        { pf with Dleq.a2 = Group.mul g pf.Dleq.a2 g.Group.g };
+        { Dleq.a1 = Group.one g; a2 = Group.one g; response = Bignum.Nat.zero };
       ] in
       List.iter
         (fun bad ->

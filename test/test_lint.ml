@@ -298,6 +298,58 @@ let test_quorum_literal () =
     "(* lint: allow quorum-literal — documented special case *)\n\
      let q cfg = cfg.Config.t + 1\n"
 
+(* --- S5: cache-key-digest --- *)
+
+let test_cache_key_digest () =
+  let rule = "cache-key-digest" in
+  (* explicit digest expression: clean *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let remember t msg =\n\
+     \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\"\n\
+     \    ~digest:(Hashes.Sha256.digest msg) ~sender:1 ~index:1\n";
+  (* a helper named *_digest carries the obligation by convention *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let remember t msg =\n\
+     \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\"\n\
+     \    ~digest:(stmt_digest t msg) ~sender:1 ~index:1\n";
+  (* raw statement bytes as the key: fires *)
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let remember t msg =\n\
+     \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\"\n\
+     \    ~digest:msg ~sender:1 ~index:1\n";
+  (* punned ~digest let-bound from a digest: clean *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let remember t msg =\n\
+     \  let digest = Hashes.Sha256.digest_list [ t.pid; msg ] in\n\
+     \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\" ~digest\n\
+     \    ~sender:1 ~index:1\n";
+  (* punned ~digest let-bound from raw bytes: fires *)
+  expect_fires ~rule "lib/sintra/proto.ml"
+    "let remember t msg =\n\
+     \  let digest = msg in\n\
+     \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\" ~digest\n\
+     \    ~sender:1 ~index:1\n";
+  (* a forwarding wrapper receives ~digest as a parameter: trusted (the
+     rule inspects its callers' key computations instead) *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let record (t : t) ~(digest : string) ~(sender : int) : unit =\n\
+     \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\" ~digest\n\
+     \    ~sender ~index:sender\n";
+  (* probes are not insertions *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let seen t msg =\n\
+     \  Crypto.Share_cache.mem t.cache ~scheme:\"s\" ~digest:msg ~sender:1\n\
+     \    ~index:1\n";
+  (* the definition site is out of scope *)
+  expect_silent ~rule "lib/crypto/share_cache.ml"
+    "let add (t : t) ~group ~scheme ~digest ~sender ~index = insert t ...\n";
+  (* inline allow *)
+  expect_silent ~rule "lib/sintra/proto.ml"
+    "let remember t msg =\n\
+     \  (* lint: allow cache-key-digest — key is a fixed tag, documented *)\n\
+     \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\" ~digest:msg\n\
+     \    ~sender:1 ~index:1\n"
+
 (* --- the tokenizer --- *)
 
 let count_kind (k : Lint.Lex.kind) (toks : Lint.Lex.token list) : int =
@@ -528,6 +580,8 @@ let suite =
       test_handler_flow;
     Alcotest.test_case "quorum-literal (S4) fires/clears/allows" `Quick
       test_quorum_literal;
+    Alcotest.test_case "cache-key-digest (S5) fires/clears/allows" `Quick
+      test_cache_key_digest;
     Alcotest.test_case "lexer: nested and string-guarded comments" `Quick
       test_lex_comments;
     Alcotest.test_case "lexer: string/char escapes vs type variables" `Quick

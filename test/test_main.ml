@@ -26,4 +26,5 @@ let () =
       ("causal", Test_causal.suite);
       ("lint", Test_lint.suite);
       ("vopr", Test_vopr.suite);
+      ("amortized", Test_amortized.suite);
     ]

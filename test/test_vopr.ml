@@ -228,6 +228,27 @@ let suite = [
       Alcotest.(check bool) "some honest party flagged party 0" true
         flagged_by_honest);
 
+  Alcotest.test_case
+    "bad-share responder (crypto-amortized): safety holds, culprit flagged"
+    `Quick (fun () ->
+      (* Party 3 answers every SEND with a well-formed-but-invalid echo
+         share under the retransmit storm; the honest senders' echo batches
+         must bisect it out, flag party 3, and still close from the honest
+         quorum. *)
+      let sched = [ Vopr.Schedule.Byz_equivocate 3 ] in
+      let obs =
+        Vopr.Workload.run ~kind:Vopr.Oracle.Amortized ~seed:"bad-share" sched
+      in
+      assert_all_pass ~what:"bad-share responder" obs;
+      let flagged_by_honest =
+        List.exists
+          (fun p ->
+            List.exists (fun (off, _) -> off = 3) obs.Vopr.Oracle.flagged.(p))
+          [ 0; 1; 2 ]
+      in
+      Alcotest.(check bool) "some honest party flagged party 3" true
+        flagged_by_honest);
+
   Alcotest.test_case "crash, rebuild, catch up: atomic order and liveness"
     `Quick (fun () ->
       let c = Util.cluster ~seed:"vopr-rebuild" ~check_invariants:true () in
