@@ -18,6 +18,11 @@
                                                 attribution (writes
                                                 BENCH_latency.json; smoke
                                                 size unless --full)
+     dune exec bench/main.exe -- durability   - rebuild-at-tip cost, full log
+                                                replay vs checkpointed replay
+                                                vs snapshot transfer (writes
+                                                BENCH_durability.json; smoke
+                                                size unless --full)
 
    Absolute numbers come from a simulator calibrated with the paper's host
    and network measurements; the claims to check are the *shapes* (see
@@ -25,7 +30,7 @@
 
 let known =
   [ "fig3"; "fig4"; "fig5"; "table1"; "fig6"; "hosts"; "micro"; "perf";
-    "ablations"; "vopr"; "throughput"; "latency" ]
+    "ablations"; "vopr"; "throughput"; "latency"; "durability" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -70,6 +75,7 @@ let () =
   section "vopr" (fun () -> Vopr_bench.run ~quick:(not full) ());
   section "throughput" (fun () -> Throughput_bench.run ~quick:(not full) ());
   section "latency" (fun () -> Latency_bench.run ~quick:(not full) ());
+  section "durability" (fun () -> Durability_bench.run ~quick:(not full) ());
   if Experiments.metrics_count () > 0 then begin
     let path = "BENCH_trace.json" in
     let oc = open_out path in

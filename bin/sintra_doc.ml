@@ -10,7 +10,7 @@
 
 let default_strict =
   [ "bignum"; "crypto"; "vopr"; "sim"; "trace"; "load";
-    "sintra"; "lint"; "wire"; "det"; "hashes" ]
+    "sintra"; "lint"; "wire"; "det"; "hashes"; "store" ]
 
 let read_file (path : string) : string =
   let ic = open_in_bin path in

@@ -1,4 +1,4 @@
-(* The semantic rule family (S1–S4): protocol-aware checks that need more
+(* The semantic rule family (S1–S6): protocol-aware checks that need more
    than a masked line — a real token stream (Lex) grouped into top-level
    module items.
 
@@ -31,7 +31,15 @@
                      must be a [Hashes.Sha1/Sha256.digest*] call or a
                      helper whose name ends in [digest]; an item that
                      receives [~digest] as a parameter is a trusted
-                     forwarder (its callers are in scope instead). *)
+                     forwarder (its callers are in scope instead).
+   S6 durable-io     raw file I/O (open_in/open_out and friends,
+                     In_channel/Out_channel, Sys.remove/Sys.rename) under
+                     lib/store or lib/sintra: every durable byte must flow
+                     through the Store.Device seam so a replayed run sees
+                     the same device contents the recorded run wrote.  The
+                     seam itself (device.ml) is allowlisted in
+                     .sintra-lint — which file is the seam is policy, not
+                     definition. *)
 
 type finding = Rules.finding = {
   file : string;
@@ -45,6 +53,7 @@ let s2 = "charge-coverage"
 let s3 = "handler-flow"
 let s4 = "quorum-literal"
 let s5 = "cache-key-digest"
+let s6 = "durable-io"
 
 let rule_names : (string * string) list = [
   (s1, "wall clock / OS entropy (Unix.*, Random.*, Sys.time, Hashtbl.hash) in deterministic code");
@@ -52,6 +61,7 @@ let rule_names : (string * string) list = [
   (s3, "message constructor not both constructed (send) and matched (receive)");
   (s4, "inline quorum arithmetic on Config.n/Config.t; use the Config helpers");
   (s5, "Share_cache insertion keyed by something other than a Hashes digest");
+  (s6, "raw file I/O outside the Store.Device seam in lib/store or lib/sintra");
 ]
 
 (* --- path predicates --- *)
@@ -89,6 +99,11 @@ let s5_scope path =
   is_ml path
   && (in_dir "sintra" path || in_dir "crypto" path)
   && base path <> "share_cache.ml"
+
+(* The sanctioned seam (device.ml) is allowlisted in .sintra-lint rather
+   than excluded here: which file is the seam is policy, not definition. *)
+let s6_scope path =
+  is_ml path && (in_dir "store" path || in_dir "sintra" path)
 
 (* --- token helpers --- *)
 
@@ -493,6 +508,40 @@ let check_s5_item (src : Source.t) (it : item) : finding list =
     end
   end
 
+(* --- S6: durable I/O seam --- *)
+
+(* The raw-I/O surface: the Stdlib channel openers (bare or qualified),
+   the In_channel/Out_channel modules wholesale, and the Sys file
+   mutators.  Reads are banned alongside writes — a recovery path that
+   reads bytes the Device never saw replays differently. *)
+let s6_banned (tok : string) : bool =
+  let segs = segs_of_tok tok in
+  let opener s =
+    match s with
+    | "open_in" | "open_in_bin" | "open_in_gen"
+    | "open_out" | "open_out_bin" | "open_out_gen" -> true
+    | _ -> false
+  in
+  List.exists opener segs
+  || List.mem "In_channel" segs || List.mem "Out_channel" segs
+  || qualified_matches tok "Sys.remove"
+  || qualified_matches tok "Sys.rename"
+
+let check_s6 (src : Source.t) (sig_toks : Lex.token list) : finding list =
+  let path = Source.path src in
+  List.filter_map
+    (fun (t : Lex.token) ->
+      if t.Lex.kind = Lex.Word && s6_banned t.Lex.text
+         && not (Source.allowed src ~rule:s6 ~line:t.Lex.line)
+      then
+        Some { file = path; line = t.Lex.line; rule = s6;
+               message =
+                 t.Lex.text
+                 ^ " is raw file I/O; durable bytes must go through the \
+                    Store.Device seam so recovery replays deterministically" }
+      else None)
+    sig_toks
+
 (* --- driver --- *)
 
 let check_tree (files : (Source.t * Lex.token list) list) : finding list =
@@ -538,6 +587,7 @@ let check_tree (files : (Source.t * Lex.token list) list) : finding list =
           if s5_scope path then List.concat_map (check_s5_item src) items
           else []
         in
-        f1 @ f2 @ f3 @ f4 @ f5
+        let f6 = if s6_scope path then check_s6 src sig_toks else [] in
+        f1 @ f2 @ f3 @ f4 @ f5 @ f6
       end)
     files

@@ -1,4 +1,4 @@
-(** The semantic lint rules (S1–S4), running on Lex token streams grouped
+(** The semantic lint rules (S1–S6), running on Lex token streams grouped
     into top-level module items.
 
     - [determinism] (S1): [Unix.*], [Random.*], [Sys.time], [Hashtbl.hash]
@@ -13,7 +13,15 @@
       constructors exported through the companion [.mli] are exempt.
     - [quorum-literal] (S4): inline [2t+1]-style arithmetic on [Config.n]
       / [Config.t]; thresholds must come from the [Config]/[Invariant]
-      helpers. *)
+      helpers.
+    - [cache-key-digest] (S5): a [Share_cache.add] insertion whose
+      [~digest] key is not visibly a [Hashes] digest — raw statement bytes
+      defeat the cache's fixed-size-key contract.
+    - [durable-io] (S6): raw file I/O ([open_in]/[open_out] and friends,
+      [In_channel]/[Out_channel], [Sys.remove]/[Sys.rename]) under
+      [lib/store] or [lib/sintra]; every durable byte must flow through
+      the [Store.Device] seam so recovery replays deterministically.  The
+      seam itself ([device.ml]) is allowlisted in [.sintra-lint]. *)
 
 type finding = Rules.finding = {
   file : string;
@@ -34,10 +42,16 @@ val s3 : string
 val s4 : string
 (** The [quorum-literal] rule name. *)
 
+val s5 : string
+(** The [cache-key-digest] rule name. *)
+
+val s6 : string
+(** The [durable-io] rule name. *)
+
 val rule_names : (string * string) list
 (** [(name, one-line description)] for the S rules. *)
 
 val check_tree : (Source.t * Lex.token list) list -> finding list
-(** Run S1–S4 over the tree; each file is paired with its Lex token
+(** Run S1–S6 over the tree; each file is paired with its Lex token
     stream.  [.mli] files contribute only the S3 public-constructor
     exemption. *)

@@ -135,6 +135,13 @@ let symmetric (m : meter) ~(bytes : int) : unit =
 
 let hash (m : meter) ~(bytes : int) : unit = symmetric m ~bytes
 
+(* Durable-log appends: a CRC pass over the payload plus a buffered
+   sequential write — cheaper per byte than hashing (no compression
+   function), with a small constant for the frame header and the
+   write-path bookkeeping. *)
+let log_io (m : meter) ~(bytes : int) : unit =
+  charge m (0.002 +. (float_of_int bytes *. 5e-6))
+
 (* Per-message protocol overhead: deserialization, dispatch, threading —
    what the paper calls "protocol overhead" and blames (together with
    network delay) for most of the measured time.  Scaled by the host's CPU

@@ -85,6 +85,11 @@ val symmetric : meter -> bytes:int -> unit
 val hash : meter -> bytes:int -> unit
 (** Hashing [bytes], priced per byte (cheaper than {!symmetric}). *)
 
+val log_io : meter -> bytes:int -> unit
+(** Appending [bytes] to the durable write-ahead log: a CRC pass plus a
+    buffered sequential write — priced per byte below {!hash}, with a
+    small constant for the frame header. *)
+
 val per_message : meter -> bytes:int -> unit
 (** Per-message protocol overhead (deserialization, dispatch, threading),
     scaled by host speed; calibrated against the paper's crypto-free

@@ -34,6 +34,20 @@ type node = {
   mutable sent_msgs : int;
   mutable sent_bytes : int;
   mutable received_msgs : int;
+  (* The storage plane: a second, out-of-band message class with its own
+     CPU meter, busy clock and inbox — a dedicated storage core and a
+     separate transfer connection per host.  Durability traffic (checkpoint
+     shares, snapshot transfer) rides here so it shares NO schedule-bearing
+     resource with the protocol plane: neither the protocol meter nor the
+     protocol latency stream is ever touched, which is what keeps a durable
+     run's delivery schedule byte-identical to a non-durable one. *)
+  oob_meter : Cost.meter;
+  mutable oob_busy_until : float;
+  oob_inbox : (int * string * int) Queue.t;
+  mutable oob_handler : (src:int -> string -> unit) option;
+  mutable oob_wake_scheduled : bool;
+  mutable oob_sent_msgs : int;
+  mutable oob_sent_bytes : int;
 }
 
 type t = {
@@ -42,6 +56,8 @@ type t = {
   nodes : node array;
   mac_keys : string array array;       (* symmetric, per unordered pair *)
   latency_drbg : Hashes.Drbg.t;
+  oob_latency_drbg : Hashes.Drbg.t;    (* storage plane's own jitter stream *)
+  oob_last_arrival : float array array;  (* FIFO per (src,dst), oob plane *)
   mutable intercept : (src:int -> dst:int -> string -> action) option;
   mutable mac_failures : int;
   last_arrival : float array array;  (* FIFO ordering per (src,dst) *)
@@ -75,6 +91,14 @@ let make ?lossy ~(engine : Engine.t) ~(topo : Topology.t)
         sent_msgs = 0;
         sent_bytes = 0;
         received_msgs = 0;
+        oob_meter =
+          Cost.create_meter ~exp_ms:topo.Topology.hosts.(id).Topology.exp_ms;
+        oob_busy_until = 0.0;
+        oob_inbox = Queue.create ();
+        oob_handler = None;
+        oob_wake_scheduled = false;
+        oob_sent_msgs = 0;
+        oob_sent_bytes = 0;
       })
   in
   {
@@ -83,9 +107,11 @@ let make ?lossy ~(engine : Engine.t) ~(topo : Topology.t)
     nodes;
     mac_keys;
     latency_drbg = Hashes.Drbg.fork (Engine.drbg engine) "net-latency";
+    oob_latency_drbg = Hashes.Drbg.fork (Engine.drbg engine) "net-oob-latency";
     intercept = None;
     mac_failures = 0;
     last_arrival = Array.init n (fun _ -> Array.make n 0.0);
+    oob_last_arrival = Array.init n (fun _ -> Array.make n 0.0);
     lossy;
     links = [||];
     link_msgs = Array.init n (fun _ -> Array.make n 0);
@@ -297,6 +323,88 @@ let init_links (t : t) (p : float) : unit =
                ())))
 
 let n (t : t) = Array.length t.nodes
+(* --- the storage plane --- *)
+
+(* Process at most one storage-plane message of node [nd]: same sequential
+   core model as [process_one], on the node's storage meter and busy clock.
+   Storage handlers send protocol messages only on recovery paths (snapshot
+   catch-up), so there is no oob outbox — those sends depart directly. *)
+let rec process_oob_one (t : t) (nd : node) () : unit =
+  nd.oob_wake_scheduled <- false;
+  if not nd.crashed && not (Queue.is_empty nd.oob_inbox) then begin
+    let now = Engine.now t.engine in
+    if nd.oob_busy_until > now then oob_wake t nd nd.oob_busy_until
+    else begin
+      let src, payload, flow = Queue.pop nd.oob_inbox in
+      (match nd.oob_handler with
+       | None -> ()
+       | Some h ->
+         Trace.Ctx.set_cause t.traces.(nd.id) flow;
+         h ~src payload;
+         Trace.Ctx.set_cause t.traces.(nd.id) (-1));
+      let cost = Cost.take nd.oob_meter in
+      nd.oob_busy_until <- now +. cost;
+      if not (Queue.is_empty nd.oob_inbox) then oob_wake t nd nd.oob_busy_until
+    end
+  end
+
+and oob_wake (t : t) (nd : node) (at : float) : unit =
+  if not nd.oob_wake_scheduled then begin
+    nd.oob_wake_scheduled <- true;
+    Engine.schedule_at t.engine ~time:at (process_oob_one t nd)
+  end
+
+(* Send on the storage plane: authenticated FIFO point-to-point, latency
+   drawn from the plane's own jitter stream, arrival clamped by the plane's
+   own per-pair FIFO order.  The adversary intercept and lossy-datagram
+   mode apply to the protocol plane only — the transfer connection is
+   modeled reliable; Byzantine storage-plane content is handled end-to-end
+   (certificate verification), not at the link. *)
+let send_oob (t : t) ~(src : int) ~(dst : int) (payload : string) : unit =
+  let nd = t.nodes.(src) in
+  if not nd.crashed then begin
+    nd.oob_sent_msgs <- nd.oob_sent_msgs + 1;
+    nd.oob_sent_bytes <- nd.oob_sent_bytes + String.length payload;
+    let id = Engine.fresh_flow_id t.engine in
+    let tag = mac_tag t ~src ~dst payload in
+    let size = String.length payload + String.length tag + 28 in
+    let latency = t.topo.Topology.one_way src dst size t.oob_latency_drbg in
+    let depart = Engine.now t.engine in
+    let arrival = depart +. latency in
+    let arrival = Stdlib.max arrival (t.oob_last_arrival.(src).(dst) +. 1e-9) in
+    t.oob_last_arrival.(src).(dst) <- arrival;
+    let rcv = t.nodes.(dst) in
+    Engine.schedule_at t.engine ~time:arrival (fun () ->
+      if not rcv.crashed then begin
+        if
+          Hashes.Hmac.verify ~algo:Hashes.Hmac.SHA1
+            ~key:t.mac_keys.(min src dst).(max src dst)
+            ~tag
+            (Printf.sprintf "%d>%d|%s" src dst payload)
+        then begin
+          Queue.push (src, payload, id) rcv.oob_inbox;
+          oob_wake t rcv (Stdlib.max arrival rcv.oob_busy_until)
+        end
+        else t.mac_failures <- t.mac_failures + 1
+      end)
+  end
+
+let set_oob_handler (t : t) (i : int) (h : src:int -> string -> unit) : unit =
+  t.nodes.(i).oob_handler <- Some h
+
+let oob_meter (t : t) (i : int) = t.nodes.(i).oob_meter
+
+(* Flush work charged to the storage meter outside a storage handler (log
+   appends and checkpoint crypto triggered synchronously by a delivered
+   round) into the storage core's busy clock, so snapshot service queues
+   behind it honestly. *)
+let oob_advance (t : t) (i : int) : unit =
+  let nd = t.nodes.(i) in
+  let cost = Cost.take nd.oob_meter in
+  if cost > 0.0 then
+    nd.oob_busy_until <-
+      Stdlib.max nd.oob_busy_until (Engine.now t.engine) +. cost
+
 let node (t : t) (i : int) = t.nodes.(i)
 let meter (t : t) (i : int) = t.nodes.(i).meter
 
@@ -318,7 +426,9 @@ let recover (t : t) (i : int) : unit =
   if nd.crashed then begin
     nd.crashed <- false;
     if not (Queue.is_empty nd.inbox) then
-      wake t nd (Stdlib.max (Engine.now t.engine) nd.busy_until)
+      wake t nd (Stdlib.max (Engine.now t.engine) nd.busy_until);
+    if not (Queue.is_empty nd.oob_inbox) then
+      oob_wake t nd (Stdlib.max (Engine.now t.engine) nd.oob_busy_until)
   end
 
 
@@ -415,7 +525,10 @@ let publish_metrics (t : t) : unit =
       setc (Printf.sprintf "p%d/cpu.charged_s" i) (nd.meter.Cost.total_ms /. 1000.0);
       setc (Printf.sprintf "p%d/crypto.exps" i) (float_of_int nd.meter.Cost.exp_count);
       setc (Printf.sprintf "p%d/crypto.exp2s" i) (float_of_int nd.meter.Cost.exp2_count);
-      setc (Printf.sprintf "p%d/crypto.fixed" i) (float_of_int nd.meter.Cost.fixed_count))
+      setc (Printf.sprintf "p%d/crypto.fixed" i) (float_of_int nd.meter.Cost.fixed_count);
+      setc (Printf.sprintf "p%d/store.cpu_s" i) (nd.oob_meter.Cost.total_ms /. 1000.0);
+      setc (Printf.sprintf "p%d/store.net_msgs" i) (float_of_int nd.oob_sent_msgs);
+      setc (Printf.sprintf "p%d/store.net_bytes" i) (float_of_int nd.oob_sent_bytes))
     t.nodes;
   Array.iteri
     (fun src row ->

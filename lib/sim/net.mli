@@ -80,6 +80,43 @@ val inject : ?cause:int -> t -> int -> (unit -> unit) -> unit
     (default -1 = none) names the causal flow id that triggered the
     action, so records emitted inside it join the trace DAG. *)
 
+(** {2 The storage plane}
+
+    A second, out-of-band message class per node, modelling a dedicated
+    storage core and a separate transfer connection: its own CPU meter,
+    busy clock, inbox, FIFO clamp and latency jitter stream.  Durability
+    traffic (checkpoint shares, snapshot transfer) rides here so that a
+    durable run shares {e no} schedule-bearing resource with the protocol
+    plane — neither the protocol meter nor the protocol latency stream is
+    touched — which keeps its delivery schedule byte-identical to a
+    non-durable run at the same seed.  The plane is authenticated with the
+    same per-pair MACs but is modelled reliable: the adversary intercept
+    and lossy-datagram mode apply to the protocol plane only; Byzantine
+    storage-plane {e content} is rejected end-to-end by certificate
+    verification, not at the link. *)
+
+val set_oob_handler : t -> int -> (src:int -> string -> unit) -> unit
+(** Install node [i]'s storage-plane message handler (one per node). *)
+
+val send_oob : t -> src:int -> dst:int -> string -> unit
+(** Transmit bytes on the storage plane.  Departs immediately (the
+    protocol thread's handoff to the storage core is modelled free);
+    latency is drawn from the plane's own jitter stream and arrival obeys
+    the plane's own per-pair FIFO order.  Crashed senders and receivers
+    drop the message, as on the protocol plane. *)
+
+val oob_meter : t -> int -> Cost.meter
+(** Node [i]'s storage-core meter.  Work done inside a storage-plane
+    handler is charged here automatically; synchronous storage work done
+    from protocol handlers should charge here too and then call
+    {!oob_advance}. *)
+
+val oob_advance : t -> int -> unit
+(** Fold cost accrued on the storage meter outside a storage handler
+    (e.g. log appends triggered by a delivered round) into the storage
+    core's busy clock, so later storage-plane messages queue behind it.
+    No-op when the meter holds no pending cost. *)
+
 val mac_failures : t -> int
 (** Count of messages dropped by link-authentication failure. *)
 

@@ -114,15 +114,34 @@ type t = {
      removed ... the channel will stall"). *)
   mutable gate : unit -> bool;
   enqueued_at : (int, float) Hashtbl.t;   (* seq -> enqueue virtual time *)
-  (* Catch-up state.  [decided_batches] keeps every decided batch so we can
-     serve stragglers arbitrarily far behind (a rebuilt party restarts at
-     round 0); bounding it would need snapshot-based state transfer, out of
-     scope for the simulator.  Entries at or beyond [base] double as the
-     reorder buffer.  [claims] tallies DECIDED messages for rounds we have
-     not finished: round -> batch -> claiming senders. *)
+  (* Catch-up state.  [decided_batches] keeps decided batches down to
+     [floor] so we can serve stragglers; entries at or beyond [base] double
+     as the reorder buffer.  Without a durability layer the floor stays at
+     0 and the backlog is unbounded; with one ({!Durable}), [gc_below]
+     raises the floor to the latest stable checkpoint and stragglers
+     further behind are served a signed snapshot instead ([catchup_miss]).
+     [claims] tallies DECIDED messages for rounds we have not finished:
+     round -> batch -> claiming senders. *)
   decided_batches : (int, string) Hashtbl.t;
+  mutable floor : int;           (* lowest round still in decided_batches *)
   claims : (int, (string, (int, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
   mutable requested_for : int;   (* highest future round that triggered a REQUEST *)
+  (* Durability hooks: [round_hook] fires after each round is delivered and
+     the window slides (WAL append); [catchup_miss] fires when a straggler
+     asks for history below [floor] (snapshot state transfer). *)
+  mutable round_hook : (round:int -> batch:string -> unit) option;
+  mutable catchup_miss : (dst:int -> unit) option;
+  (* Crash-recovery discipline for our own INITs.  [init_hook] fires
+     write-ahead — before the INIT for a round first leaves this party —
+     so a durability layer can persist the round number; [init_floor] bars
+     self-INITs below it.  A restarted party must never re-initiate a
+     round it may already have initiated pre-crash: the old INIT can still
+     be in flight, and a second one with different content is
+     equivocation, indistinguishable from Byzantine behaviour to every
+     peer.  Rounds below the floor still complete — the other n-1 parties
+     INIT and propose them; we merely abstain from initiating. *)
+  mutable init_hook : (round:int -> unit) option;
+  mutable init_floor : int;
 }
 
 let tag_init = 0
@@ -271,8 +290,14 @@ let decode_msg (body : string) : msg option =
 
 (* Reply to a straggler with the batches it is missing, oldest first; only
    rounds already delivered here — parked decisions are served once they
-   clear our own reorder buffer. *)
+   clear our own reorder buffer.  History below [floor] has been garbage
+   collected under a stable checkpoint: fire [catchup_miss] so the
+   durability layer can serve a signed snapshot instead, and send whatever
+   retained rounds still help. *)
 let send_backlog (t : t) ~(dst : int) ~(from_round : int) : unit =
+  if from_round < t.floor then
+    (match t.catchup_miss with Some f -> f ~dst | None -> ());
+  let from_round = max from_round t.floor in
   let upto = min (from_round + catchup_window - 1) (t.base - 1) in
   for r = from_round to upto do
     match Hashtbl.find_opt t.decided_batches r with
@@ -285,8 +310,11 @@ let send_backlog (t : t) ~(dst : int) ~(from_round : int) : unit =
     | None -> ()
   done
 
-(* Sign and broadcast our INIT vector for one in-window round. *)
+(* Sign and broadcast our INIT vector for one in-window round.  The init
+   hook fires first — write-ahead — so the round number is on disk before
+   the INIT can reach any peer. *)
 let send_init (t : t) (round : int) (items : item list) : unit =
+  (match t.init_hook with Some h -> h ~round | None -> ());
   trace_phase t "round" round Trace.Event.Span_begin;
   Charge.rsa_sign t.rt.Runtime.charge;
   let signature =
@@ -456,6 +484,7 @@ let adoptable_items (t : t) (round : int) : item list =
    empty (or redundant) rounds forever. *)
 let rec try_send_init_round (t : t) (round : int) : unit =
   if not t.closed && t.gate () && round >= t.base && round < t.base + window t
+     && round >= t.init_floor
      && not (Hashtbl.mem t.my_init round)
   then begin
     trim_queue t;
@@ -675,7 +704,13 @@ and deliver_round (t : t) (round : int) (batch : string) : unit =
     Hashtbl.remove t.inits round;
     Hashtbl.remove t.my_init round;
     Hashtbl.remove t.claims round;
-    Hashtbl.remove t.proposed_rounds round
+    Hashtbl.remove t.proposed_rounds round;
+    (* The WAL hook sees the round only after the window slid, so the
+       durability layer observes the post-delivery state (base = round+1).
+       The closing round is not logged: a closed channel never restarts. *)
+    (match t.round_hook with
+     | Some f -> f ~round ~batch
+     | None -> ())
   end
 
 (* Adopt a round's batch once t+1 distinct parties claim the same one; the
@@ -830,8 +865,13 @@ let create (rt : Runtime.t) ~(pid : string)
     gate = (fun () -> true);
     enqueued_at = Hashtbl.create 16;
     decided_batches = Hashtbl.create 32;
+    floor = 0;
     claims = Hashtbl.create 8;
     requested_for = -1;
+    round_hook = None;
+    catchup_miss = None;
+    init_hook = None;
+    init_floor = 0;
   }
   in
   Runtime.register rt ~pid (fun ~src body -> handle t ~src body);
@@ -875,6 +915,183 @@ let rounds_completed (t : t) = t.rounds_completed
 let queue_depth (t : t) = Queue.length t.queue
 let batch_limit (t : t) = t.cur_batch
 let reorder_depth (t : t) = t.parked
+
+(* --- the durability seam --- *)
+
+let set_round_hook (t : t) (f : round:int -> batch:string -> unit) : unit =
+  t.round_hook <- Some f
+
+let set_catchup_miss (t : t) (f : dst:int -> unit) : unit =
+  t.catchup_miss <- Some f
+
+let set_init_hook (t : t) (f : round:int -> unit) : unit = t.init_hook <- Some f
+
+let set_init_floor (t : t) ~(round : int) : unit =
+  t.init_floor <- Stdlib.max t.init_floor round
+
+let backlog_rounds (t : t) : int = Hashtbl.length t.decided_batches
+
+let gc_floor (t : t) : int = t.floor
+
+(* Drop retained batches strictly below [round], never past [base]: a
+   parked (decided-but-undelivered) round is part of the reorder buffer
+   and must survive any GC, whatever checkpoint round the caller names. *)
+let gc_below (t : t) ~(round : int) : unit =
+  let limit = min round t.base in
+  List.iter
+    (fun r -> if r < limit then Hashtbl.remove t.decided_batches r)
+    (Det.keys t.decided_batches ~compare:Det.by_int);
+  if limit > t.floor then t.floor <- limit
+
+(* Re-feed one decided round from the local WAL (recovery replay).  The
+   batch re-enters through the normal reorder buffer, so replaying rounds
+   in log order re-delivers them in round order, byte for byte.  The disk
+   is NOT trusted: the batch must carry its full complement of valid INIT
+   signatures over this round number (the same external-validity predicate
+   the agreement enforces), so a tampered log can lose history but never
+   forge it.  The CRC catches accidents; this check catches malice. *)
+let adopt_round (t : t) ~(round : int) ~(batch : string) : unit =
+  if
+    (not t.closed) && round >= t.base
+    && (not (Hashtbl.mem t.decided_batches round))
+    && batch_valid t ~round batch
+  then round_decided t round batch
+
+(* Serve a straggler's catch-up request on behalf of the durability layer
+   (its snapshot-request message funnels into the same path as REQUEST). *)
+let serve_backlog (t : t) ~(dst : int) ~(from_round : int) : unit =
+  if from_round >= 0 && from_round < t.base then
+    send_backlog t ~dst ~from_round
+
+(* The channel state a checkpoint covers: the next round to deliver, the
+   delivered (origin, seq) set as per-origin runs, and the termination
+   requests seen so far.  Everything else (open agreements, claims, the
+   reorder buffer) is in-flight traffic the protocol regenerates.  The
+   encoding is canonical — runs are sorted — so every honest party
+   checkpointing the same round produces identical bytes, which is what
+   lets a threshold quorum sign one digest. *)
+let encode_state (t : t) : string =
+  let pairs = Det.keys t.delivered ~compare:Det.by_int_pair in
+  let runs = ref [] in
+  let cur = ref None in
+  List.iter
+    (fun (o, s) ->
+      match !cur with
+      | Some (co, lo, hi) when co = o && s = hi + 1 -> cur := Some (co, lo, s)
+      | Some r ->
+        runs := r :: !runs;
+        cur := Some (o, s, s)
+      | None -> cur := Some (o, s, s))
+    pairs;
+  (match !cur with Some r -> runs := r :: !runs | None -> ());
+  let runs = List.rev !runs in
+  let terms = Det.keys t.term_requests ~compare:Det.by_int in
+  Wire.encode (fun b ->
+    Wire.Enc.int b t.base;
+    Wire.Enc.list b
+      (fun b (o, lo, hi) ->
+        Wire.Enc.int b o;
+        Wire.Enc.int b lo;
+        Wire.Enc.int b (hi - lo))
+      runs;
+    Wire.Enc.list b (fun b p -> Wire.Enc.int b p) terms)
+
+(* Adopt a verified snapshot state: jump [base] forward, replace the
+   delivered set and termination votes, and drop now-stale bookkeeping
+   below the new base.  Refuses stale or malformed blobs — the caller has
+   already verified the certificate, but the state must still move us
+   strictly forward.  Queued own payloads whose sequence numbers collide
+   with the adopted history are renumbered past it (same healing rule as
+   post-rebuild catch-up). *)
+let install_state (t : t) (state : string) : bool =
+  match
+    Wire.decode state (fun d ->
+      let base = Wire.Dec.int d in
+      let runs =
+        Wire.Dec.list d (fun d ->
+          let o = Wire.Dec.int d in
+          let lo = Wire.Dec.int d in
+          let len = Wire.Dec.int d in
+          (o, lo, lo + len))
+      in
+      let terms = Wire.Dec.list d Wire.Dec.int in
+      (base, runs, terms))
+  with
+  | None -> false
+  | Some (base, runs, terms) ->
+    let n = t.rt.Runtime.cfg.Config.n in
+    if t.closed || base <= t.base
+       || not
+            (List.for_all
+               (fun (o, lo, hi) -> o >= 0 && o < n && lo >= 0 && hi >= lo)
+               runs)
+       || not (List.for_all (fun p -> p >= 0 && p < n) terms)
+    then false
+    else begin
+      Hashtbl.reset t.delivered;
+      List.iter
+        (fun (o, lo, hi) ->
+          for s = lo to hi do
+            Hashtbl.replace t.delivered (o, s) ()
+          done)
+        runs;
+      Hashtbl.reset t.term_requests;
+      List.iter (fun p -> Hashtbl.replace t.term_requests p ()) terms;
+      let drop_below (type k) (tbl : (int, k) Hashtbl.t) (f : k -> unit) : unit
+          =
+        List.iter
+          (fun r ->
+            if r < base then begin
+              (match Hashtbl.find_opt tbl r with Some v -> f v | None -> ());
+              Hashtbl.remove tbl r
+            end)
+          (Det.keys tbl ~compare:Det.by_int)
+      in
+      List.iter
+        (fun r ->
+          if r < base then begin
+            if r >= t.base then t.parked <- t.parked - 1;
+            Hashtbl.remove t.decided_batches r
+          end)
+        (Det.keys t.decided_batches ~compare:Det.by_int);
+      drop_below t.inits (fun _ -> ());
+      drop_below t.my_init (fun _ -> ());
+      drop_below t.claims (fun _ -> ());
+      drop_below t.proposed_rounds (fun _ -> ());
+      drop_below t.mvbas (fun m -> Array_agreement.abort m);
+      drop_below t.past_mvba (fun m -> Array_agreement.abort m);
+      t.base <- base;
+      if base > t.floor then t.floor <- base;
+      (* Renumber queued payloads shadowed by the adopted history. *)
+      let me = t.rt.Runtime.me in
+      let entries = List.rev (Queue.fold (fun acc e -> e :: acc) [] t.queue) in
+      Queue.clear t.queue;
+      List.iter
+        (fun (old_seq, framed) ->
+          if Hashtbl.mem t.delivered (me, old_seq) then begin
+            while Hashtbl.mem t.delivered (me, t.next_seq) do
+              t.next_seq <- t.next_seq + 1
+            done;
+            let seq = t.next_seq in
+            t.next_seq <- seq + 1;
+            Queue.push (seq, framed) t.queue;
+            match Hashtbl.find_opt t.enqueued_at old_seq with
+            | Some t0 ->
+              Hashtbl.remove t.enqueued_at old_seq;
+              Hashtbl.replace t.enqueued_at seq t0
+            | None -> ()
+          end
+          else Queue.push (old_seq, framed) t.queue)
+        entries;
+      (* Parked decisions at or past the new base may be deliverable now. *)
+      advance t;
+      if not t.closed then begin
+        try_send_inits t;
+        try_propose_all t;
+        try_adopt_claims t
+      end;
+      true
+    end
 
 (* Install a backpressure gate; call {!kick} when it opens again. *)
 let set_gate (t : t) (gate : unit -> bool) : unit = t.gate <- gate

@@ -82,6 +82,81 @@ val reorder_depth : t -> int
     (0 when the pipeline is drained; bursts above 1 mean decisions landed
     out of round order). *)
 
+val set_round_hook : t -> (round:int -> batch:string -> unit) -> unit
+(** Install the durability layer's per-round hook: fires once per delivered
+    round, after the window slid past it, with the decided batch exactly as
+    agreed on the wire (the bytes a write-ahead log must persist to replay
+    the delivery sequence byte for byte).  The closing round does not fire
+    it — a closed channel never restarts. *)
+
+val set_catchup_miss : t -> (dst:int -> unit) -> unit
+(** Install the hook fired when party [dst] asks for history below the GC
+    floor ({!gc_below}): the retained backlog cannot help it, so the
+    durability layer should serve its latest signed snapshot instead. *)
+
+val set_init_hook : t -> (round:int -> unit) -> unit
+(** Install the write-ahead hook for this party's own round initiations:
+    fires with the round number {e before} the INIT leaves, so the
+    durability layer can persist it first.  See {!set_init_floor} for why
+    initiations must be durable. *)
+
+val set_init_floor : t -> round:int -> unit
+(** Bar this party from initiating rounds below [round] (monotone: the
+    floor never moves down).  A restarted party must never re-initiate a
+    round it may already have initiated before the crash — the pre-crash
+    INIT can still be in flight, and a second INIT for the same round with
+    different content is equivocation, indistinguishable from Byzantine
+    behaviour.  The durability layer replays the persisted initiation
+    water-mark ({!set_init_hook}) and sets the floor one past it; barred
+    rounds still complete, driven by the other parties' INITs. *)
+
+val backlog_rounds : t -> int
+(** Decided batches currently retained (catch-up backlog plus reorder
+    buffer) — the resident-memory figure a stable checkpoint bounds. *)
+
+val gc_floor : t -> int
+(** The lowest round still retained in the backlog; [0] until {!gc_below}
+    raises it. *)
+
+val gc_below : t -> round:int -> unit
+(** Drop retained batches strictly below [round], clamped to the current
+    base: decided-but-undelivered rounds are never dropped, whatever round
+    the caller names.  Raises the floor reported by {!gc_floor}. *)
+
+val adopt_round : t -> round:int -> batch:string -> unit
+(** Re-feed one decided round from the local write-ahead log (recovery
+    replay).  The batch re-enters through the normal reorder buffer, so
+    replaying a log in order re-delivers its rounds in round order.  The
+    disk is not trusted: the batch's INIT signatures are re-validated
+    against this round number, so a tampered log can lose history but
+    never forge it. *)
+
+val catchup_window : int
+(** DECIDED batches served per catch-up request ({!serve_backlog} and the
+    protocol's own REQUEST path).  A straggler further behind converges by
+    re-requesting as it advances; in a quiesced cluster there is no
+    traffic to trigger the channel's own re-REQUESTs, so the durability
+    layer re-announces its round every window of progress. *)
+
+val serve_backlog : t -> dst:int -> from_round:int -> unit
+(** Serve a straggler retained batches starting at [from_round] (the
+    durability layer's snapshot-request path funnels into the same
+    catch-up machinery as the protocol's own REQUEST message). *)
+
+val encode_state : t -> string
+(** The canonical state blob a checkpoint covers: next round to deliver,
+    the delivered (origin, sequence) set as sorted runs, and the
+    termination requests seen.  Honest parties checkpointing the same
+    round produce identical bytes — the digest a threshold quorum signs. *)
+
+val install_state : t -> string -> bool
+(** Adopt a snapshot state blob, jumping the channel forward; returns
+    false (and changes nothing) if the blob is malformed or does not move
+    the base strictly forward.  The caller must have verified the
+    checkpoint certificate over the blob's digest first.  Queued own
+    payloads whose sequence numbers collide with adopted history are
+    renumbered, preserving FIFO order. *)
+
 val set_gate : t -> (unit -> bool) -> unit
 (** Backpressure: while the gate returns false this party neither INITs nor
     proposes for any in-window round — models a consumer that has not

@@ -241,3 +241,7 @@ let cache_hit (c : t) =
 (* --- symmetric / hashing --- *)
 
 let hash (c : t) ~(bytes : int) = Sim.Cost.hash c.meter ~bytes
+
+(* --- durable storage --- *)
+
+let store_append (c : t) ~(bytes : int) = Sim.Cost.log_io c.meter ~bytes

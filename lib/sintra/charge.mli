@@ -83,3 +83,7 @@ val cache_hit : t -> unit
 
 val hash : t -> bytes:int -> unit
 (** Hashing [bytes] of input (charged per compression-function block). *)
+
+val store_append : t -> bytes:int -> unit
+(** Appending [bytes] to the durable write-ahead log (CRC pass plus a
+    buffered sequential write). *)

@@ -1,0 +1,62 @@
+(** The durability controller: binds the deterministic store (lib/store)
+    to an atomic broadcast channel — write-ahead logging of delivered
+    rounds, threshold-signed checkpoints every [interval] rounds, log and
+    DECIDED-backlog garbage collection below the latest stable checkpoint,
+    and verified snapshot state transfer for rebuilt or lagging parties.
+
+    Byzantine-safety invariant: state is only ever adopted under a
+    checkpoint certificate assembled from n-t threshold-signature shares
+    over the state digest — whether it comes from a peer or from this
+    party's own disk — and replayed tail rounds are re-validated through
+    the channel's signature checks.  No single replica's word (or disk)
+    is trusted. *)
+
+type t
+(** One party's durability controller for one channel. *)
+
+val attach :
+  Runtime.t -> chan:Atomic_channel.t -> pid:string -> dev:Store.Device.t ->
+  ?interval:int -> unit -> t
+(** Attach durability to a channel: restore from [dev] (verified snapshot
+    adoption plus re-validated tail replay), install the channel's round
+    and catch-up-miss hooks, register the controller's own network pid
+    ([pid ^ "!dur"]) and announce our round to the cluster.  [pid] must be
+    the channel's pid — it names the certified statement.  [interval]
+    (default 256) is the checkpoint period in rounds; [0] disables
+    checkpointing (log only).  The device must be held OUTSIDE the
+    runtime so it survives [Runtime.crash], like a disk. *)
+
+val log_delta : t -> key:string -> data:string -> unit
+(** Append a channel-state delta record.  A delta supersedes earlier
+    deltas with the same key; compaction keeps only the newest per key. *)
+
+val observe_optimistic : t -> Optimistic_channel.t -> unit
+(** Wire the optimistic channel's epoch-change hook to {!log_delta}
+    (key ["opt.epoch"]), so epoch progress survives restarts. *)
+
+val device : t -> Store.Device.t
+(** The backing device (for inspection and crash/recover tests). *)
+
+val stable_checkpoint : t -> Store.Checkpoint.t option
+(** The latest stable (certificate-backed) checkpoint, if any. *)
+
+val deltas : t -> (string * string) list
+(** The delta records replayed from the device at attach time, oldest
+    first. *)
+
+val checkpoints : t -> int
+(** Checkpoints this party saw reach stability locally. *)
+
+val snapshots_served : t -> int
+(** Snapshots sent to stragglers whose history fell below the GC floor. *)
+
+val snapshots_adopted : t -> int
+(** Peer snapshots verified and installed here. *)
+
+val replayed_rounds : t -> int
+(** Rounds re-delivered from the local log during the last restore. *)
+
+val restored_from : t -> int
+(** The checkpoint round the last restore started from: [-1] if the
+    device held no usable snapshot (fresh start or distrusted disk),
+    [0] or more when a verified local snapshot was installed. *)

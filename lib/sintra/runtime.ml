@@ -16,9 +16,12 @@ type t = {
   engine : Sim.Engine.t;
   drbg : Hashes.Drbg.t;
   charge : Charge.t;
+  store_charge : Charge.t;
+      (* charges land on the storage core's meter, not the protocol CPU *)
   inv : Invariant.t option;
   trace : Trace.Ctx.t;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
+  store_handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string * int) Queue.t) Hashtbl.t;
       (* src, body, causal flow id at buffering time *)
   mutable dropped_orphans : int;
@@ -63,9 +66,11 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
     engine;
     drbg = Hashes.Drbg.fork (Sim.Engine.drbg engine) (Printf.sprintf "party-%d" me);
     charge = { Charge.meter = Sim.Net.meter net me; cfg; trace };
+    store_charge = { Charge.meter = Sim.Net.oob_meter net me; cfg; trace };
     inv;
     trace;
     handlers = Hashtbl.create 64;
+    store_handlers = Hashtbl.create 8;
     orphans = Hashtbl.create 64;
     dropped_orphans = 0;
     rebuild = [];
@@ -106,6 +111,24 @@ let create ~(engine : Sim.Engine.t) ~(net : Sim.Net.t) ~(cfg : Config.t)
              ~args:[ ("src", Trace.Event.Int src) ]
              "orphan_dropped"
          end));
+  (* Storage-plane dispatcher: same envelope format, costs charged to the
+     storage core's meter.  No orphan buffering — a durability endpoint
+     solicits peer traffic only after registering (it broadcasts its
+     snapshot request from [Durable.attach]), so an unknown pid here means
+     a stale or hostile frame and is dropped. *)
+  Sim.Net.set_oob_handler net me (fun ~src payload ->
+    Sim.Cost.per_message rt.store_charge.Charge.meter
+      ~bytes:(String.length payload);
+    match Wire.decode payload (fun d ->
+      let pid = Wire.Dec.bytes d in
+      let body = Wire.Dec.bytes d in
+      (pid, body))
+    with
+    | None -> ()
+    | Some (pid, body) ->
+      (match Hashtbl.find_opt rt.store_handlers pid with
+       | Some h -> h ~src body
+       | None -> ()));
   rt
 
 let register (rt : t) ~(pid : string) (h : src:int -> string -> unit) : unit =
@@ -161,6 +184,25 @@ let broadcast (rt : t) ~(pid : string) (body : string) : unit =
     Sim.Net.send rt.net ~src:rt.me ~dst payload
   done
 
+(* The storage plane: registration and sends for durability endpoints.
+   Messages travel out-of-band (see {!Sim.Net.send_oob}) so durable runs
+   never perturb the protocol plane's schedule. *)
+
+let register_store (rt : t) ~(pid : string) (h : src:int -> string -> unit)
+    : unit =
+  if Hashtbl.mem rt.store_handlers pid then
+    invalid_arg (Printf.sprintf "Runtime.register_store: duplicate pid %S" pid);
+  Hashtbl.replace rt.store_handlers pid h
+
+let send_store (rt : t) ~(dst : int) ~(pid : string) (body : string) : unit =
+  Sim.Net.send_oob rt.net ~src:rt.me ~dst (envelope ~pid body)
+
+let broadcast_store (rt : t) ~(pid : string) (body : string) : unit =
+  let payload = envelope ~pid body in
+  for dst = 0 to rt.cfg.Config.n - 1 do
+    Sim.Net.send_oob rt.net ~src:rt.me ~dst payload
+  done
+
 let now (rt : t) : float = Sim.Engine.now rt.engine
 
 (* Crash/recovery.  A crash models a power failure: the party stops sending
@@ -177,6 +219,7 @@ let on_rebuild (rt : t) (f : unit -> unit) : unit =
 let crash (rt : t) : unit =
   Sim.Net.crash rt.net rt.me;
   Hashtbl.reset rt.handlers;
+  Hashtbl.reset rt.store_handlers;
   Hashtbl.reset rt.orphans;
   Crypto.Share_cache.clear rt.cache;
   Trace.Ctx.instant rt.trace ~pid:"runtime" ~cat:"runtime"

@@ -15,9 +15,15 @@ type t = {
   engine : Sim.Engine.t;
   drbg : Hashes.Drbg.t;
   charge : Charge.t;
+  store_charge : Charge.t;
+  (** Charging context bound to the storage core's meter
+      ({!Sim.Net.oob_meter}): all durability work — log appends, checkpoint
+      crypto, snapshot verification — charges here, never to the protocol
+      CPU, so durable runs keep the protocol schedule byte-identical. *)
   inv : Invariant.t option;
   trace : Trace.Ctx.t;
   handlers : (string, src:int -> string -> unit) Hashtbl.t;
+  store_handlers : (string, src:int -> string -> unit) Hashtbl.t;
   orphans : (string, (int * string * int) Queue.t) Hashtbl.t;
   mutable dropped_orphans : int;
   mutable rebuild : (unit -> unit) list;
@@ -51,6 +57,20 @@ val send : t -> dst:int -> pid:string -> string -> unit
 val broadcast : t -> pid:string -> string -> unit
 (** Send to every party including ourselves (self-delivery goes through the
     network, keeping protocol code uniform). *)
+
+val register_store : t -> pid:string -> (src:int -> string -> unit) -> unit
+(** Register a durability endpoint on the storage plane.  Unlike
+    {!register} there is no orphan buffering: an endpoint solicits peer
+    traffic only after registering, so frames for an unknown pid are
+    dropped.
+    @raise Invalid_argument on a duplicate pid. *)
+
+val send_store : t -> dst:int -> pid:string -> string -> unit
+(** Send a storage-plane message body to one party, out-of-band
+    ({!Sim.Net.send_oob}): no protocol-plane resource is touched. *)
+
+val broadcast_store : t -> pid:string -> string -> unit
+(** {!send_store} to every party including ourselves. *)
 
 val now : t -> float
 (** Current virtual time at this party. *)

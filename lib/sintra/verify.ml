@@ -32,18 +32,21 @@ let len_sum (parts : string list) : int =
   List.fold_left (fun a s -> a + String.length s) 0 parts
 
 (* The S5 lint rule (cache-key-digest) checks that every Share_cache
-   insertion is keyed through a Hashes digest; this is that digest. *)
-let stmt_digest (rt : Runtime.t) (parts : string list) : string =
-  Charge.hash rt.Runtime.charge ~bytes:(len_sum parts);
+   insertion is keyed through a Hashes digest; this is that digest.
+   [charge] names the meter the hashing cost lands on: the party's
+   protocol CPU by default, or the storage core when a durability
+   endpoint verifies checkpoint certificates out-of-band. *)
+let stmt_digest (charge : Charge.t) (parts : string list) : string =
+  Charge.hash charge ~bytes:(len_sum parts);
   Hashes.Sha256.digest_list parts
 
-let probe (rt : Runtime.t) ~(scheme : string) ~(digest : string)
-    ~(sender : int) ~(index : int) : bool =
+let probe (rt : Runtime.t) ~(charge : Charge.t) ~(scheme : string)
+    ~(digest : string) ~(sender : int) ~(index : int) : bool =
   rt.Runtime.cfg.Config.share_cache
   && begin
     if Crypto.Share_cache.mem rt.Runtime.cache ~scheme ~digest ~sender ~index
     then begin
-      Charge.cache_hit rt.Runtime.charge;
+      Charge.cache_hit charge;
       Trace.Ctx.incr rt.Runtime.trace "verify.cache_hit";
       true
     end
@@ -64,17 +67,19 @@ let record (rt : Runtime.t) ~(group : string) ~(scheme : string)
 
 (* --- threshold-signature shares --- *)
 
-let tsig_share_digest (rt : Runtime.t) ~(ctx : string) (msg : string)
+let tsig_share_digest (charge : Charge.t) ~(ctx : string) (msg : string)
     (share : Tsig.share) : string =
-  stmt_digest rt [ ctx; msg; Wire.encode (fun b -> Tsig.enc_share b share) ]
+  stmt_digest charge [ ctx; msg; Wire.encode (fun b -> Tsig.enc_share b share) ]
 
-let tsig_share (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
+let tsig_share ?charge (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
     (msg : string) (share : Tsig.share) : bool =
-  let digest = tsig_share_digest rt ~ctx msg share in
+  let charge = Option.value charge ~default:rt.Runtime.charge in
+  let digest = tsig_share_digest charge ~ctx msg share in
   let sender = Tsig.share_origin share in
-  if probe rt ~scheme:sch_tsig_share ~digest ~sender ~index:sender then true
+  if probe rt ~charge ~scheme:sch_tsig_share ~digest ~sender ~index:sender
+  then true
   else begin
-    Charge.tsig_verify_share rt.Runtime.charge;
+    Charge.tsig_verify_share charge;
     let ok = Tsig.verify_share pub ~ctx msg share in
     if ok then
       record rt ~group:ctx ~scheme:sch_tsig_share ~digest ~sender
@@ -86,19 +91,20 @@ let tsig_share (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
    combined random-linear-combination equation only exists for Shoup
    shares; multi-signature shares (independent RSA signatures) and
    singleton lists fall back to cached single verification. *)
-let tsig_shares (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
+let tsig_shares ?charge (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
     (msg : string) (shares : Tsig.share list) : bool array =
+  let charge = Option.value charge ~default:rt.Runtime.charge in
   let cfg = rt.Runtime.cfg in
   let n = List.length shares in
   let valid = Array.make n false in
   let keyed =
-    List.mapi (fun i s -> (i, tsig_share_digest rt ~ctx msg s, s)) shares
+    List.mapi (fun i s -> (i, tsig_share_digest charge ~ctx msg s, s)) shares
   in
   let fresh =
     List.filter
       (fun (i, digest, s) ->
         let sender = Tsig.share_origin s in
-        if probe rt ~scheme:sch_tsig_share ~digest ~sender ~index:sender
+        if probe rt ~charge ~scheme:sch_tsig_share ~digest ~sender ~index:sender
         then begin
           valid.(i) <- true;
           false
@@ -128,7 +134,7 @@ let tsig_shares (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
       | Tsig.Shoup_pub p -> p
       | Tsig.Multi_pub _ -> assert false (* shoup shares imply a shoup key *)
     in
-    Charge.tsig_verify_share_batch rt.Runtime.charge ~k:(List.length shoup);
+    Charge.tsig_verify_share_batch charge ~k:(List.length shoup);
     Trace.Ctx.observe rt.Runtime.trace "verify.batch_size"
       (float_of_int (List.length shoup));
     let bad =
@@ -147,7 +153,7 @@ let tsig_shares (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
   else
     List.iter
       (fun (i, digest, s) ->
-        Charge.tsig_verify_share rt.Runtime.charge;
+        Charge.tsig_verify_share charge;
         if Tsig.verify_share pub ~ctx msg s then accept (i, digest, s))
       fresh;
   valid
@@ -157,12 +163,13 @@ let tsig_shares (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
 (* Closings and vote justifications repeat the same (statement, signature)
    pair across many messages — the cache collapses all but the first
    verification to a probe. *)
-let tsig_signature (rt : Runtime.t) ~(pub : Tsig.public) ~(ctx : string)
-    ~(signature : string) (msg : string) : bool =
-  let digest = stmt_digest rt [ ctx; msg; signature ] in
-  if probe rt ~scheme:sch_tsig_sig ~digest ~sender:0 ~index:0 then true
+let tsig_signature ?charge (rt : Runtime.t) ~(pub : Tsig.public)
+    ~(ctx : string) ~(signature : string) (msg : string) : bool =
+  let charge = Option.value charge ~default:rt.Runtime.charge in
+  let digest = stmt_digest charge [ ctx; msg; signature ] in
+  if probe rt ~charge ~scheme:sch_tsig_sig ~digest ~sender:0 ~index:0 then true
   else begin
-    Charge.tsig_verify rt.Runtime.charge ~k:(Tsig.k pub);
+    Charge.tsig_verify charge ~k:(Tsig.k pub);
     let ok = Tsig.verify pub ~ctx ~signature msg in
     if ok then
       record rt ~group:ctx ~scheme:sch_tsig_sig ~digest ~sender:0 ~index:0;
@@ -176,7 +183,7 @@ let enc_dec_share (rt : Runtime.t) ~(group : string)
     (s : Crypto.Threshold_enc.dec_share) : bool =
   let pub = rt.Runtime.keys.Dealer.enc_pub in
   let digest =
-    stmt_digest rt
+    stmt_digest rt.Runtime.charge
       [ Crypto.Threshold_enc.ciphertext_to_bytes pub ct;
         string_of_int s.Crypto.Threshold_enc.origin;
         Bignum.Nat.to_bytes_be s.Crypto.Threshold_enc.u_i;
@@ -186,7 +193,10 @@ let enc_dec_share (rt : Runtime.t) ~(group : string)
       ]
   in
   let sender = s.Crypto.Threshold_enc.origin in
-  if probe rt ~scheme:sch_enc ~digest ~sender ~index:sender then true
+  if
+    probe rt ~charge:rt.Runtime.charge ~scheme:sch_enc ~digest ~sender
+      ~index:sender
+  then true
   else begin
     Charge.enc_verify_share rt.Runtime.charge;
     let ok = Crypto.Threshold_enc.verify_dec_share pub ct s in
@@ -198,7 +208,7 @@ let enc_dec_share (rt : Runtime.t) ~(group : string)
 
 let coin_digest (rt : Runtime.t) ~(name : string)
     (s : Crypto.Threshold_coin.share) : string =
-  stmt_digest rt
+  stmt_digest rt.Runtime.charge
     [ name;
       string_of_int s.Crypto.Threshold_coin.origin;
       Bignum.Nat.to_bytes_be s.Crypto.Threshold_coin.value;
@@ -210,7 +220,10 @@ let coin_share (rt : Runtime.t) ~(group : string) ~(name : string)
     (s : Crypto.Threshold_coin.share) : bool =
   let digest = coin_digest rt ~name s in
   let sender = s.Crypto.Threshold_coin.origin in
-  if probe rt ~scheme:sch_coin ~digest ~sender ~index:sender then true
+  if
+    probe rt ~charge:rt.Runtime.charge ~scheme:sch_coin ~digest ~sender
+      ~index:sender
+  then true
   else begin
     Charge.coin_verify_share rt.Runtime.charge;
     let ok =
@@ -234,7 +247,9 @@ let coin_shares (rt : Runtime.t) ~(group : string) ~(name : string)
     List.filter
       (fun (digest, s) ->
         let sender = s.Crypto.Threshold_coin.origin in
-        not (probe rt ~scheme:sch_coin ~digest ~sender ~index:sender))
+        not
+          (probe rt ~charge:rt.Runtime.charge ~scheme:sch_coin ~digest ~sender
+             ~index:sender))
       keyed
   in
   let accept (digest, s) =

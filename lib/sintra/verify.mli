@@ -20,26 +20,33 @@
     gauge [verify.cache_size] (with [/max] high-water mark). *)
 
 val tsig_share :
+  ?charge:Charge.t ->
   Runtime.t -> pub:Tsig.public -> ctx:string -> string -> Tsig.share -> bool
 (** Verify one threshold-signature share on a message, through the cache.
     Entries are grouped under [ctx] (the owning instance's pid) for
-    eviction. *)
+    eviction.  [charge] names the meter the cost lands on (default: the
+    party's protocol CPU, [rt.charge]); a durability endpoint passes the
+    storage core's context ([rt.store_charge]) instead. *)
 
 val tsig_shares :
+  ?charge:Charge.t ->
   Runtime.t -> pub:Tsig.public -> ctx:string -> string -> Tsig.share list ->
   bool array
 (** Verify same-message shares together: cached shares are skipped, and
     two or more fresh Shoup shares go through one RLC batch when
     {!Config.batch_verify} is on (multi-signature shares have no combined
     equation and fall back to cached singles).  [result.(i)] reports the
-    [i]-th input share, matching {!tsig_share} share by share. *)
+    [i]-th input share, matching {!tsig_share} share by share.  [charge]
+    as in {!tsig_share}. *)
 
 val tsig_signature :
+  ?charge:Charge.t ->
   Runtime.t -> pub:Tsig.public -> ctx:string -> signature:string -> string ->
   bool
 (** Verify an assembled threshold signature, through the cache — closings
     and vote justifications repeat the same (statement, signature) pair
-    across many messages, which all but the first collapse to a probe. *)
+    across many messages, which all but the first collapse to a probe.
+    [charge] as in {!tsig_share}. *)
 
 val enc_dec_share :
   Runtime.t -> group:string -> ct:Crypto.Threshold_enc.ciphertext ->

@@ -1,0 +1,23 @@
+(* A checkpoint certificate: a round number, the SHA-256 digest of the
+   channel state at that round, and an assembled threshold signature over
+   the two.  The certificate bytes are opaque here — the store does not
+   depend on the crypto layer; lib/sintra's Durable controller produces
+   and verifies them with Threshold_sig.  What this module fixes is the
+   wire layout and the exact statement string the quorum signs, so every
+   party (and the offline store-check tool) agrees on the bytes. *)
+
+type t = { round : int; digest : string; cert : string }
+
+let statement ~(pid : string) ~(round : int) ~(digest : string) : string =
+  Printf.sprintf "sintra.ckpt|%s|%d|%s" pid round digest
+
+let enc (b : Wire.Enc.t) (cp : t) : unit =
+  Wire.Enc.int b cp.round;
+  Wire.Enc.bytes b cp.digest;
+  Wire.Enc.bytes b cp.cert
+
+let dec (d : Wire.Dec.t) : t =
+  let round = Wire.Dec.int d in
+  let digest = Wire.Dec.bytes d in
+  let cert = Wire.Dec.bytes d in
+  { round; digest; cert }

@@ -1,0 +1,28 @@
+(** Checkpoint certificates: the round / state-digest pair a quorum
+    threshold-signs, plus the assembled signature.
+
+    The certificate bytes are opaque at this layer (the store does not
+    depend on the crypto stack); [Sintra.Durable] creates and verifies
+    them.  This module owns the wire layout and the canonical statement
+    string, so all parties sign identical bytes. *)
+
+type t = {
+  round : int;  (** The first round NOT covered: state reflects rounds
+                    [0 .. round-1]. *)
+  digest : string;  (** SHA-256 of the encoded channel state blob. *)
+  cert : string;  (** The assembled threshold signature over
+                      {!statement} — opaque bytes at this layer. *)
+}
+(** A checkpoint certificate. *)
+
+val statement : pid:string -> round:int -> digest:string -> string
+(** The canonical byte string the threshold-signature quorum signs:
+    channel pid, round and state digest, domain-separated with a
+    ["sintra.ckpt"] prefix so checkpoint shares can never be confused
+    with any other protocol's signatures. *)
+
+val enc : Wire.Enc.t -> t -> unit
+(** Append the wire encoding of a certificate. *)
+
+val dec : Wire.Dec.t -> t
+(** Decode a certificate.  @raise Wire.Decode on malformed input. *)

@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3) over byte strings — the per-record checksum of the
+    write-ahead log.  Detects the torn writes and bit rot an operator's
+    disk can inflict; it is {e not} an integrity proof against an
+    adversary, which is what the threshold-signed checkpoint certificate
+    ({!Checkpoint}) provides. *)
+
+val digest : string -> int
+(** The CRC-32 of the whole string, as a non-negative int in
+    [\[0, 2^32)]. *)
+
+val update : int -> string -> int
+(** [update crc s] extends a running checksum: [update (digest a) b =
+    digest (a ^ b)].  Start from [0]. *)

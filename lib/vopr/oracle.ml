@@ -15,7 +15,7 @@
 
 type kind =
   | Reliable | Consistent | Aba | Mvba | Atomic | Secure | Throughput
-  | Pipeline | Amortized
+  | Pipeline | Amortized | Durable
 
 let kind_to_string (k : kind) : string =
   match k with
@@ -28,6 +28,7 @@ let kind_to_string (k : kind) : string =
   | Throughput -> "throughput"
   | Pipeline -> "pipeline"
   | Amortized -> "crypto-amortized"
+  | Durable -> "durable"
 
 let kind_of_string (s : string) : kind option =
   match s with
@@ -40,6 +41,7 @@ let kind_of_string (s : string) : kind option =
   | "throughput" -> Some Throughput
   | "pipeline" -> Some Pipeline
   | "crypto-amortized" -> Some Amortized
+  | "durable" -> Some Durable
   | _ -> None
 
 type obs = {
@@ -126,8 +128,18 @@ let agreement : oracle =
             Fail (Printf.sprintf "honest decisions differ: %S vs %S" first other)
           | None -> Pass))
     | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline
-    | Amortized ->
-      let honest_parties = List.filter (honest o) (parties o) in
+    | Amortized | Durable ->
+      (* The durable kind holds only steady parties to position-wise
+         consistency: snapshot state transfer legitimately skips history
+         (the adopter's app log has gaps), and a restarted party's
+         re-proposed own payloads can deliver late at itself while
+         deduplicating away at full-history parties.  Such parties are in
+         [degraded]; integrity still covers them. *)
+      let honest_parties =
+        List.filter
+          (if o.kind = Durable then steady o else honest o)
+          (parties o)
+      in
       let per_origin (p : int) (origin : int) : string list =
         List.filter_map
           (fun (og, pl) -> if og = origin then Some pl else None)
@@ -189,8 +201,15 @@ let total_order : oracle =
   let check (o : obs) : verdict =
     match o.kind with
     | Reliable | Consistent | Aba | Mvba | Amortized -> Pass
-    | Atomic | Secure | Throughput | Pipeline ->
-      let honest_parties = List.filter (honest o) (parties o) in
+    | Atomic | Secure | Throughput | Pipeline | Durable ->
+      (* Durable: steady parties only, for the same reason as the
+         agreement oracle — snapshot adopters and restarted parties hold
+         gappy or locally-reordered (but integrity-clean) logs. *)
+      let honest_parties =
+        List.filter
+          (if o.kind = Durable then steady o else honest o)
+          (parties o)
+      in
       let logs = List.map (fun p -> (p, o.delivered.(p))) honest_parties in
       let breach =
         List.find_map
@@ -270,7 +289,7 @@ let validity : oracle =
   let check (o : obs) : verdict =
     match o.kind with
     | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline
-    | Amortized -> Pass
+    | Amortized | Durable -> Pass
     | Aba | Mvba ->
       if o.corrupted <> [] then Pass
       else begin
@@ -331,7 +350,7 @@ let liveness : oracle =
          | Some p -> Fail (Printf.sprintf "party %d never decided" p)
          | None -> Pass)
       | Reliable | Consistent | Atomic | Secure | Throughput | Pipeline
-      | Amortized ->
+      | Amortized | Durable ->
         let required =
           List.sort cmp_entry
             (List.filter (fun (origin, _) -> steady o origin) o.sent)
@@ -393,5 +412,5 @@ let all (k : kind) : oracle list =
   | Reliable | Consistent | Amortized ->
     [ agreement; integrity; liveness; flags ]
   | Aba | Mvba -> [ agreement; validity; liveness; flags ]
-  | Atomic | Secure | Throughput | Pipeline ->
+  | Atomic | Secure | Throughput | Pipeline | Durable ->
     [ agreement; total_order; integrity; liveness; flags ]

@@ -33,6 +33,16 @@ type kind =
           signature share, landing a bad share in echo batches so
           {!Crypto.Batch} bisection must isolate it.  The [Consistent]
           oracle suite applies (consistency without totality) *)
+  | Durable
+      (** atomic broadcast with the durability layer attached (WAL,
+          checkpoints, snapshots) and a scripted mid-run power failure of
+          party 3 — volatile state lost, in-memory device preserved —
+          followed by a restart that restores from disk and catches up.
+          The [Atomic] oracle suite applies, with party 3 — and any party
+          that adopted a peer snapshot, since state transfer legitimately
+          skips history — added to the degraded set: position-wise
+          consistency, total order, totality and liveness are demanded of
+          the full-history parties, integrity of everyone *)
 
 val kind_to_string : kind -> string
 (** Lower-case CLI name, e.g. ["atomic"]. *)

@@ -40,7 +40,7 @@ let byz_supported (k : Oracle.kind) : bool =
   | Oracle.Reliable | Oracle.Consistent | Oracle.Aba | Oracle.Amortized ->
     true
   | Oracle.Mvba | Oracle.Atomic | Oracle.Secure | Oracle.Throughput
-  | Oracle.Pipeline ->
+  | Oracle.Pipeline | Oracle.Durable ->
     false
 
 (* Key material is independent of the run seed; share it across the sweep. *)
@@ -77,9 +77,14 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
     ~(kind : Oracle.kind) ~(seed : string) (sched : Schedule.t) : Oracle.obs =
   let n = 4 and t = 1 in
   (* The pipeline workload caps vectors low so its staggered waves spread
-     over several concurrent rounds instead of one big batch. *)
+     over several concurrent rounds instead of one big batch; the durable
+     workload does the same so its scripted power-fail lands with several
+     rounds on disk. *)
   let max_batch =
-    match kind with Oracle.Pipeline -> Some 6 | _ -> None
+    match kind with
+    | Oracle.Pipeline -> Some 6
+    | Oracle.Durable -> Some 8
+    | _ -> None
   in
   let c = make_cluster ?max_batch ~run_seed:seed ~n ~t () in
   (* The amortized-crypto workload layers a deterministic retransmit storm
@@ -103,6 +108,11 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
   let honest = List.filter (fun p -> not (List.mem p corrupted)) (List.init n Fun.id) in
   Schedule.arm c ~run_seed:seed sched;
   let sent : (int * string) list ref = ref [] in
+  (* Durable workload only: every controller ever attached (restarts make
+     several per party), inspected after the run — a party that adopted a
+     peer snapshot jumped over history, so its app log legitimately has
+     gaps and the full-history oracles must not hold it to totality. *)
+  let durables : (int * Durable.t) list ref = ref [] in
   let delivered : (int * string) list array = Array.make n [] in
   let decisions : string option array = Array.make n None in
   let proposals : string option array = Array.make n None in
@@ -115,8 +125,17 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
       "vopr planted spurious flag";
   (match kind with
    | Oracle.Reliable | Oracle.Consistent | Oracle.Atomic | Oracle.Secure
-   | Oracle.Throughput | Oracle.Pipeline | Oracle.Amortized ->
+   | Oracle.Throughput | Oracle.Pipeline | Oracle.Amortized
+   | Oracle.Durable ->
      let chans : chan option array = Array.make n None in
+     (* Durable workload state: per-party in-memory devices held OUTSIDE
+        the runtimes (a disk survives a power failure), and per-party
+        dedup sets modelling an idempotent application — replaying the
+        log after a restart re-delivers rounds the app already saw. *)
+     let devs = Array.init n (fun _ -> Store.Device.mem ()) in
+     let seen : (int * string, unit) Hashtbl.t array =
+       Array.init n (fun _ -> Hashtbl.create 64)
+     in
      List.iter
        (fun p ->
          let rt = Cluster.runtime c p in
@@ -138,6 +157,36 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
               | Oracle.Atomic | Oracle.Throughput | Oracle.Pipeline ->
                 let ch = Atomic_channel.create rt ~pid:"vopr" ~on_deliver () in
                 { send = (fun m -> Atomic_channel.send ch m) }
+              | Oracle.Durable ->
+                (* Atomic channel + the durability layer over the party's
+                   device.  [cur] survives the scripted power-fail below;
+                   the rebuild hook re-creates channel and controller from
+                   the same device, exactly as a restarted process would. *)
+                let cur = ref None in
+                let make () =
+                  let ch =
+                    Atomic_channel.create rt ~pid:"vopr"
+                      ~on_deliver:(fun ~sender m ->
+                        if not (Hashtbl.mem seen.(p) (sender, m)) then begin
+                          Hashtbl.add seen.(p) (sender, m) ();
+                          record (sender, m)
+                        end)
+                      ()
+                  in
+                  let d =
+                    Durable.attach rt ~chan:ch ~pid:"vopr" ~dev:devs.(p)
+                      ~interval:2 ()
+                  in
+                  durables := (p, d) :: !durables;
+                  cur := Some ch
+                in
+                make ();
+                Runtime.on_rebuild rt make;
+                { send =
+                    (fun m ->
+                      match !cur with
+                      | Some ch -> Atomic_channel.send ch m
+                      | None -> ()) }
               | Oracle.Secure ->
                 let ch =
                   Secure_atomic_channel.create rt ~pid:"vopr" ~on_deliver ()
@@ -160,6 +209,12 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
          (* staggered waves: fresh payloads arrive while earlier rounds are
             still in flight, keeping several rounds open concurrently *)
          [ 0.0; 0.0; 0.3; 0.6; 0.9; 2.0 ]
+       | Oracle.Durable ->
+         (* waves bracketing the scripted power-fail window (1.0..2.5):
+            history lands on disk before the crash, traffic continues
+            while party 3 is down, and a final wave exercises ordering
+            after its restart-from-disk *)
+         [ 0.0; 0.5; 2.0; 3.0 ]
        | _ -> [ 0.0; 2.0 ]
      in
      List.iter
@@ -202,11 +257,22 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
            in
            Faults.bad_share_cbc_responder c ~party:p ~pids
          | Oracle.Reliable | Oracle.Atomic | Oracle.Secure | Oracle.Aba
-         | Oracle.Mvba | Oracle.Throughput | Oracle.Pipeline ->
+         | Oracle.Mvba | Oracle.Throughput | Oracle.Pipeline
+         | Oracle.Durable ->
            let to_a = match honest with q0 :: _ -> [ q0 ] | [] -> [] in
            Faults.equivocate_send c ~party:p ~pid:ipid ~to_a
              ~a:(framed "equiv-a") ~b:(framed "equiv-b"))
-       corrupted
+       corrupted;
+     (* The durable workload's signature event: a full power failure of
+        party 3 — process state AND volatile protocol state lost, only the
+        device survives — followed by a restart that restores from disk
+        and catches up.  [Runtime.crash] (not the schedule's net-level
+        [Cluster.crash]) so handlers and orphans really are discarded. *)
+     if kind = Oracle.Durable then begin
+       let rt3 = Cluster.runtime c 3 in
+       Cluster.at c ~time:1.0 (fun () -> Runtime.crash rt3);
+       Cluster.at c ~time:2.5 (fun () -> Runtime.recover rt3)
+     end
    | Oracle.Aba ->
      let prop_drbg = Hashes.Drbg.create ~seed:("prop|" ^ seed) in
      List.iter
@@ -253,7 +319,25 @@ let run ?(tweaks = no_tweaks) ?(until = 300.0) ?(max_events = 400_000)
     Oracle.kind;
     n;
     t;
-    degraded = Schedule.degraded sched;
+    degraded =
+      (* The scripted power-fail makes party 3 a degraded party for the
+         oracles: safety is still demanded of it, liveness is not.  So is
+         any party that adopted a peer snapshot — state transfer jumps
+         over history by design, so its app log has gaps and cannot be
+         held to totality or position-wise consistency. *)
+      (let d = Schedule.degraded sched in
+       let d =
+         if kind = Oracle.Durable && not (List.mem 3 d) then d @ [ 3 ] else d
+       in
+       let jumped =
+         List.filter_map
+           (fun (p, dur) ->
+             if Durable.snapshots_adopted dur > 0 && not (List.mem p d) then
+               Some p
+             else None)
+           !durables
+       in
+       d @ List.sort_uniq compare jumped);
     corrupted;
     sent = List.rev !sent;
     delivered = Array.map List.rev delivered;

@@ -350,6 +350,37 @@ let test_cache_key_digest () =
      \  Crypto.Share_cache.add t.cache ~group:t.pid ~scheme:\"s\" ~digest:msg\n\
      \    ~sender:1 ~index:1\n"
 
+(* --- S6: durable-io --- *)
+
+let test_durable_io () =
+  let rule = "durable-io" in
+  (* raw openers fire anywhere under lib/store and lib/sintra *)
+  expect_fires ~rule "lib/store/log.ml"
+    "let load path =\n  let ic = open_in_bin path in\n  really_input_string ic 4\n";
+  expect_fires ~rule "lib/store/snapshot.ml"
+    "let save path s =\n  let oc = Stdlib.open_out path in\n  output_string oc s\n";
+  expect_fires ~rule "lib/sintra/durable.ml"
+    "let dump t = Out_channel.with_open_bin t.path (fun oc -> ())\n";
+  expect_fires ~rule "lib/store/gc.ml"
+    "let drop path = Sys.remove path\n";
+  (* going through the Device seam is the sanctioned path *)
+  expect_silent ~rule "lib/store/log.ml"
+    "let append t rec_ = Device.append t.dev (frame rec_)\n";
+  expect_silent ~rule "lib/sintra/durable.ml"
+    "let persist t b = Store.Device.append t.dev b\n";
+  (* out of scope: the CLI and the linter itself read files directly *)
+  expect_silent ~rule "bin/sintra_sim.ml"
+    "let read path = let ic = open_in_bin path in really_input_string ic 4\n";
+  expect_silent ~rule "lib/lint/source.ml"
+    "let load path = let ic = open_in_bin path in really_input_string ic 4\n";
+  (* mention in a comment or a string must not fire *)
+  expect_silent ~rule "lib/store/log.ml"
+    "(* open_out would bypass the Device *)\nlet s = \"open_in_bin\"\n";
+  (* inline allow suppresses (the seam file carries a policy allow too) *)
+  expect_silent ~rule "lib/store/device.ml"
+    "(* lint: allow durable-io — the seam itself *)\n\
+     let real path = open_out_gen [ Open_append ] 0o644 path\n"
+
 (* --- the tokenizer --- *)
 
 let count_kind (k : Lint.Lex.kind) (toks : Lint.Lex.token list) : int =
@@ -582,6 +613,8 @@ let suite =
       test_quorum_literal;
     Alcotest.test_case "cache-key-digest (S5) fires/clears/allows" `Quick
       test_cache_key_digest;
+    Alcotest.test_case "durable-io (S6) fires/clears/allows" `Quick
+      test_durable_io;
     Alcotest.test_case "lexer: nested and string-guarded comments" `Quick
       test_lex_comments;
     Alcotest.test_case "lexer: string/char escapes vs type variables" `Quick

@@ -26,5 +26,6 @@ let () =
       ("causal", Test_causal.suite);
       ("lint", Test_lint.suite);
       ("vopr", Test_vopr.suite);
+      ("store", Test_store.suite);
       ("amortized", Test_amortized.suite);
     ]

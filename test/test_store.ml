@@ -1,0 +1,439 @@
+(* Tests for the durability subsystem (lib/store + Sintra.Durable): log
+   framing and replay determinism, CRC corruption detection, torn-tail
+   tolerance, checkpoint-certificate forgery rejection, GC safety (never
+   dropping undelivered rounds), crash + restart from disk, snapshot
+   state transfer to a wiped party, bounded DECIDED backlog, and
+   byte-identical delivery order with and without the durability layer. *)
+
+open Sintra
+
+let sample_records : Store.Log.record list =
+  [
+    Store.Log.Round { round = 0; batch = "batch-zero" };
+    Store.Log.Delta { key = "opt.epoch"; data = "\x01\x02" };
+    Store.Log.Round { round = 1; batch = String.make 300 'x' };
+    Store.Log.Snapshot
+      {
+        checkpoint = { Store.Checkpoint.round = 2; digest = "d"; cert = "c" };
+        state = "state-blob";
+      };
+  ]
+
+(* --- a durable 4-party atomic cluster harness --- *)
+
+type harness = {
+  c : Cluster.t;
+  chans : Atomic_channel.t array;
+  durs : Durable.t array;
+  devs : Store.Device.t array;
+  logs : (int * string) list ref array;
+  seen : (int * string, unit) Hashtbl.t array;
+}
+
+(* The recorder models an idempotent application: a restart replays the
+   log, re-delivering payloads the app already consumed before the crash,
+   and the app deduplicates them (payloads are unique in these tests). *)
+let make_party (c : Cluster.t) (devs : Store.Device.t array)
+    (logs : (int * string) list ref array)
+    (seen : (int * string, unit) Hashtbl.t array) (i : int) ~(interval : int)
+    ~(pid : string) : Atomic_channel.t * Durable.t =
+  let rt = Cluster.runtime c i in
+  let ch =
+    Atomic_channel.create rt ~pid
+      ~on_deliver:(fun ~sender m ->
+        if not (Hashtbl.mem seen.(i) (sender, m)) then begin
+          Hashtbl.replace seen.(i) (sender, m) ();
+          logs.(i) := (sender, m) :: !(logs.(i))
+        end)
+      ()
+  in
+  let d = Durable.attach rt ~chan:ch ~pid ~dev:devs.(i) ~interval () in
+  (ch, d)
+
+let attach_party (h : harness) (i : int) ~(interval : int) ~(pid : string) :
+    unit =
+  let ch, d = make_party h.c h.devs h.logs h.seen i ~interval ~pid in
+  h.chans.(i) <- ch;
+  h.durs.(i) <- d
+
+let durable_cluster ?(seed = "store") ?(interval = 4) ?(pid = "dur") () :
+    harness =
+  let n = 4 in
+  let c = Util.cluster ~seed ~max_batch:8 () in
+  let devs = Array.init n (fun _ -> Store.Device.mem ()) in
+  let logs = Array.init n (fun _ -> ref []) in
+  let seen = Array.init n (fun _ -> Hashtbl.create 64) in
+  let parties =
+    Array.init n (fun i -> make_party c devs logs seen i ~interval ~pid)
+  in
+  {
+    c;
+    chans = Array.map fst parties;
+    durs = Array.map snd parties;
+    devs;
+    logs;
+    seen;
+  }
+
+let sequences (h : harness) = Array.map (fun l -> List.rev !l) h.logs
+
+(* Waves of payloads from every party.  Injections on a crashed party are
+   dropped by the network, so a party that is down during a wave simply
+   never submits those payloads. *)
+let send_waves (h : harness) ~(waves : int) ~(per : int) : unit =
+  for w = 0 to waves - 1 do
+    let time = 0.8 *. float_of_int w in
+    for p = 0 to 3 do
+      let submit () =
+        Cluster.inject h.c p (fun () ->
+          for k = 0 to per - 1 do
+            Atomic_channel.send h.chans.(p)
+              (Printf.sprintf "p%d.w%d.%d" p w k)
+          done)
+      in
+      if time <= 0.0 then submit () else Cluster.at h.c ~time submit
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "log round-trip is byte-deterministic" `Quick (fun () ->
+      let dev = Store.Device.mem () in
+      List.iter (fun r -> ignore (Store.Log.append dev r)) sample_records;
+      let first = Store.Device.contents dev in
+      let rp = Store.Log.replay dev in
+      (match rp.Store.Log.status with
+       | Store.Log.Complete -> ()
+       | _ -> Alcotest.fail "replay not complete");
+      Alcotest.(check int)
+        "record count" (List.length sample_records)
+        (List.length rp.Store.Log.records);
+      (* Re-encoding the replayed records reproduces the device bytes. *)
+      let dev2 = Store.Device.mem () in
+      ignore (Store.Log.rewrite dev2 rp.Store.Log.records);
+      Alcotest.(check string) "byte identical" first
+        (Store.Device.contents dev2);
+      (* And the decoded records match what was written. *)
+      if rp.Store.Log.records <> sample_records then
+        Alcotest.fail "replayed records differ");
+    Alcotest.test_case "torn tail keeps the valid prefix" `Quick (fun () ->
+      let dev = Store.Device.mem () in
+      List.iter (fun r -> ignore (Store.Log.append dev r)) sample_records;
+      let bytes = Store.Device.contents dev in
+      (* Cut mid-record: drop the last 3 bytes. *)
+      let cut = String.sub bytes 0 (String.length bytes - 3) in
+      let rp = Store.Log.replay_string cut in
+      (match rp.Store.Log.status with
+       | Store.Log.Torn _ -> ()
+       | _ -> Alcotest.fail "expected a torn tail");
+      Alcotest.(check int) "prefix kept"
+        (List.length sample_records - 1)
+        (List.length rp.Store.Log.records));
+    Alcotest.test_case "CRC detects a flipped byte" `Quick (fun () ->
+      let dev = Store.Device.mem () in
+      List.iter (fun r -> ignore (Store.Log.append dev r)) sample_records;
+      let bytes = Bytes.of_string (Store.Device.contents dev) in
+      (* Flip one byte inside the second record's payload. *)
+      let first_len =
+        String.length (Store.Log.frame (List.hd sample_records))
+      in
+      let pos = first_len + 10 in
+      Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+      let rp = Store.Log.replay_string (Bytes.to_string bytes) in
+      (match rp.Store.Log.status with
+       | Store.Log.Corrupt (off, _) ->
+         Alcotest.(check int) "corruption located" first_len off
+       | _ -> Alcotest.fail "expected corruption");
+      Alcotest.(check int) "prefix kept" 1 (List.length rp.Store.Log.records));
+    Alcotest.test_case "crc32 matches the IEEE reference" `Quick (fun () ->
+      (* Standard check value: crc32("123456789") = 0xCBF43926. *)
+      Alcotest.(check int) "check value" 0xCBF43926
+        (Store.Crc.digest "123456789");
+      Alcotest.(check int) "incremental" (Store.Crc.digest "123456789")
+        (Store.Crc.update (Store.Crc.digest "12345") "6789"));
+    Alcotest.test_case "durable run checkpoints, GCs and stays ordered"
+      `Quick (fun () ->
+      let h = durable_cluster ~seed:"dur-basic" ~interval:2 () in
+      send_waves h ~waves:4 ~per:4;
+      ignore (Cluster.run h.c ~until:300.0);
+      let seqs = sequences h in
+      Util.check_all_equal "total order" (Array.to_list seqs);
+      Alcotest.(check int) "all delivered" (4 * 4 * 4)
+        (List.length seqs.(0));
+      Array.iteri
+        (fun i d ->
+          if Durable.checkpoints d < 1 then
+            Alcotest.failf "party %d saw no stable checkpoint" i;
+          (* The backlog was GC'd below the last stable checkpoint. *)
+          let floor = Atomic_channel.gc_floor h.chans.(i) in
+          if floor < 1 then Alcotest.failf "party %d never raised its floor" i)
+        h.durs;
+      (* The log was compacted: it replays to a snapshot plus bounded
+         history, not the full round sequence. *)
+      let rp = Store.Log.replay h.devs.(0) in
+      (match rp.Store.Log.records with
+       | Store.Log.Snapshot _ :: _ -> ()
+       | _ -> Alcotest.fail "compacted log must start with a snapshot"));
+    Alcotest.test_case "gc_below never drops undelivered rounds" `Quick
+      (fun () ->
+      let h = durable_cluster ~seed:"gc-safe" ~interval:0 () in
+      send_waves h ~waves:2 ~per:2;
+      ignore (Cluster.run h.c ~until:300.0);
+      let ch = h.chans.(0) in
+      let base = Atomic_channel.current_round ch in
+      Alcotest.(check bool) "some rounds ran" true (base > 0);
+      (* Ask to GC far beyond the delivered prefix: the floor must clamp
+         at base — rounds at/after it (the reorder buffer) survive. *)
+      Atomic_channel.gc_below ch ~round:(base + 1000);
+      Alcotest.(check int) "floor clamped at base" base
+        (Atomic_channel.gc_floor ch);
+      (* The channel still works: more payloads deliver normally. *)
+      let before = Atomic_channel.deliveries ch in
+      Cluster.inject h.c 0 (fun () ->
+        Atomic_channel.send h.chans.(0) "post-gc");
+      ignore (Cluster.run h.c ~until:600.0);
+      Alcotest.(check bool) "post-GC delivery" true
+        (Atomic_channel.deliveries ch > before));
+    Alcotest.test_case "crash + restart replays the disk byte for byte"
+      `Quick (fun () ->
+      let h = durable_cluster ~seed:"dur-crash" ~interval:4 () in
+      let rt3 = Cluster.runtime h.c 3 in
+      Runtime.on_rebuild rt3 (fun () ->
+        attach_party h 3 ~interval:4 ~pid:"dur");
+      send_waves h ~waves:4 ~per:4;
+      Cluster.at h.c ~time:1.2 (fun () -> Runtime.crash rt3);
+      Cluster.at h.c ~time:2.0 (fun () -> Runtime.recover rt3);
+      ignore (Cluster.run h.c ~until:300.0);
+      let seqs = sequences h in
+      Util.check_all_equal "total order after restart" (Array.to_list seqs);
+      Alcotest.(check int) "party 3 missed nothing"
+        (List.length seqs.(0))
+        (List.length seqs.(3));
+      Alcotest.(check bool) "restart replayed logged rounds" true
+        (Durable.replayed_rounds h.durs.(3) > 0
+        || Durable.restored_from h.durs.(3) >= 0));
+    Alcotest.test_case "wiped party adopts a verified snapshot" `Quick
+      (fun () ->
+      let h = durable_cluster ~seed:"dur-wipe" ~interval:2 () in
+      let rt3 = Cluster.runtime h.c 3 in
+      Runtime.on_rebuild rt3 (fun () ->
+        (* Disk lost: restart party 3 on a fresh device — it must fetch a
+           signed snapshot from its peers instead of replaying history. *)
+        h.devs.(3) <- Store.Device.mem ();
+        Hashtbl.reset h.seen.(3);
+        h.logs.(3) := [];
+        attach_party h 3 ~interval:2 ~pid:"dur");
+      send_waves h ~waves:6 ~per:4;
+      Cluster.at h.c ~time:2.6 (fun () -> Runtime.crash rt3);
+      Cluster.at h.c ~time:4.4 (fun () -> Runtime.recover rt3);
+      ignore (Cluster.run h.c ~until:300.0);
+      let seqs = sequences h in
+      Util.check_all_equal "parties 0-2 agree"
+        [ seqs.(0); seqs.(1); seqs.(2) ];
+      Alcotest.(check bool) "party 3 adopted a snapshot" true
+        (Durable.snapshots_adopted h.durs.(3) >= 1);
+      (* Its (post-wipe) deliveries are a suffix of the agreed order. *)
+      let full = seqs.(0) and part = seqs.(3) in
+      let missing = List.length full - List.length part in
+      Alcotest.(check bool) "suffix not longer than full" true (missing >= 0);
+      let suffix = List.filteri (fun i _ -> i >= missing) full in
+      if part <> suffix then
+        Alcotest.fail "snapshot adopter's deliveries are not a suffix";
+      Alcotest.(check bool) "snapshot skipped real history" true (missing > 0));
+    Alcotest.test_case "tampered disk is distrusted, then re-fetched" `Quick
+      (fun () ->
+      (* Produce a compacted log with a snapshot, then corrupt the
+         certificate: the restore must reject the whole device (certified
+         state is never adopted unverified) and recover via the network. *)
+      let h = durable_cluster ~seed:"dur-tamper" ~interval:2 () in
+      send_waves h ~waves:4 ~per:4;
+      ignore (Cluster.run h.c ~until:300.0);
+      let rp = Store.Log.replay h.devs.(3) in
+      (match rp.Store.Log.records with
+       | Store.Log.Snapshot _ :: _ -> ()
+       | _ -> Alcotest.fail "expected a compacted log");
+      let tampered =
+        List.map
+          (fun r ->
+            match r with
+            | Store.Log.Snapshot { checkpoint; state } ->
+              let cert = checkpoint.Store.Checkpoint.cert in
+              let bad =
+                String.mapi
+                  (fun i ch ->
+                    if i = 0 then Char.chr (Char.code ch lxor 1) else ch)
+                  cert
+              in
+              Store.Log.Snapshot
+                {
+                  checkpoint = { checkpoint with Store.Checkpoint.cert = bad };
+                  state;
+                }
+            | r -> r)
+          rp.Store.Log.records
+      in
+      let rt3 = Cluster.runtime h.c 3 in
+      Runtime.on_rebuild rt3 (fun () ->
+        let dev = Store.Device.mem () in
+        ignore (Store.Log.rewrite dev tampered);
+        h.devs.(3) <- dev;
+        Hashtbl.reset h.seen.(3);
+        h.logs.(3) := [];
+        attach_party h 3 ~interval:2 ~pid:"dur");
+      let t0 = Cluster.now h.c in
+      Cluster.at h.c ~time:(t0 +. 0.2) (fun () -> Runtime.crash rt3);
+      Cluster.at h.c ~time:(t0 +. 0.8) (fun () -> Runtime.recover rt3);
+      (* Fresh traffic so the cluster keeps moving and serves catch-up. *)
+      for p = 0 to 2 do
+        Cluster.at h.c ~time:(t0 +. 1.4) (fun () ->
+          Cluster.inject h.c p (fun () ->
+            Atomic_channel.send h.chans.(p) (Printf.sprintf "late-%d" p)))
+      done;
+      ignore (Cluster.run h.c ~until:(t0 +. 300.0));
+      Alcotest.(check int) "tampered snapshot not restored" (-1)
+        (Durable.restored_from h.durs.(3));
+      Alcotest.(check bool) "recovered via network snapshot" true
+        (Durable.snapshots_adopted h.durs.(3) >= 1));
+    Alcotest.test_case "forged certificates never verify" `Quick (fun () ->
+      (* Directly attack the verification predicate: t parties' shares
+         cannot assemble a valid certificate, and a certificate for one
+         statement does not transfer to another. *)
+      let c = Util.cluster ~seed:"forge" () in
+      let rt0 = Cluster.runtime c 0 in
+      let pub = Tsig.public_of_secret rt0.Runtime.keys.Dealer.ag_tsig in
+      let k = Tsig.k pub in
+      Alcotest.(check bool) "quorum above t" true (k > 1);
+      let stmt = Store.Checkpoint.statement ~pid:"dur" ~round:8 ~digest:"dg" in
+      let drbg = Hashes.Drbg.create ~seed:"forge-drbg" in
+      (* Only t = 1 party colludes: its share, however duplicated, must not
+         assemble into a verifying certificate. *)
+      let share =
+        Tsig.release ~drbg rt0.Runtime.keys.Dealer.ag_tsig ~ctx:"x" stmt
+      in
+      (match Tsig.assemble pub ~ctx:"x" stmt (List.init k (fun _ -> share)) with
+       | exception _ -> ()
+       | forged ->
+         Alcotest.(check bool) "t-of-n forgery rejected" false
+           (Tsig.verify pub ~ctx:"x" ~signature:forged stmt));
+      (* A real certificate for round 8 does not certify round 12. *)
+      let shares =
+        List.init k (fun i ->
+          let rt = Cluster.runtime c i in
+          Tsig.release ~drbg rt.Runtime.keys.Dealer.ag_tsig ~ctx:"x" stmt)
+      in
+      let cert = Tsig.assemble pub ~ctx:"x" stmt shares in
+      Alcotest.(check bool) "genuine certificate verifies" true
+        (Tsig.verify pub ~ctx:"x" ~signature:cert stmt);
+      let other =
+        Store.Checkpoint.statement ~pid:"dur" ~round:12 ~digest:"dg"
+      in
+      Alcotest.(check bool) "certificate bound to its statement" false
+        (Tsig.verify pub ~ctx:"x" ~signature:cert other));
+    Alcotest.test_case "backlog stays bounded under checkpointing" `Quick
+      (fun () ->
+      let h = durable_cluster ~seed:"dur-bound" ~interval:2 () in
+      send_waves h ~waves:8 ~per:2;
+      let hi = ref 0 in
+      let dt = 0.05 in
+      for k = 1 to int_of_float (20.0 /. dt) do
+        Cluster.at h.c ~time:(float_of_int k *. dt) (fun () ->
+          let v = Atomic_channel.backlog_rounds h.chans.(0) in
+          if v > !hi then hi := v)
+      done;
+      ignore (Cluster.run h.c ~until:300.0);
+      let rounds = Atomic_channel.rounds_completed h.chans.(0) in
+      Alcotest.(check bool) "enough rounds to matter" true (rounds > 6);
+      (* Bound: the checkpoint interval (history until the next checkpoint
+         stabilizes) plus one interval of GC slack retained below the
+         stable round (straggler catch-up) plus the pipeline window plus
+         certificate slack. *)
+      let pd = h.c.Cluster.cfg.Config.pipeline_depth in
+      let bound = 2 + 2 + (2 * pd) + 4 in
+      if !hi > bound then
+        Alcotest.failf "backlog reached %d (bound %d, rounds %d)" !hi bound
+          rounds);
+    Alcotest.test_case "durability does not change the delivery order"
+      `Quick (fun () ->
+      let run durable =
+        let n = 4 in
+        let c = Util.cluster ~seed:"dur-ident" ~max_batch:8 () in
+        let logs = Array.init n (fun _ -> ref []) in
+        let chans =
+          Array.init n (fun i ->
+            Atomic_channel.create (Cluster.runtime c i) ~pid:"ident"
+              ~on_deliver:(fun ~sender m ->
+                logs.(i) := (sender, m) :: !(logs.(i)))
+              ())
+        in
+        if durable then
+          Array.iteri
+            (fun i ch ->
+              ignore
+                (Durable.attach (Cluster.runtime c i) ~chan:ch ~pid:"ident"
+                   ~dev:(Store.Device.mem ()) ~interval:2 ()))
+            chans;
+        for p = 0 to n - 1 do
+          for w = 0 to 2 do
+            let submit () =
+              Cluster.inject c p (fun () ->
+                for k = 0 to 2 do
+                  Atomic_channel.send chans.(p)
+                    (Printf.sprintf "p%d.w%d.%d" p w k)
+                done)
+            in
+            if w = 0 then submit ()
+            else Cluster.at c ~time:(0.8 *. float_of_int w) submit
+          done
+        done;
+        ignore (Cluster.run c ~until:300.0);
+        List.rev !(logs.(0))
+      in
+      let plain = run false and durable = run true in
+      Alcotest.(check int) "same delivery count" (List.length plain)
+        (List.length durable);
+      if plain <> durable then
+        Alcotest.fail "durable delivery order diverged from the plain run");
+    Alcotest.test_case "optimistic epoch deltas reach the log" `Quick
+      (fun () ->
+      (* Observe an optimistic channel from a durability controller;
+         crashing the epoch-0 leader forces an epoch change, whose delta
+         must land in the WAL under the "opt.epoch" key. *)
+      let c = Util.cluster ~seed:"dur-opt" () in
+      let n = 4 in
+      let dev = Store.Device.mem () in
+      let logs = Array.init n (fun _ -> ref []) in
+      let ochans =
+        Array.init n (fun i ->
+          Optimistic_channel.create ~timeout:1.0 (Cluster.runtime c i)
+            ~pid:"opt"
+            ~on_deliver:(fun ~sender m ->
+              logs.(i) := (sender, m) :: !(logs.(i)))
+            ())
+      in
+      let ch =
+        Atomic_channel.create (Cluster.runtime c 1) ~pid:"dur-side"
+          ~on_deliver:(fun ~sender:_ _ -> ())
+          ()
+      in
+      let d =
+        Durable.attach (Cluster.runtime c 1) ~chan:ch ~pid:"dur-side" ~dev
+          ~interval:0 ()
+      in
+      Durable.observe_optimistic d ochans.(1);
+      Cluster.crash c 0;
+      Cluster.at c ~time:0.2 (fun () ->
+        Cluster.inject c 1 (fun () ->
+          Optimistic_channel.send ochans.(1) "needs-epoch-change"));
+      ignore (Cluster.run c ~until:120.0);
+      Alcotest.(check bool) "epoch advanced" true
+        (Optimistic_channel.current_epoch ochans.(1) >= 1);
+      let rp = Store.Log.replay dev in
+      let has_delta =
+        List.exists
+          (function
+            | Store.Log.Delta { key; _ } -> key = "opt.epoch"
+            | _ -> false)
+          rp.Store.Log.records
+      in
+      Alcotest.(check bool) "epoch delta logged" true has_delta);
+  ]
